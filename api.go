@@ -1,0 +1,284 @@
+// Package fafnir is the public API of the FAFNIR reproduction: a
+// near-memory intelligent reduction tree for sparse gathering (HPCA 2021),
+// together with the DDR4 memory model, workload generators, and baseline
+// accelerators (TensorDIMM, RecNMP, Two-Step, and a no-NDP host) needed to
+// reproduce the paper's evaluation.
+//
+// The quickest path is System:
+//
+//	sys, err := fafnir.NewSystem(fafnir.SystemConfig{})
+//	batch, err := sys.GenerateBatch(32, 1)
+//	res, err := sys.Lookup(batch)
+//	fmt.Println(res.Outputs[0], res.TotalCycles)
+//
+// System bundles the paper's default configuration — a 4-channel, 32-rank
+// DDR4 memory holding 32 embedding tables of 512 B vectors, and a 31-PE
+// Fafnir tree at 200 MHz — and exposes timed embedding lookup and SpMV.
+// Lower-level control (custom trees, baseline engines, raw PE semantics)
+// lives in the internal packages and is re-exported selectively here.
+package fafnir
+
+import (
+	"fmt"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
+	"fafnir/internal/memmap"
+	"fafnir/internal/sim"
+	"fafnir/internal/sparse"
+	"fafnir/internal/spmv"
+	"fafnir/internal/tensor"
+	"fafnir/internal/twostep"
+)
+
+// Re-exported leaf types, so callers do not need the internal import paths.
+type (
+	// Vector is a dense FP32 embedding vector.
+	Vector = tensor.Vector
+	// ReduceOp is the pooling operation applied through the tree.
+	ReduceOp = tensor.ReduceOp
+	// Batch is a set of embedding-lookup queries.
+	Batch = embedding.Batch
+	// Query is one lookup: a set of indices reduced into one vector.
+	Query = embedding.Query
+	// Matrix is a sparse matrix in the streaming LIL format.
+	Matrix = sparse.LIL
+	// LookupResult is a timed embedding-lookup outcome.
+	LookupResult = core.TimedResult
+	// SpMVResult is a timed SpMV outcome.
+	SpMVResult = spmv.Result
+)
+
+// Pooling operations.
+const (
+	OpSum  = tensor.OpSum
+	OpMin  = tensor.OpMin
+	OpMax  = tensor.OpMax
+	OpMean = tensor.OpMean
+)
+
+// SystemConfig selects the simulated system's shape. Zero values mean the
+// paper's defaults.
+type SystemConfig struct {
+	// Ranks is the number of memory ranks (default 32; must divide evenly
+	// into the DDR4 geometry: 8 ranks per channel).
+	Ranks int
+	// RowsPerTable is the number of 512 B vectors per embedding table
+	// (default 128 Ki across 32 tables).
+	RowsPerTable int
+	// BatchCapacity is the hardware batch size B (default 32).
+	BatchCapacity int
+	// ZipfS is the index-popularity skew for GenerateBatch (default 1.3;
+	// values <= 1 draw uniformly).
+	ZipfS float64
+	// QuerySize is the indices per generated query (default 16).
+	QuerySize int
+	// Seed makes table contents and workloads deterministic (default 1).
+	Seed int64
+	// Dedup controls whether Lookup eliminates redundant accesses
+	// (default true; set DisableDedup to turn off).
+	DisableDedup bool
+}
+
+func (c *SystemConfig) fillDefaults() {
+	if c.Ranks == 0 {
+		c.Ranks = 32
+	}
+	if c.RowsPerTable == 0 {
+		c.RowsPerTable = 1 << 17
+	}
+	if c.BatchCapacity == 0 {
+		c.BatchCapacity = 32
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.3
+	}
+	if c.QuerySize == 0 {
+		c.QuerySize = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// System is a ready-to-run simulated memory system with a Fafnir tree
+// attached. It is not safe for concurrent use.
+type System struct {
+	cfg    SystemConfig
+	mcfg   dram.Config
+	layout *memmap.Layout
+	store  *embedding.Store
+	engine *core.Engine
+	mem    *dram.System
+}
+
+// NewSystem builds a system; zero-value config selects the paper's setup.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	cfg.fillDefaults()
+	mcfg := dram.DDR4()
+	switch {
+	case cfg.Ranks == 32:
+		// paper default geometry
+	case cfg.Ranks%8 == 0:
+		mcfg.Channels = cfg.Ranks / 8
+	case cfg.Ranks%2 == 0:
+		mcfg.Channels = 1
+		mcfg.DIMMsPerChannel = cfg.Ranks / 2
+	default:
+		return nil, fmt.Errorf("fafnir: rank count %d not expressible as a DDR4 geometry", cfg.Ranks)
+	}
+
+	layout := memmap.Uniform(mcfg, 512, 32, cfg.RowsPerTable)
+	store := embedding.NewStore(layout.TotalRows(), 128, uint64(cfg.Seed))
+
+	ecfg := core.Default()
+	ecfg.NumRanks = cfg.Ranks
+	ecfg.BatchCapacity = cfg.BatchCapacity
+	engine, err := core.NewEngine(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:    cfg,
+		mcfg:   mcfg,
+		layout: layout,
+		store:  store,
+		engine: engine,
+		mem:    dram.NewSystem(mcfg),
+	}, nil
+}
+
+// TotalRows reports the number of embedding vectors in the system.
+func (s *System) TotalRows() uint64 { return s.layout.TotalRows() }
+
+// NumPEs reports the size of the attached Fafnir tree.
+func (s *System) NumPEs() int { return s.engine.Tree().NumPEs() }
+
+// ResetMemory clears DRAM timing state and statistics between experiments.
+func (s *System) ResetMemory() { s.mem.Reset() }
+
+// MemoryStats renders the DRAM access statistics collected so far.
+func (s *System) MemoryStats() string { return s.mem.Stats().String() }
+
+// GenerateBatch draws n deterministic queries with the configured
+// popularity skew and sum pooling.
+func (s *System) GenerateBatch(n int, seed int64) (Batch, error) {
+	gcfg := embedding.GeneratorConfig{
+		NumQueries: n,
+		QuerySize:  s.cfg.QuerySize,
+		Rows:       s.layout.TotalRows(),
+		Seed:       s.cfg.Seed*1_000_003 + seed,
+	}
+	if s.cfg.ZipfS > 1 {
+		gcfg.Dist = embedding.Zipf
+		gcfg.ZipfS = s.cfg.ZipfS
+	}
+	gen, err := embedding.NewGenerator(gcfg)
+	if err != nil {
+		return Batch{}, err
+	}
+	return gen.Batch(OpSum), nil
+}
+
+// Lookup runs a batch through the Fafnir tree with full timing and verifies
+// the outputs against the golden reference before returning.
+func (s *System) Lookup(b Batch) (*LookupResult, error) {
+	res, err := s.engine.TimedLookup(s.store, s.layout, s.mem, b, !s.cfg.DisableDedup)
+	if err != nil {
+		return nil, err
+	}
+	golden := b.Golden(s.store)
+	if i := core.VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
+		return nil, fmt.Errorf("fafnir: query %d mismatches the golden reference", i)
+	}
+	return res, nil
+}
+
+// Golden computes the reference result of a batch (no simulation).
+func (s *System) Golden(b Batch) []Vector { return b.Golden(s.store) }
+
+// SpMV multiplies the sparse matrix by x on the Fafnir tree (vectorized
+// mode, Section IV-D) and verifies the product against the reference.
+func (s *System) SpMV(m *Matrix, x Vector) (*SpMVResult, error) {
+	e, err := spmv.NewEngine(spmv.Default())
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Multiply(m, x, s.mem)
+	if err != nil {
+		return nil, err
+	}
+	want, err := m.MulVec(x)
+	if err != nil {
+		return nil, err
+	}
+	// The tree reduces in a different association order than the row-major
+	// reference, so compare with a relative tolerance rather than exactly.
+	for i := range want {
+		diff := float64(res.Y[i] - want[i])
+		if diff < 0 {
+			diff = -diff
+		}
+		mag := float64(want[i])
+		if mag < 0 {
+			mag = -mag
+		}
+		if diff > 1e-4*(1+mag) {
+			return nil, fmt.Errorf("fafnir: SpMV row %d mismatches the reference (%v vs %v)", i, res.Y[i], want[i])
+		}
+	}
+	return res, nil
+}
+
+// SpMVTwoStep runs the same product on the Two-Step baseline accelerator.
+func (s *System) SpMVTwoStep(m *Matrix, x Vector) (*twostep.Result, error) {
+	e, err := twostep.NewEngine(twostep.Default())
+	if err != nil {
+		return nil, err
+	}
+	return e.Multiply(m, x, s.mem)
+}
+
+// Matrix generators, re-exported for examples and downstream callers.
+var (
+	// BandedMatrix generates a banded "scientific" matrix.
+	BandedMatrix = sparse.Banded
+	// GraphMatrix generates a power-law graph adjacency matrix.
+	GraphMatrix = sparse.PowerLawGraph
+	// UniformMatrix generates a uniformly sparse matrix.
+	UniformMatrix = sparse.RandomUniform
+	// DenseOperand generates a deterministic dense operand vector.
+	DenseOperand = sparse.DenseVector
+)
+
+// CyclesToSeconds converts PE-clock cycles (200 MHz) to seconds.
+func CyclesToSeconds(c uint64) float64 { return float64(c) / 200e6 }
+
+// LookupInteractive serves the batch one query at a time in the paper's
+// interactive mode (Section IV-C): lowest single-query latency, no batch
+// headers, no deduplication.
+func (s *System) LookupInteractive(b Batch) (*LookupResult, error) {
+	res, err := s.engine.InteractiveLookup(s.store, s.layout, s.mem, b)
+	if err != nil {
+		return nil, err
+	}
+	golden := b.Golden(s.store)
+	if i := core.VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
+		return nil, fmt.Errorf("fafnir: query %d mismatches the golden reference", i)
+	}
+	return res, nil
+}
+
+// LoadResult summarizes an offered-load (queueing) run.
+type LoadResult = core.PipelineResult
+
+// OfferedLoad streams batches into the tree at a fixed arrival interval (in
+// PE cycles) and reports the queueing behaviour: average/maximum latency,
+// queue depth, utilization, and achieved throughput.
+func (s *System) OfferedLoad(batches []Batch, intervalCycles uint64) (*LoadResult, error) {
+	return s.engine.OfferedLoad(s.store, s.layout, s.mcfg, batches, sim.Cycle(intervalCycles))
+}
+
+// TreeDOT renders the attached reduction tree in Graphviz dot format.
+func (s *System) TreeDOT() string { return s.engine.Tree().DOT() }

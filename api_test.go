@@ -1,0 +1,181 @@
+package fafnir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumPEs() != 31 {
+		t.Fatalf("NumPEs = %d, want 31", sys.NumPEs())
+	}
+	if sys.TotalRows() != 32*(1<<17) {
+		t.Fatalf("TotalRows = %d", sys.TotalRows())
+	}
+}
+
+func TestNewSystemGeometries(t *testing.T) {
+	for _, ranks := range []int{2, 8, 16, 32} {
+		if _, err := NewSystem(SystemConfig{Ranks: ranks, RowsPerTable: 1024}); err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+	}
+	if _, err := NewSystem(SystemConfig{Ranks: 7}); err == nil {
+		t.Fatal("odd rank count accepted")
+	}
+}
+
+func TestLookupEndToEnd(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{RowsPerTable: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.GenerateBatch(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Lookup(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles == 0 || len(res.Outputs) != 16 {
+		t.Fatalf("implausible result %+v", res)
+	}
+	golden := sys.Golden(b)
+	for i := range golden {
+		if !res.Outputs[i].ApproxEqual(golden[i], 1e-3) {
+			t.Fatalf("query %d mismatch", i)
+		}
+	}
+}
+
+func TestLookupDedupToggle(t *testing.T) {
+	withDedup, err := NewSystem(SystemConfig{RowsPerTable: 1024, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := NewSystem(SystemConfig{RowsPerTable: 1024, Seed: 3, DisableDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := withDedup.GenerateBatch(32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := withDedup.Lookup(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := without.Lookup(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MemoryReads >= r2.MemoryReads {
+		t.Fatalf("dedup reads %d not below raw %d", r1.MemoryReads, r2.MemoryReads)
+	}
+}
+
+func TestSpMVEndToEnd(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{RowsPerTable: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := GraphMatrix(1024, 4, 7)
+	x := DenseOperand(1024, 8)
+	res, err := sys.SpMV(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles == 0 {
+		t.Fatal("zero SpMV runtime")
+	}
+	sys.ResetMemory()
+	ts, err := sys.SpMVTwoStep(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.Y.Equal(res.Y) {
+		t.Fatal("Two-Step disagrees with Fafnir")
+	}
+}
+
+func TestMemoryStatsRender(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{RowsPerTable: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.GenerateBatch(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Lookup(b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sys.MemoryStats(), "dram.reads") {
+		t.Fatalf("stats missing reads: %q", sys.MemoryStats())
+	}
+	sys.ResetMemory()
+	if strings.Contains(sys.MemoryStats(), "dram.reads") {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	if CyclesToSeconds(200e6) != 1 {
+		t.Fatal("200M cycles at 200 MHz should be 1 s")
+	}
+}
+
+func TestLookupInteractiveFacade(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{RowsPerTable: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.GenerateBatch(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.LookupInteractive(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HWBatches != 4 {
+		t.Fatalf("HWBatches = %d (one per query expected)", res.HWBatches)
+	}
+}
+
+func TestOfferedLoadFacade(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{RowsPerTable: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches []Batch
+	for i := 0; i < 4; i++ {
+		b, err := sys.GenerateBatch(8, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, b)
+	}
+	res, err := sys.OfferedLoad(batches, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 4 || res.Makespan == 0 {
+		t.Fatalf("load result %+v", res)
+	}
+}
+
+func TestTreeDOTFacade(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{RowsPerTable: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sys.TreeDOT(), "digraph fafnir") {
+		t.Fatal("DOT render missing header")
+	}
+}

@@ -1,0 +1,82 @@
+// Command fafnir-bench regenerates the tables and figures of the FAFNIR
+// paper's evaluation from the simulators in this repository.
+//
+// Usage:
+//
+//	fafnir-bench                      # run every experiment
+//	fafnir-bench -exp fig13           # run one experiment
+//	fafnir-bench -format md           # Markdown tables instead of text
+//	fafnir-bench -out results/        # one file per experiment
+//	fafnir-bench -list                # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fafnir/internal/exp"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment ID to run (default: all)")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		format = flag.String("format", "text", "output format: text or md")
+		outDir = flag.String("out", "", "write one file per experiment into this directory")
+	)
+	flag.Parse()
+
+	render := func(rep *exp.Report) string {
+		if *format == "md" {
+			return rep.Markdown()
+		}
+		return rep.String()
+	}
+	ext := ".txt"
+	if *format == "md" {
+		ext = ".md"
+	}
+
+	var reports []*exp.Report
+	if *expID != "" {
+		rep, err := exp.Run(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reports = []*exp.Report{rep}
+	} else if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	} else {
+		var err error
+		reports, err = exp.RunAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, rep := range reports {
+			path := filepath.Join(*outDir, rep.ID+ext)
+			if err := os.WriteFile(path, []byte(render(rep)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+		return
+	}
+	for _, rep := range reports {
+		fmt.Println(render(rep))
+	}
+}

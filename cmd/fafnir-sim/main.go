@@ -1,0 +1,322 @@
+// Command fafnir-sim runs one embedding-lookup or SpMV simulation with
+// configurable parameters and prints the timing breakdown, memory-system
+// statistics, and functional verification result.
+//
+// Examples:
+//
+//	fafnir-sim -mode lookup -engine fafnir -batch 32 -q 16 -zipf 1.3
+//	fafnir-sim -mode lookup -engine recnmp -batch 16
+//	fafnir-sim -mode lookup -engine interactive -batch 4
+//	fafnir-sim -mode spmv -engine twostep -matrix graph -size 8192
+//	fafnir-sim -mode graph -algo pagerank -size 4096
+//	fafnir-sim -mode solver -algo cg -size 2048
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fafnir/internal/cpu"
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	"fafnir/internal/fafnir"
+	"fafnir/internal/graph"
+	"fafnir/internal/memmap"
+	"fafnir/internal/recnmp"
+	"fafnir/internal/sim"
+	"fafnir/internal/solver"
+	"fafnir/internal/sparse"
+	"fafnir/internal/spmv"
+	"fafnir/internal/tensor"
+	"fafnir/internal/tensordimm"
+	"fafnir/internal/twostep"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "lookup", "lookup, spmv, graph, or solver")
+		engine = flag.String("engine", "fafnir", "lookup: fafnir|interactive|recnmp|tensordimm|cpu; spmv: fafnir|twostep")
+		algo   = flag.String("algo", "pagerank", "graph: bfs|pagerank|cc; solver: jacobi|cg")
+		batch  = flag.Int("batch", 32, "lookup: queries per batch")
+		q      = flag.Int("q", 16, "lookup: indices per query")
+		rows   = flag.Int("rows", 1<<17, "lookup: rows per table (32 tables)")
+		zipf   = flag.Float64("zipf", 1.3, "lookup: Zipf skew (<=1 for uniform)")
+		dedup  = flag.Bool("dedup", true, "lookup (fafnir): eliminate redundant accesses")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		matrix = flag.String("matrix", "banded", "spmv: banded|graph|uniform")
+		size   = flag.Int("size", 8192, "spmv: matrix dimension")
+	)
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "lookup":
+		err = runLookup(*engine, *batch, *q, *rows, *zipf, *dedup, *seed)
+	case "spmv":
+		err = runSpMV(*engine, *matrix, *size, *seed)
+	case "graph":
+		err = runGraph(*algo, *size, *seed)
+	case "solver":
+		err = runSolver(*algo, *size, *seed)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fafnir-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func usSeconds(c sim.Cycle) float64 { return sim.Seconds(c, 200) * 1e6 }
+
+func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, seed int64) error {
+	mcfg := dram.DDR4()
+	layout := memmap.Uniform(mcfg, 512, 32, rowsPer)
+	store := embedding.NewStore(layout.TotalRows(), 128, uint64(seed))
+	mem := dram.NewSystem(mcfg)
+
+	gcfg := embedding.GeneratorConfig{
+		NumQueries: batchN, QuerySize: q, Rows: layout.TotalRows(), Seed: seed,
+	}
+	if zipf > 1 {
+		gcfg.Dist = embedding.Zipf
+		gcfg.ZipfS = zipf
+	}
+	gen, err := embedding.NewGenerator(gcfg)
+	if err != nil {
+		return err
+	}
+	b := gen.Batch(tensor.OpSum)
+	golden := b.Golden(store)
+
+	fmt.Printf("embedding lookup: engine=%s batch=%d q=%d dedup=%v\n", engine, batchN, q, dedup)
+	switch engine {
+	case "interactive":
+		e, err := fafnir.NewEngine(fafnir.Default())
+		if err != nil {
+			return err
+		}
+		res, err := e.InteractiveLookup(store, layout, mem, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  memory   %8.2f us  (%d reads, no dedup in interactive mode)\n", usSeconds(res.MemCycles), res.MemoryReads)
+		fmt.Printf("  compute  %8.2f us  (comparison-free stage)\n", usSeconds(res.ComputeCycles))
+		fmt.Printf("  total    %8.2f us  (%d queries served one at a time)\n", usSeconds(res.TotalCycles), res.HWBatches)
+		if i := fafnir.VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
+			return fmt.Errorf("query %d mismatches golden", i)
+		}
+	case "fafnir":
+		fcfg := fafnir.Default()
+		fcfg.BatchCapacity = batchN
+		e, err := fafnir.NewEngine(fcfg)
+		if err != nil {
+			return err
+		}
+		res, err := e.TimedLookup(store, layout, mem, b, dedup)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  memory   %8.2f us  (%d reads, %d bytes)\n", usSeconds(res.MemCycles), res.MemoryReads, res.BytesRead)
+		fmt.Printf("  compute  %8.2f us  (tree of %d PEs, max occupancy %d)\n",
+			usSeconds(res.ComputeCycles), e.Tree().NumPEs(), res.MaxOccupancy)
+		fmt.Printf("  transfer %8.2f us\n", usSeconds(res.TransferCycles))
+		fmt.Printf("  total    %8.2f us\n", usSeconds(res.TotalCycles))
+		fmt.Printf("  PE actions: %d reduces, %d forwards, %d merged duplicates\n",
+			res.PETotals.Reduces, res.PETotals.Forwards, res.PETotals.MergedDuplicates)
+		if i := fafnir.VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
+			return fmt.Errorf("query %d mismatches golden", i)
+		}
+	case "recnmp":
+		e, err := recnmp.NewEngine(recnmp.Default())
+		if err != nil {
+			return err
+		}
+		res, err := e.TimedLookup(store, layout, mem, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  memory    %8.2f us  (%d reads, %d cache hits)\n", usSeconds(res.MemCycles), res.MemoryReads, res.CacheHits)
+		fmt.Printf("  NDP       %8.2f us  (%d reduced at NDP, %d forwarded raw, NDP fraction %.0f%%)\n",
+			usSeconds(res.NDPComputeCycles), res.ReducedAtNDP, res.ForwardedRaw, 100*res.NDPFraction())
+		fmt.Printf("  host      %8.2f us\n", usSeconds(res.HostComputeCycles))
+		fmt.Printf("  total     %8.2f us\n", usSeconds(res.TotalCycles))
+	case "tensordimm":
+		e, err := tensordimm.NewEngine(tensordimm.Default())
+		if err != nil {
+			return err
+		}
+		res, err := e.TimedLookup(store, mem, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  memory   %8.2f us  (%d slice reads)\n", usSeconds(res.MemCycles), res.MemoryReads)
+		fmt.Printf("  compute  %8.2f us\n", usSeconds(res.ComputeCycles))
+		fmt.Printf("  total    %8.2f us\n", usSeconds(res.TotalCycles))
+	case "cpu":
+		e, err := cpu.NewEngine(cpu.Default())
+		if err != nil {
+			return err
+		}
+		res, err := e.TimedLookup(store, layout, mem, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  memory   %8.2f us  (%d reads, %d bytes to host)\n", usSeconds(res.MemCycles), res.MemoryReads, res.BytesToHost)
+		fmt.Printf("  compute  %8.2f us\n", usSeconds(res.ComputeCycles))
+		fmt.Printf("  total    %8.2f us\n", usSeconds(res.TotalCycles))
+	default:
+		return fmt.Errorf("unknown lookup engine %q", engine)
+	}
+	fmt.Printf("  row buffer: %d hits, %d misses, %d conflicts\n",
+		mem.Stats().Counter("dram.row_hits"),
+		mem.Stats().Counter("dram.row_misses"),
+		mem.Stats().Counter("dram.row_conflicts"))
+	fmt.Println("  functional result verified against golden reference")
+	return nil
+}
+
+// fafnirExecutor wires the Fafnir SpMV engine as a solver/graph executor.
+func fafnirExecutor() (solver.SpMV, error) {
+	eng, err := spmv.NewEngine(spmv.Default())
+	if err != nil {
+		return nil, err
+	}
+	return func(m *sparse.LIL, x tensor.Vector) (tensor.Vector, sim.Cycle, error) {
+		res, err := eng.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Y, res.TotalCycles, nil
+	}, nil
+}
+
+func runGraph(algo string, size int, seed int64) error {
+	adj := sparse.PowerLawGraph(size, 8, seed)
+	g, err := graph.New(adj)
+	if err != nil {
+		return err
+	}
+	mul, err := fafnirExecutor()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph %s: %d nodes, %d edges (power-law), SpMVs on the Fafnir tree\n", algo, g.Nodes(), g.Edges())
+	switch algo {
+	case "bfs":
+		res, err := g.BFS(0, mul)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  reached %d vertices in %d frontiers (%.1f us on Fafnir)\n",
+			res.Reached, res.Frontiers, usSeconds(res.SpMVCycles))
+	case "pagerank":
+		res, err := g.PageRank(0.85, 1e-4, 100, mul)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  converged=%v after %d iterations, delta %.2e (%.1f us on Fafnir)\n",
+			res.Converged, res.Iterations, res.Delta, usSeconds(res.SpMVCycles))
+	case "cc":
+		res, err := g.ConnectedComponents(mul)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d components after %d rounds (%.1f us on Fafnir)\n",
+			res.Count, res.Iterations, usSeconds(res.SpMVCycles))
+	default:
+		return fmt.Errorf("unknown graph algorithm %q", algo)
+	}
+	return nil
+}
+
+func runSolver(algo string, size int, seed int64) error {
+	a := sparse.SymmetricDiagDominant(size, 2, seed)
+	xTrue := sparse.DenseVector(size, seed+1)
+	b, err := a.MulVec(xTrue)
+	if err != nil {
+		return err
+	}
+	mul, err := fafnirExecutor()
+	if err != nil {
+		return err
+	}
+	opts := solver.Options{MaxIterations: 500, Tolerance: 1e-2}
+	fmt.Printf("solver %s: %dx%d SPD system (nnz %d), SpMVs on the Fafnir tree\n", algo, size, size, a.NNZ())
+	var res *solver.Result
+	switch algo {
+	case "jacobi":
+		res, err = solver.Jacobi(a, b, mul, opts)
+	case "cg":
+		res, err = solver.CG(a, b, mul, opts)
+	default:
+		return fmt.Errorf("unknown solver %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  converged=%v after %d iterations, residual %.3g (%d SpMVs, %.1f us on Fafnir)\n",
+		res.Converged, res.Iterations, res.Residual, res.SpMVCount, usSeconds(res.SpMVCycles))
+	return nil
+}
+
+func runSpMV(engine, matrix string, size int, seed int64) error {
+	var m *sparse.LIL
+	switch matrix {
+	case "banded":
+		m = sparse.Banded(size, 32, seed)
+	case "graph":
+		m = sparse.PowerLawGraph(size, 16, seed)
+	case "uniform":
+		m = sparse.RandomUniform(size, size, 2e-4, seed)
+	default:
+		return fmt.Errorf("unknown matrix kind %q", matrix)
+	}
+	x := sparse.DenseVector(m.Cols, seed+1)
+	want, err := m.MulVec(x)
+	if err != nil {
+		return err
+	}
+	mem := dram.NewSystem(dram.DDR4())
+
+	fmt.Printf("SpMV: engine=%s matrix=%s %dx%d nnz=%d density=%.2e\n",
+		engine, matrix, m.Rows, m.Cols, m.NNZ(), m.Density())
+	switch engine {
+	case "fafnir":
+		e, err := spmv.NewEngine(spmv.Default())
+		if err != nil {
+			return err
+		}
+		res, err := e.Multiply(m, x, mem)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  plan: %s\n", res.Plan)
+		fmt.Printf("  multiply %8.2f us\n", usSeconds(res.MultiplyCycles))
+		fmt.Printf("  merge    %8.2f us\n", usSeconds(res.MergeCycles))
+		fmt.Printf("  total    %8.2f us  (%d elements streamed)\n", usSeconds(res.TotalCycles), res.ElementsStreamed)
+		if !res.Y.Equal(want) {
+			return fmt.Errorf("result mismatches reference SpMV")
+		}
+	case "twostep":
+		e, err := twostep.NewEngine(twostep.Default())
+		if err != nil {
+			return err
+		}
+		res, err := e.Multiply(m, x, mem)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  step 1   %8.2f us\n", usSeconds(res.Step1Cycles))
+		fmt.Printf("  merge    %8.2f us\n", usSeconds(res.MergeCycles))
+		fmt.Printf("  total    %8.2f us  (%d elements streamed)\n", usSeconds(res.TotalCycles), res.ElementsStreamed)
+		if !res.Y.Equal(want) {
+			return fmt.Errorf("result mismatches reference SpMV")
+		}
+	default:
+		return fmt.Errorf("unknown spmv engine %q", engine)
+	}
+	fmt.Println("  functional result verified against reference SpMV")
+	return nil
+}

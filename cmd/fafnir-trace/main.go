@@ -1,0 +1,169 @@
+// Command fafnir-trace generates, inspects, and replays embedding-lookup
+// workload traces in the JSON interchange format of internal/trace.
+//
+// Examples:
+//
+//	fafnir-trace gen -n 64 -q 16 -zipf 1.3 -out workload.json
+//	fafnir-trace stats workload.json
+//	fafnir-trace run -engine fafnir workload.json
+//	fafnir-trace run -engine recnmp workload.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
+	"fafnir/internal/memmap"
+	"fafnir/internal/recnmp"
+	"fafnir/internal/sim"
+	"fafnir/internal/tensor"
+	"fafnir/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fail(fmt.Errorf("usage: fafnir-trace gen|stats|run ..."))
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fafnir-trace:", err)
+	os.Exit(1)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		n    = fs.Int("n", 32, "number of queries")
+		q    = fs.Int("q", 16, "indices per query")
+		rows = fs.Uint64("rows", 1<<22, "index space")
+		zipf = fs.Float64("zipf", 1.3, "Zipf skew (<=1 for uniform)")
+		seed = fs.Int64("seed", 1, "generator seed")
+		out  = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gcfg := embedding.GeneratorConfig{NumQueries: *n, QuerySize: *q, Rows: *rows, Seed: *seed}
+	if *zipf > 1 {
+		gcfg.Dist = embedding.Zipf
+		gcfg.ZipfS = *zipf
+	}
+	gen, err := embedding.NewGenerator(gcfg)
+	if err != nil {
+		return err
+	}
+	tr := trace.FromBatch(gen.Batch(tensor.OpSum), *rows)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return trace.Save(w, tr)
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Load(f)
+}
+
+func cmdStats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: fafnir-trace stats <file>")
+	}
+	tr, err := loadTrace(args[0])
+	if err != nil {
+		return err
+	}
+	s, err := tr.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("queries:         %d\n", s.NumQueries)
+	fmt.Printf("total accesses:  %d\n", s.TotalAccesses)
+	fmt.Printf("unique indices:  %d (%.1f%%)\n", s.UniqueIndices, 100*s.UniqueFraction)
+	fmt.Printf("max query size:  %d\n", s.MaxQuerySize)
+	fmt.Printf("pooling op:      %s\n", tr.Op)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	engine := fs.String("engine", "fafnir", "fafnir or recnmp")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fafnir-trace run [-engine X] <file>")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := tr.Batch()
+	if err != nil {
+		return err
+	}
+
+	mcfg := dram.DDR4()
+	rowsPer := int((tr.Rows + 31) / 32)
+	layout := memmap.Uniform(mcfg, 512, 32, rowsPer)
+	store := embedding.NewStore(layout.TotalRows(), 128, 1)
+	mem := dram.NewSystem(mcfg)
+
+	us := func(c sim.Cycle) float64 { return sim.Seconds(c, 200) * 1e6 }
+	switch *engine {
+	case "fafnir":
+		eng, err := core.NewEngine(core.Default())
+		if err != nil {
+			return err
+		}
+		res, err := eng.TimedLookup(store, layout, mem, b, true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fafnir: %d queries in %.2f us (%d unique reads, %d hardware batches)\n",
+			b.NumQueries(), us(res.TotalCycles), res.MemoryReads, res.HWBatches)
+	case "recnmp":
+		eng, err := recnmp.NewEngine(recnmp.Default())
+		if err != nil {
+			return err
+		}
+		res, err := eng.TimedLookup(store, layout, mem, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recnmp: %d queries in %.2f us (NDP fraction %.0f%%, %d raw forwards)\n",
+			b.NumQueries(), us(res.TotalCycles), 100*res.NDPFraction(), res.ForwardedRaw)
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package fafnir_test
+
+import (
+	"fmt"
+	"log"
+
+	"fafnir"
+)
+
+// ExampleSystem_Lookup runs a small deterministic batch through the paper's
+// default system and reports what the tree did.
+func ExampleSystem_Lookup() {
+	sys, err := fafnir.NewSystem(fafnir.SystemConfig{RowsPerTable: 1024, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := sys.GenerateBatch(8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Lookup(batch) // verified against the golden reference
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queries: %d\n", len(res.Outputs))
+	fmt.Printf("unique DRAM reads: %d of %d accesses\n", res.MemoryReads, batch.TotalAccesses())
+	fmt.Printf("occupancy within batch bound: %v\n", res.MaxOccupancy <= 8)
+	// Output:
+	// queries: 8
+	// unique DRAM reads: 78 of 128 accesses
+	// occupancy within batch bound: true
+}
+
+// ExampleSystem_SpMV multiplies a banded "scientific" matrix on the same
+// tree, the paper's genericity claim.
+func ExampleSystem_SpMV() {
+	sys, err := fafnir.NewSystem(fafnir.SystemConfig{RowsPerTable: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := fafnir.BandedMatrix(3000, 4, 3)
+	x := fafnir.DenseOperand(3000, 4)
+	res, err := sys.SpMV(m, x) // verified against the reference product
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s\n", res.Plan)
+	fmt.Printf("result rows: %d\n", res.Y.Dim())
+	// Output:
+	// plan: cols=3000 V=2048: 2 multiply rounds, 1 merge iterations (1 merges)
+	// result rows: 3000
+}

@@ -1,0 +1,3 @@
+module fafnir
+
+go 1.22

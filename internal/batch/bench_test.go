@@ -1,0 +1,22 @@
+package batch
+
+import (
+	"testing"
+
+	"fafnir/internal/embedding"
+	"fafnir/internal/tensor"
+)
+
+func BenchmarkBuildDedup(b *testing.B) {
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: 32, QuerySize: 16, Rows: 1 << 20, Dist: embedding.Zipf, ZipfS: 1.3, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt := gen.Batch(tensor.OpSum)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(bt, true)
+	}
+}

@@ -1,0 +1,150 @@
+package cpu
+
+import (
+	"testing"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	"fafnir/internal/memmap"
+	"fafnir/internal/tensor"
+)
+
+func fixture(t *testing.T) (*Engine, *embedding.Store, *memmap.Layout, *dram.System) {
+	t.Helper()
+	e, err := NewEngine(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := dram.DDR4()
+	layout := memmap.Uniform(mcfg, 512, 32, 1024)
+	store := embedding.NewStore(layout.TotalRows(), 128, 1)
+	return e, store, layout, dram.NewSystem(mcfg)
+}
+
+func testBatch(t *testing.T, n, q int, rows uint64, seed int64) embedding.Batch {
+	t.Helper()
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: n, QuerySize: q, Rows: rows, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Batch(tensor.OpSum)
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.VectorHandleCycles = 0 },
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.ClockMHz = 0 },
+		func(c *Config) { c.DRAMClockMHz = 0 },
+	}
+	for i, m := range bad {
+		cfg := Default()
+		m(&cfg)
+		if _, err := NewEngine(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestTimedLookupGoldenOutputs(t *testing.T) {
+	e, store, layout, mem := fixture(t)
+	b := testBatch(t, 4, 8, layout.TotalRows(), 2)
+	res, err := e.TimedLookup(store, layout, mem, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := b.Golden(store)
+	for i := range golden {
+		if !res.Outputs[i].Equal(golden[i]) {
+			t.Fatalf("query %d output mismatch", i)
+		}
+	}
+}
+
+func TestTimedLookupReadsAllVectors(t *testing.T) {
+	e, store, layout, mem := fixture(t)
+	b := testBatch(t, 4, 8, layout.TotalRows(), 3)
+	res, err := e.TimedLookup(store, layout, mem, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoryReads != 32 {
+		t.Fatalf("MemoryReads = %d, want 32 (no dedup in baseline)", res.MemoryReads)
+	}
+	if res.BytesToHost != 32*512 {
+		t.Fatalf("BytesToHost = %d", res.BytesToHost)
+	}
+	if mem.Stats().Counter("dram.bytes_to_host") != 32*512 {
+		t.Fatal("reads not charged to the channel bus")
+	}
+	if res.TotalCycles <= res.MemCycles {
+		t.Fatal("compute time missing from total")
+	}
+}
+
+func TestChannelContentionSlowsBaseline(t *testing.T) {
+	// The same batch on a single channel must be slower than on four:
+	// every vector crosses the channel bus in the baseline.
+	wide := dram.DDR4()
+	narrow := dram.DDR4()
+	narrow.Channels = 1
+	narrow.DIMMsPerChannel = 16
+
+	e, err := NewEngine(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := memmap.Uniform(wide, 512, 32, 1024)
+	ln := memmap.Uniform(narrow, 512, 32, 1024)
+	store := embedding.NewStore(lw.TotalRows(), 128, 1)
+	b := testBatch(t, 8, 16, lw.TotalRows(), 4)
+
+	rw, err := e.TimedLookup(store, lw, dram.NewSystem(wide), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := e.TimedLookup(store, ln, dram.NewSystem(narrow), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.MemCycles <= rw.MemCycles {
+		t.Fatalf("narrow channel %d not slower than wide %d", rn.MemCycles, rw.MemCycles)
+	}
+}
+
+func TestHandleVectors(t *testing.T) {
+	e, err := NewEngine(Config{VectorHandleCycles: 10, VectorLatencyCycles: 100, Cores: 4, ClockMHz: 200, DRAMClockMHz: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.HandleVectors(0); got != 0 {
+		t.Fatalf("HandleVectors(0) = %d", got)
+	}
+	if got := e.HandleVectors(4); got != 110 {
+		t.Fatalf("HandleVectors(4) = %d, want 110 (latency + one throughput slot)", got)
+	}
+	if got := e.HandleVectors(5); got != 120 {
+		t.Fatalf("HandleVectors(5) = %d, want 120 (one core does two)", got)
+	}
+}
+
+func TestDRAMToHost(t *testing.T) {
+	cfg := Default()
+	if got := cfg.DRAMToHost(12); got != 2 {
+		t.Fatalf("DRAMToHost(12) = %d", got)
+	}
+	if got := cfg.DRAMToHost(13); got != 3 {
+		t.Fatalf("DRAMToHost(13) = %d (round up)", got)
+	}
+}
+
+func TestInferenceSeconds(t *testing.T) {
+	cfg := Default()
+	got := cfg.InferenceSeconds(1e-4)
+	want := 1e-4 + cfg.FCSeconds + cfg.OtherSeconds
+	if got != want {
+		t.Fatalf("InferenceSeconds = %v, want %v", got, want)
+	}
+}

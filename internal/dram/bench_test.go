@@ -1,0 +1,30 @@
+package dram
+
+import "testing"
+
+func BenchmarkRandomReads(b *testing.B) {
+	cfg := DDR4()
+	s := NewSystem(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Read(0, cfg.Encode(i%cfg.TotalRanks(), uint64(i%4096)), 512, DestLocal)
+	}
+}
+
+func BenchmarkStreamRead(b *testing.B) {
+	cfg := DDR4()
+	s := NewSystem(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.StreamRead(0, i%cfg.TotalRanks(), 0, 64<<10, DestLocal)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	cfg := DDR4()
+	var sink Location
+	for i := 0; i < b.N; i++ {
+		sink = cfg.Decode(Addr(i * 512))
+	}
+	_ = sink
+}

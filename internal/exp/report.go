@@ -1,0 +1,145 @@
+// Package exp is the experiment harness: one entry point per table and
+// figure of the paper's evaluation (Section VI), each regenerating the same
+// rows or series the paper reports from the simulators in this repository.
+// The cmd/fafnir-bench binary and the repository-root benchmarks are thin
+// wrappers over this package; EXPERIMENTS.md records paper-vs-measured for
+// every experiment.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID is the paper's label, e.g. "fig13" or "table1".
+	ID string
+	// Title describes what the paper shows.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, one row per line of the table / point of the
+	// figure series.
+	Rows [][]string
+	// Notes carries calibration or substitution remarks.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a remark.
+func (r *Report) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a GitHub-flavoured Markdown table.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s: %s\n\n", r.ID, r.Title)
+	b.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(r.Header)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces one report; the registry maps experiment IDs to runners.
+type Runner func() (*Report, error)
+
+var registry = map[string]Runner{}
+
+// register installs a runner under an ID; duplicate IDs are programmer
+// errors and panic at init time.
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("exp: duplicate experiment " + id)
+	}
+	registry[id] = r
+}
+
+// IDs lists the registered experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r()
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll() ([]*Report, error) {
+	var out []*Report
+	for _, id := range IDs() {
+		rep, err := Run(id)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", id, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// f1 formats a float with one decimal.
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// f2 formats a float with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// pct formats a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// itoa formats an int.
+func itoa(x int) string { return fmt.Sprintf("%d", x) }

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateSnapshots = flag.Bool("update-snapshots", false, "rewrite testdata experiment snapshots")
+
+// Snapshot tests lock the fully deterministic (analytic or constant-driven)
+// experiments: their rendered tables must match testdata byte for byte.
+// Timing-driven experiments are excluded — their values shift when the
+// models are recalibrated, which shape tests cover instead. Regenerate with:
+//
+//	go test ./internal/exp -run TestSnapshots -update-snapshots
+func TestSnapshots(t *testing.T) {
+	for _, id := range []string{"fig9", "table1", "table4", "table5", "table6", "fig16"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".txt")
+			got := rep.String()
+			if *updateSnapshots {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing snapshot (run with -update-snapshots): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("snapshot drift for %s:\n--- got ---\n%s\n--- want ---\n%s", id, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package fafnir
+
+import (
+	"testing"
+
+	"fafnir/internal/batch"
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	"fafnir/internal/tensor"
+)
+
+func benchInputs(b *testing.B, n int) ([]Entry, []Entry) {
+	b.Helper()
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: n, QuerySize: 8, Rows: 4096, Dist: embedding.Zipf, ZipfS: 1.3, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt := gen.Batch(tensor.OpSum)
+	plan := batch.Build(bt, true)
+	store := embedding.NewStore(4096, 32, 1)
+	var inA, inB []Entry
+	for i, acc := range plan.Accesses {
+		e := Entry{Value: store.Vector(acc.Index), Header: acc.LeafHeader()}
+		if i%2 == 0 {
+			inA = append(inA, e)
+		} else {
+			inB = append(inB, e)
+		}
+	}
+	inA, _, err = SelfMerge(tensor.OpSum, inA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inB, _, err = SelfMerge(tensor.OpSum, inB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inA, inB
+}
+
+func BenchmarkProcessPE(b *testing.B) {
+	inA, inB := benchInputs(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ProcessPE(tensor.OpSum, inA, inB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelfMerge(b *testing.B) {
+	inA, _ := benchInputs(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SelfMerge(tensor.OpSum, inA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimedLookup32(b *testing.B) {
+	cfg := Default()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := embedding.NewStore(1<<20, 128, 2)
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: 32, QuerySize: 16, Rows: 1 << 20, Dist: embedding.Zipf, ZipfS: 1.3, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt := gen.Batch(tensor.OpSum)
+	pl := modBenchPlacement{ranks: 32, bytes: 512}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.TimedLookup(store, pl, dram.NewSystem(dram.DDR4()), bt, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type modBenchPlacement struct {
+	ranks int
+	bytes int
+}
+
+func (p modBenchPlacement) Rank(idx uint32) int { return int(idx) % p.ranks }
+func (p modBenchPlacement) Addr(idx uint32) dram.Addr {
+	return dram.Addr(uint64(idx) * uint64(p.bytes))
+}
+func (p modBenchPlacement) VectorBytes() int { return p.bytes }

@@ -1,0 +1,434 @@
+package fafnir
+
+import (
+	"fmt"
+
+	"fafnir/internal/batch"
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	"fafnir/internal/header"
+	"fafnir/internal/sim"
+	"fafnir/internal/tensor"
+)
+
+// Placement tells the engine where each embedding vector lives in the
+// memory system. *memmap.Layout implements it; tests substitute simpler
+// mappings (e.g. Fig. 6's one-table-per-rank layout).
+type Placement interface {
+	// Rank returns the global rank storing the vector of the index.
+	Rank(idx header.Index) int
+	// Addr returns the vector's byte address for the DRAM model.
+	Addr(idx header.Index) dram.Addr
+	// VectorBytes reports the stored size of one vector.
+	VectorBytes() int
+}
+
+// Engine runs embedding-lookup batches through a Fafnir tree.
+type Engine struct {
+	cfg  Config
+	tree *Tree
+}
+
+// NewEngine builds an engine; it returns an error for invalid configurations.
+func NewEngine(cfg Config) (*Engine, error) {
+	tree, err := NewTree(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, tree: tree}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Tree returns the engine's topology.
+func (e *Engine) Tree() *Tree { return e.tree }
+
+// Result is the functional outcome of one batch.
+type Result struct {
+	// Outputs holds the reduced vector of every query, in batch order.
+	Outputs []tensor.Vector
+	// PETotals accumulates the per-PE action counts across the whole tree.
+	PETotals PEStats
+	// MaxOccupancy is the largest post-merge output count any PE produced,
+	// which must respect the min(nm+n+m, B) buffer bound of Section IV-B.
+	MaxOccupancy int
+	// MemoryReads is the number of DRAM vector reads the plan issued.
+	MemoryReads int
+	// HWBatches is how many hardware batches served the software batch.
+	HWBatches int
+}
+
+// TimedResult extends Result with the timing breakdown of Figs. 11-13.
+// All cycle counts are in the PE clock domain.
+type TimedResult struct {
+	Result
+	// MemCycles is when the last DRAM read completed.
+	MemCycles sim.Cycle
+	// ComputeCycles is the tree traversal time after the last read.
+	ComputeCycles sim.Cycle
+	// TransferCycles is the root-to-host transfer time for the outputs.
+	TransferCycles sim.Cycle
+	// TotalCycles is the end-to-end batch latency.
+	TotalCycles sim.Cycle
+	// BytesRead is the DRAM traffic of the batch.
+	BytesRead uint64
+}
+
+// Seconds converts the total latency to seconds at the PE clock.
+func (r TimedResult) Seconds(cfg Config) float64 {
+	return sim.Seconds(r.TotalCycles, cfg.ClockMHz)
+}
+
+// Lookup runs a batch functionally (no timing): the batch is compiled with
+// deduplication, split into hardware batches of at most BatchCapacity
+// queries, and pushed through the tree. The outputs are validated to cover
+// every query.
+func (e *Engine) Lookup(store *embedding.Store, layout Placement, b embedding.Batch) (*Result, error) {
+	res := &Result{Outputs: make([]tensor.Vector, len(b.Queries))}
+	for start := 0; start < len(b.Queries); start += e.cfg.BatchCapacity {
+		end := start + e.cfg.BatchCapacity
+		if end > len(b.Queries) {
+			end = len(b.Queries)
+		}
+		sub := embedding.Batch{Queries: b.Queries[start:end], Op: b.Op}
+		plan := batch.Build(sub, true)
+		if err := e.runPlan(store, layout, plan, start, res); err != nil {
+			return nil, err
+		}
+		res.HWBatches++
+	}
+	for qi, out := range res.Outputs {
+		if out == nil {
+			return nil, fmt.Errorf("fafnir: query %d produced no output", qi)
+		}
+	}
+	return res, nil
+}
+
+// runPlan pushes one hardware batch through the tree and stores the resolved
+// outputs at offset qBase of res.Outputs.
+func (e *Engine) runPlan(store *embedding.Store, layout Placement, plan *batch.Plan, qBase int, res *Result) error {
+	op := plan.Batch().Op
+	leafIn, err := e.leafInputs(store, layout, plan)
+	if err != nil {
+		return err
+	}
+	res.MemoryReads += plan.NumAccesses()
+
+	outputs, err := e.runTree(op, leafIn, &res.PETotals, &res.MaxOccupancy, nil)
+	if err != nil {
+		return err
+	}
+	return e.resolve(plan, outputs, qBase, res)
+}
+
+// rankEntries maps each global rank to the leaf entries read from it.
+type rankEntries map[int][]Entry
+
+// leafInputs reads every planned access from the store and builds the leaf
+// entries, grouped by rank.
+func (e *Engine) leafInputs(store *embedding.Store, layout Placement, plan *batch.Plan) (rankEntries, error) {
+	in := make(rankEntries)
+	for _, acc := range plan.Accesses {
+		r := layout.Rank(acc.Index)
+		if r >= e.cfg.NumRanks {
+			return nil, fmt.Errorf("fafnir: index %d maps to rank %d beyond the tree's %d ranks",
+				acc.Index, r, e.cfg.NumRanks)
+		}
+		in[r] = append(in[r], Entry{Value: store.Vector(acc.Index), Header: acc.LeafHeader()})
+	}
+	return in, nil
+}
+
+// runTree evaluates every PE bottom-up and returns the root outputs. When
+// perPE is non-nil it receives each node's post-merge output count (used by
+// the timing engine).
+func (e *Engine) runTree(op tensor.ReduceOp, in rankEntries, totals *PEStats, maxOcc *int, perPE map[*PENode]PEStats) ([]Entry, error) {
+	memo := make(map[*PENode][]Entry)
+	var eval func(n *PENode) ([]Entry, error)
+	eval = func(n *PENode) ([]Entry, error) {
+		if out, ok := memo[n]; ok {
+			return out, nil
+		}
+		var inA, inB []Entry
+		if n.IsLeaf() {
+			for _, r := range n.RanksA {
+				inA = append(inA, in[r]...)
+			}
+			for _, r := range n.RanksB {
+				inB = append(inB, in[r]...)
+			}
+			// Serially merge co-query entries arriving on the same input
+			// stream (see SelfMerge); required whenever a query holds two
+			// indices on one rank.
+			var stA, stB PEStats
+			var err error
+			inA, stA, err = SelfMerge(op, inA)
+			if err != nil {
+				return nil, fmt.Errorf("fafnir: PE %d input A: %w", n.ID, err)
+			}
+			inB, stB, err = SelfMerge(op, inB)
+			if err != nil {
+				return nil, fmt.Errorf("fafnir: PE %d input B: %w", n.ID, err)
+			}
+			if totals != nil {
+				totals.Reduces += stA.Reduces + stB.Reduces
+				totals.Compares += stA.Compares + stB.Compares
+				totals.MergedDuplicates += stA.MergedDuplicates + stB.MergedDuplicates
+			}
+		} else {
+			var err error
+			inA, err = eval(n.Left)
+			if err != nil {
+				return nil, err
+			}
+			if n.Right != nil {
+				inB, err = eval(n.Right)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		out, st, err := ProcessPE(op, inA, inB)
+		if err != nil {
+			return nil, fmt.Errorf("fafnir: PE %d: %w", n.ID, err)
+		}
+		if totals != nil {
+			totals.Add(st)
+		}
+		if maxOcc != nil && st.Outputs > *maxOcc {
+			*maxOcc = st.Outputs
+		}
+		if perPE != nil {
+			perPE[n] = st
+		}
+		memo[n] = out
+		return out, nil
+	}
+	return eval(e.tree.Root())
+}
+
+// resolve maps complete root outputs back to query positions.
+func (e *Engine) resolve(plan *batch.Plan, outputs []Entry, qBase int, res *Result) error {
+	sub := plan.Batch()
+	for _, out := range outputs {
+		if !out.Header.Complete() {
+			// Dead partial reduction (a query's chain that took a side
+			// branch); the root discards it.
+			continue
+		}
+		qids := plan.QueriesFor(out.Header.Indices)
+		if len(qids) == 0 {
+			// Complete sets always correspond to at least one query when
+			// the header logic is sound.
+			return fmt.Errorf("fafnir: root output %v matches no query", out.Header.Indices)
+		}
+		for _, qi := range qids {
+			if res.Outputs[qBase+qi] != nil {
+				continue // duplicate completion via another path
+			}
+			v := out.Value.Clone()
+			sub.Op.FinalizeMean(v, sub.Queries[qi].Indices.Len())
+			res.Outputs[qBase+qi] = v
+		}
+	}
+	return nil
+}
+
+// TimedLookup runs the batch with full timing against the shared DRAM model.
+// dedup selects whether the host compiles unique accesses (the paper's
+// default) or issues every access (the Fig. 13 ablation).
+//
+// The timing model is a wave model: all planned reads are issued to the DRAM
+// system at cycle zero (per-rank queues serialize them), each leaf PE starts
+// when the last of its ranks' reads lands, and every PE finishes one stage
+// latency after its inputs are ready plus one cycle per additional output
+// (the pipelined initiation interval). Successive hardware batches begin
+// after the previous batch's reads complete, modelling the double-buffered
+// input FIFOs.
+func (e *Engine) TimedLookup(store *embedding.Store, layout Placement, mem *dram.System, b embedding.Batch, dedup bool) (*TimedResult, error) {
+	res := &TimedResult{}
+	res.Outputs = make([]tensor.Vector, len(b.Queries))
+	var clock sim.Cycle // DRAM-domain time at which the next batch may issue
+
+	for start := 0; start < len(b.Queries); start += e.cfg.BatchCapacity {
+		end := start + e.cfg.BatchCapacity
+		if end > len(b.Queries) {
+			end = len(b.Queries)
+		}
+		sub := embedding.Batch{Queries: b.Queries[start:end], Op: b.Op}
+		plan := batch.Build(sub, dedup)
+		res.HWBatches++
+		res.MemoryReads += plan.NumAccesses()
+
+		// Issue every planned read; record per-leaf-input readiness.
+		leafReady := make(map[*PENode]sim.Cycle)
+		var memDone sim.Cycle
+		for _, acc := range plan.Accesses {
+			addr := layout.Addr(acc.Index)
+			done := mem.Read(clock, addr, layout.VectorBytes(), dram.DestLocal)
+			res.BytesRead += uint64(layout.VectorBytes())
+			leaf, err := e.tree.LeafOfRank(layout.Rank(acc.Index))
+			if err != nil {
+				return nil, err
+			}
+			leafReady[leaf] = sim.Max(leafReady[leaf], done)
+			memDone = sim.Max(memDone, done)
+		}
+
+		// Functional pass to learn per-PE occupancies.
+		leafIn, err := e.leafInputs(store, layout, plan)
+		if err != nil {
+			return nil, err
+		}
+		perPE := make(map[*PENode]PEStats)
+		outputs, err := e.runTree(b.Op, leafIn, &res.PETotals, &res.MaxOccupancy, perPE)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.resolve(plan, outputs, start, &res.Result); err != nil {
+			return nil, err
+		}
+
+		// Propagate readiness up the tree in the PE clock domain.
+		stage := e.cfg.Latency.StageLatency()
+		ready := make(map[*PENode]sim.Cycle)
+		var walk func(n *PENode) sim.Cycle
+		walk = func(n *PENode) sim.Cycle {
+			if t, ok := ready[n]; ok {
+				return t
+			}
+			var inReady sim.Cycle
+			if n.IsLeaf() {
+				inReady = e.cfg.DRAMToPE(leafReady[n])
+			} else {
+				inReady = walk(n.Left)
+				if n.Right != nil {
+					inReady = sim.Max(inReady, walk(n.Right))
+				}
+			}
+			occ := perPE[n].Outputs
+			t := inReady + stage
+			if occ > 1 {
+				t += sim.Cycle(occ - 1)
+			}
+			ready[n] = t
+			return t
+		}
+		rootDone := walk(e.tree.Root())
+
+		// Root-to-host transfer of the completed outputs.
+		outBytes := len(outputs) * layout.VectorBytes()
+		xfer := e.cfg.DRAMToPE(mem.Config().TransferCycles(outBytes))
+
+		memPE := e.cfg.DRAMToPE(memDone)
+		res.MemCycles = memPE
+		res.ComputeCycles += rootDone - memPE
+		res.TransferCycles += xfer
+		res.TotalCycles = rootDone + xfer
+
+		// The next hardware batch issues its reads once this batch's reads
+		// have drained (input FIFOs double-buffer the tree traversal).
+		clock = memDone
+	}
+
+	for qi, out := range res.Outputs {
+		if out == nil {
+			return nil, fmt.Errorf("fafnir: query %d produced no output", qi)
+		}
+	}
+	return res, nil
+}
+
+// VerifyAgainstGolden compares the engine outputs with the reference
+// implementation, returning the first mismatching query (or -1).
+func VerifyAgainstGolden(got []tensor.Vector, want []tensor.Vector, tol float64) int {
+	for i := range want {
+		if i >= len(got) || got[i] == nil || !got[i].ApproxEqual(want[i], tol) {
+			return i
+		}
+	}
+	return -1
+}
+
+// CheckOccupancyBound validates the paper's buffer bound for a run: no PE
+// may hold more than min(n*m+n+m, B) outputs, with n=m=B entries per input.
+func CheckOccupancyBound(res *Result, capacity int) error {
+	bound := capacity*capacity + 2*capacity
+	if capacity < bound {
+		bound = capacity
+	}
+	if res.MaxOccupancy > bound {
+		return fmt.Errorf("fafnir: PE occupancy %d exceeds bound %d", res.MaxOccupancy, bound)
+	}
+	return nil
+}
+
+// InteractiveStage is the pipeline-stage latency of interactive mode: with a
+// single query in flight "all nodes would either forward or reduce without
+// performing any comparisons" (Section IV-C), so the compare unit is
+// bypassed and the stage costs only the slower of the parallel action paths.
+func (l Latencies) InteractiveStage() sim.Cycle {
+	return sim.Max(l.ReduceValue, l.Forward)
+}
+
+// InteractiveLookup processes the batch's queries one at a time in the
+// paper's interactive mode: no batch headers, no deduplication across
+// queries, every PE reduces whenever both inputs hold data and forwards
+// otherwise. Latency per query is the memory gather plus the tree depth at
+// the comparison-free stage latency; queries are serviced back to back.
+//
+// The mode trades the throughput of concurrent batch processing for
+// per-query latency, and is the right baseline for latency-sensitive
+// single-lookup serving.
+func (e *Engine) InteractiveLookup(store *embedding.Store, layout Placement, mem *dram.System, b embedding.Batch) (*TimedResult, error) {
+	res := &TimedResult{}
+	res.Outputs = make([]tensor.Vector, len(b.Queries))
+
+	stage := e.cfg.Latency.InteractiveStage()
+	depth := sim.Cycle(e.tree.Depth())
+	var clock sim.Cycle // DRAM-domain time
+
+	for qi, q := range b.Queries {
+		if q.Indices.Len() == 0 {
+			res.Outputs[qi] = tensor.New(e.cfg.VectorDim)
+			continue
+		}
+		// Gather the query's vectors (rank-parallel) and reduce while
+		// gathering: the tree output is ready one pipeline depth after the
+		// last vector lands.
+		var memDone sim.Cycle
+		var acc tensor.Vector
+		for _, idx := range q.Indices {
+			if r := layout.Rank(idx); r >= e.cfg.NumRanks {
+				return nil, fmt.Errorf("fafnir: index %d maps to rank %d beyond the tree's %d ranks",
+					idx, r, e.cfg.NumRanks)
+			}
+			done := mem.Read(clock, layout.Addr(idx), layout.VectorBytes(), dram.DestLocal)
+			memDone = sim.Max(memDone, done)
+			res.BytesRead += uint64(layout.VectorBytes())
+			res.MemoryReads++
+			v := store.Vector(idx)
+			if acc == nil {
+				acc = v.Clone()
+				continue
+			}
+			if err := b.Op.Apply(acc, v); err != nil {
+				return nil, fmt.Errorf("fafnir: interactive reduce: %w", err)
+			}
+			res.PETotals.Reduces++
+		}
+		b.Op.FinalizeMean(acc, q.Indices.Len())
+		res.Outputs[qi] = acc
+
+		memPE := e.cfg.DRAMToPE(memDone)
+		done := memPE + depth*stage + e.cfg.DRAMToPE(mem.Config().TransferCycles(layout.VectorBytes()))
+		res.MemCycles = memPE
+		res.ComputeCycles += depth * stage
+		res.TotalCycles = done
+		res.HWBatches++
+		clock = memDone
+	}
+	return res, nil
+}

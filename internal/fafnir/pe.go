@@ -1,0 +1,305 @@
+package fafnir
+
+import (
+	"fmt"
+	"sort"
+
+	"fafnir/internal/header"
+	"fafnir/internal/tensor"
+)
+
+// Entry is one value in flight through the tree: the (partially reduced)
+// embedding data and its header. Values are treated as immutable once inside
+// an entry; reduce actions clone before combining.
+type Entry struct {
+	Value  tensor.Vector
+	Header header.Header
+}
+
+// Clone deep-copies the entry.
+func (e Entry) Clone() Entry {
+	return Entry{Value: e.Value.Clone(), Header: e.Header.Clone()}
+}
+
+// String renders the entry's header (values are elided).
+func (e Entry) String() string {
+	return fmt.Sprintf("Entry%s", e.Header.String())
+}
+
+// PEStats counts what one PE invocation did, for the timing model and for
+// validating the paper's min(nm+n+m, B) output bound.
+type PEStats struct {
+	// InA and InB are the input occupancies.
+	InA, InB int
+	// Compares counts header comparisons performed (each query set of each
+	// entry against each opposite entry's indices field).
+	Compares int
+	// Reduces counts reduce actions (a value pair combined).
+	Reduces int
+	// Forwards counts forward actions (a query set passed through).
+	Forwards int
+	// MergedDuplicates counts raw outputs eliminated or folded by the
+	// merge unit.
+	MergedDuplicates int
+	// Outputs is the post-merge output occupancy.
+	Outputs int
+}
+
+// Add accumulates o into s.
+func (s *PEStats) Add(o PEStats) {
+	s.InA += o.InA
+	s.InB += o.InB
+	s.Compares += o.Compares
+	s.Reduces += o.Reduces
+	s.Forwards += o.Forwards
+	s.MergedDuplicates += o.MergedDuplicates
+	s.Outputs += o.Outputs
+}
+
+// ProcessPE runs the functional semantics of one PE over its two input
+// buffers (Section IV-B/IV-C). For every entry and every remaining-index set
+// in its Queries field, the compute units compare the set against the
+// indices field of every entry of the opposite input:
+//
+//   - when opposite entries are covered by the set, the value is reduced
+//     with the *maximal* covered entry — the opposite subtree's complete
+//     partial reduction for that query — producing the unioned indices and
+//     the remaining set minus the partner's indices;
+//   - when no opposite entry is covered, the set is forwarded unchanged;
+//   - entries whose remaining set is already empty (fully reduced queries
+//     travelling to the root) always forward.
+//
+// The merge unit then removes duplicate outputs (the same reduction reached
+// from both input directions) and folds outputs sharing an Indices set into
+// one entry with concatenated Queries fields.
+//
+// Reducing with the maximal covered entry rather than every covered entry is
+// what keeps each query's reduction a single chain through the tree: an
+// inductive invariant of the tree is that each subtree emits exactly one
+// entry covering all of a query's indices within that subtree, so the
+// maximal match is that entry and smaller matches are its superseded
+// sub-chains. Outputs are sorted by canonical header key, making the engine
+// deterministic regardless of input order.
+func ProcessPE(op tensor.ReduceOp, inA, inB []Entry) ([]Entry, PEStats, error) {
+	stats := PEStats{InA: len(inA), InB: len(inB)}
+
+	type slot struct {
+		entry Entry
+		raw   int // raw outputs folded into this slot
+	}
+	byIdx := make(map[string]*slot)
+	var order []string
+
+	emit := func(e Entry) error {
+		key := e.Header.Indices.Key()
+		if s, ok := byIdx[key]; ok {
+			merged, err := header.MergeQueries(s.entry.Header, e.Header)
+			if err != nil {
+				return err
+			}
+			s.entry.Header = merged
+			s.raw++
+			return nil
+		}
+		byIdx[key] = &slot{entry: e, raw: 1}
+		order = append(order, key)
+		return nil
+	}
+
+	process := func(side, opp []Entry) error {
+		for _, e := range side {
+			if len(e.Header.Queries) == 0 {
+				// Nothing owed by any query: pass through untouched.
+				stats.Forwards++
+				if err := emit(Entry{Value: e.Value, Header: e.Header.Clone()}); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, qs := range e.Header.Queries {
+				var best *Entry
+				for oi := range opp {
+					o := &opp[oi]
+					stats.Compares++
+					if o.Header.Indices.Empty() || !qs.ContainsAll(o.Header.Indices) {
+						continue
+					}
+					if best == nil || o.Header.Indices.Len() > best.Header.Indices.Len() {
+						best = o
+					}
+				}
+				if best == nil {
+					stats.Forwards++
+					out := Entry{
+						Value:  e.Value,
+						Header: header.Header{Indices: e.Header.Indices.Clone(), Queries: []header.IndexSet{qs.Clone()}},
+					}
+					if err := emit(out); err != nil {
+						return err
+					}
+					continue
+				}
+				v := e.Value.Clone()
+				if err := op.Apply(v, best.Value); err != nil {
+					return fmt.Errorf("fafnir: reduce value: %w", err)
+				}
+				stats.Reduces++
+				out := Entry{
+					Value: v,
+					Header: header.Header{
+						Indices: e.Header.Indices.Union(best.Header.Indices),
+						Queries: []header.IndexSet{qs.Minus(best.Header.Indices)},
+					},
+				}
+				if err := emit(out); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := process(inA, inB); err != nil {
+		return nil, stats, err
+	}
+	if err := process(inB, inA); err != nil {
+		return nil, stats, err
+	}
+
+	sort.Strings(order)
+	out := make([]Entry, 0, len(order))
+	for _, key := range order {
+		s := byIdx[key]
+		stats.MergedDuplicates += s.raw - 1
+		out = append(out, s.entry)
+	}
+	stats.Outputs = len(out)
+	return out, stats, nil
+}
+
+// SelfMerge reduces co-query entries that sit in the *same* input stream.
+//
+// Cross-input comparison alone cannot combine two indices of one query that
+// live on the same rank (the paper's own Fig. 6 example needs this: indices
+// 44 and 94 both reside in table 4). Physically the leaf PE receives a
+// rank's entries serially and can compare each arriving entry against the
+// ones already buffered; SelfMerge models the result of that serial pass.
+//
+// The implementation groups every (entry, remaining-set) pair by the full
+// query it belongs to (the union of the entry's indices and the remaining
+// set), reduces each group's members in canonical order, and re-emits one
+// entry per group with the group's indices united and the remaining set
+// shrunk accordingly. Entries within one group must have pairwise disjoint
+// indices — true for leaf streams, where each planned access contributes one
+// distinct index — and SelfMerge returns an error otherwise.
+//
+// The returned stats count the reduce actions and merge-unit folds performed.
+func SelfMerge(op tensor.ReduceOp, entries []Entry) ([]Entry, PEStats, error) {
+	var total PEStats
+
+	type group struct {
+		full    header.IndexSet
+		members []int // positions into entries
+	}
+	groups := make(map[string]*group)
+	var groupOrder []string
+	addMember := func(g *group, i int) {
+		for _, m := range g.members {
+			if m == i {
+				return
+			}
+		}
+		g.members = append(g.members, i)
+	}
+
+	var passthrough []Entry
+	for i, e := range entries {
+		if len(e.Header.Queries) == 0 {
+			passthrough = append(passthrough, e)
+			continue
+		}
+		for _, qs := range e.Header.Queries {
+			full := e.Header.Indices.Union(qs)
+			key := full.Key()
+			g, ok := groups[key]
+			if !ok {
+				g = &group{full: full}
+				groups[key] = g
+				groupOrder = append(groupOrder, key)
+			}
+			addMember(g, i)
+		}
+	}
+	sort.Strings(groupOrder)
+
+	// Reduce each group: members combine in canonical (indices-key) order.
+	type slot struct {
+		entry Entry
+		raw   int
+	}
+	byIdx := make(map[string]*slot)
+	var outOrder []string
+	emit := func(e Entry) error {
+		key := e.Header.Indices.Key()
+		if s, ok := byIdx[key]; ok {
+			m, err := header.MergeQueries(s.entry.Header, e.Header)
+			if err != nil {
+				return err
+			}
+			s.entry.Header = m
+			s.raw++
+			return nil
+		}
+		byIdx[key] = &slot{entry: e, raw: 1}
+		outOrder = append(outOrder, key)
+		return nil
+	}
+
+	for _, key := range groupOrder {
+		g := groups[key]
+		members := append([]int(nil), g.members...)
+		sort.Slice(members, func(a, b int) bool {
+			return entries[members[a]].Header.Indices.Key() < entries[members[b]].Header.Indices.Key()
+		})
+		first := entries[members[0]]
+		covered := first.Header.Indices.Clone()
+		value := first.Value
+		for _, mi := range members[1:] {
+			m := entries[mi]
+			if covered.ContainsAll(m.Header.Indices) {
+				continue // duplicate read of the same data (non-dedup stream)
+			}
+			if covered.Intersects(m.Header.Indices) {
+				return nil, total, fmt.Errorf("fafnir: SelfMerge stream entries overlap at %v", m.Header.Indices)
+			}
+			v := value.Clone()
+			if err := op.Apply(v, m.Value); err != nil {
+				return nil, total, fmt.Errorf("fafnir: SelfMerge reduce: %w", err)
+			}
+			value = v
+			covered = covered.Union(m.Header.Indices)
+			total.Reduces++
+		}
+		out := Entry{
+			Value:  value,
+			Header: header.Header{Indices: covered, Queries: []header.IndexSet{g.full.Minus(covered)}},
+		}
+		if err := emit(out); err != nil {
+			return nil, total, err
+		}
+	}
+	for _, e := range passthrough {
+		if err := emit(e); err != nil {
+			return nil, total, err
+		}
+	}
+
+	sort.Strings(outOrder)
+	final := make([]Entry, 0, len(outOrder))
+	for _, key := range outOrder {
+		s := byIdx[key]
+		total.MergedDuplicates += s.raw - 1
+		final = append(final, s.entry)
+	}
+	total.Outputs = len(final)
+	return final, total, nil
+}

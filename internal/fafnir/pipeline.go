@@ -1,0 +1,109 @@
+package fafnir
+
+import (
+	"fmt"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	"fafnir/internal/sim"
+)
+
+// PipelineResult summarizes a streaming run of many batches through the
+// tree under an offered arrival rate (a discrete-event queueing simulation
+// on top of the timing model).
+type PipelineResult struct {
+	// Batches is the number of batches served.
+	Batches int
+	// Makespan is the completion time of the last batch (PE cycles).
+	Makespan sim.Cycle
+	// AvgLatency and MaxLatency are per-batch queueing+service latencies in
+	// PE cycles.
+	AvgLatency, MaxLatency float64
+	// AvgService is the mean service time (no queueing) in PE cycles.
+	AvgService float64
+	// MaxQueueDepth is the deepest the arrival queue got.
+	MaxQueueDepth int
+	// Utilization is busy time over makespan (1.0 = saturated).
+	Utilization float64
+	// QueriesPerMillisecond is the achieved throughput.
+	QueriesPerMillisecond float64
+}
+
+// OfferedLoad streams the given batches into the engine at a fixed arrival
+// interval (PE cycles) and simulates the service queue with the event
+// engine: one batch is in service at a time (the tree's input FIFOs double-
+// buffer arrivals), later arrivals wait in the host's dispatch queue. Each
+// batch's service time comes from the timing model against an idle memory
+// system, so the run behaves like an M/D/1-style queue whose service
+// distribution is the simulator itself. The result captures the classic
+// latency/throughput curve that bends upward as the interval approaches the
+// service time.
+func (e *Engine) OfferedLoad(store *embedding.Store, layout Placement, mcfg dram.Config, batches []embedding.Batch, interval sim.Cycle) (*PipelineResult, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("fafnir: no batches offered")
+	}
+	res := &PipelineResult{Batches: len(batches)}
+
+	// Pre-compute each batch's service time from the timing model.
+	services := make([]sim.Cycle, len(batches))
+	queries := 0
+	var serviceSum sim.Cycle
+	for i, b := range batches {
+		tr, err := e.TimedLookup(store, layout, dram.NewSystem(mcfg), b, true)
+		if err != nil {
+			return nil, err
+		}
+		services[i] = sim.Max(tr.TotalCycles, 1)
+		serviceSum += services[i]
+		queries += len(b.Queries)
+	}
+	res.AvgService = float64(serviceSum) / float64(len(batches))
+
+	eng := sim.NewEngine()
+	type job struct {
+		arrivedAt sim.Cycle
+		service   sim.Cycle
+	}
+	var queue []job
+	busy := false
+
+	var startService func(now sim.Cycle)
+	startService = func(now sim.Cycle) {
+		if busy || len(queue) == 0 {
+			return
+		}
+		busy = true
+		j := queue[0]
+		queue = queue[1:]
+		eng.Schedule(now+j.service, func(at sim.Cycle) {
+			lat := float64(at - j.arrivedAt)
+			res.AvgLatency += lat
+			if lat > res.MaxLatency {
+				res.MaxLatency = lat
+			}
+			res.Makespan = at
+			busy = false
+			startService(at)
+		})
+	}
+
+	for i := range batches {
+		at := sim.Cycle(i) * interval
+		svc := services[i]
+		eng.Schedule(at, func(now sim.Cycle) {
+			queue = append(queue, job{arrivedAt: now, service: svc})
+			if len(queue) > res.MaxQueueDepth {
+				res.MaxQueueDepth = len(queue)
+			}
+			startService(now)
+		})
+	}
+	eng.Run()
+
+	res.AvgLatency /= float64(len(batches))
+	if res.Makespan > 0 {
+		res.Utilization = float64(serviceSum) / float64(res.Makespan)
+		res.QueriesPerMillisecond = float64(queries) / (sim.Seconds(res.Makespan, e.cfg.ClockMHz) * 1e3)
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package fafnir
+
+import (
+	"testing"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	"fafnir/internal/sim"
+)
+
+func loadBatches(t *testing.T, n int, rows uint64) []embedding.Batch {
+	t.Helper()
+	out := make([]embedding.Batch, n)
+	for i := range out {
+		out[i] = genBatch(t, 16, 16, rows, int64(40+i))
+	}
+	return out
+}
+
+func TestOfferedLoadEmptyRejected(t *testing.T) {
+	e, store, layout, _ := timedFixture(t, 32)
+	if _, err := e.OfferedLoad(store, layout, dram.DDR4(), nil, 100); err == nil {
+		t.Fatal("empty offered load accepted")
+	}
+}
+
+func TestOfferedLoadLightVsHeavy(t *testing.T) {
+	e, store, layout, _ := timedFixture(t, 32)
+	batches := loadBatches(t, 12, layout.TotalRows())
+
+	// Find the rough service time first.
+	probe, err := e.OfferedLoad(store, layout, dram.DDR4(), batches[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := sim.Cycle(probe.AvgService)
+
+	light, err := e.OfferedLoad(store, layout, dram.DDR4(), batches, 4*svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := e.OfferedLoad(store, layout, dram.DDR4(), batches, svc/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Light load: no queueing — latency ~= service, queue depth 1.
+	if light.MaxQueueDepth > 1 {
+		t.Fatalf("light load queued: depth %d", light.MaxQueueDepth)
+	}
+	if light.AvgLatency > 1.5*light.AvgService {
+		t.Fatalf("light-load latency %.0f far above service %.0f", light.AvgLatency, light.AvgService)
+	}
+	// Heavy load: queue builds, latency blows up, utilization ~1.
+	if heavy.MaxQueueDepth <= 1 {
+		t.Fatalf("heavy load never queued")
+	}
+	if heavy.AvgLatency <= 2*heavy.AvgService {
+		t.Fatalf("heavy-load latency %.0f did not inflate over service %.0f", heavy.AvgLatency, heavy.AvgService)
+	}
+	if heavy.Utilization < 0.8 {
+		t.Fatalf("heavy-load utilization %.2f", heavy.Utilization)
+	}
+	if light.Utilization >= heavy.Utilization {
+		t.Fatalf("utilization ordering wrong: %.2f vs %.2f", light.Utilization, heavy.Utilization)
+	}
+	// Throughput at saturation beats throughput under light load.
+	if heavy.QueriesPerMillisecond <= light.QueriesPerMillisecond {
+		t.Fatalf("saturated throughput %.1f not above light %.1f",
+			heavy.QueriesPerMillisecond, light.QueriesPerMillisecond)
+	}
+}
+
+func TestOfferedLoadDeterministic(t *testing.T) {
+	e, store, layout, _ := timedFixture(t, 32)
+	batches := loadBatches(t, 6, layout.TotalRows())
+	a, err := e.OfferedLoad(store, layout, dram.DDR4(), batches, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.OfferedLoad(store, layout, dram.DDR4(), batches, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.AvgLatency != b.AvgLatency {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,251 @@
+package fafnir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeKind labels how a PE is packaged in the paper's physical design:
+// leaf and low-level PEs sit in DIMM/rank nodes (seven PEs covering the
+// eight ranks of one channel), the top PEs form the channel node joining the
+// four channels.
+type NodeKind uint8
+
+const (
+	// KindDIMMRank marks PEs packaged inside a DIMM/rank node.
+	KindDIMMRank NodeKind = iota
+	// KindChannel marks PEs packaged inside the channel node.
+	KindChannel
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	if k == KindChannel {
+		return "channel"
+	}
+	return "dimm/rank"
+}
+
+// PENode is one processing element in the tree.
+type PENode struct {
+	// ID is a dense identifier, unique within the tree.
+	ID int
+	// Level is the distance from the leaves (leaves are level 0).
+	Level int
+	// Left and Right are the child PEs; nil at leaves. A node carried up
+	// from an odd-sized level has only Left set.
+	Left, Right *PENode
+	// Parent is nil at the root.
+	Parent *PENode
+	// RanksA and RanksB list the global ranks feeding each input of a leaf
+	// PE (empty for internal PEs). With 1PE:2R each input has one rank.
+	RanksA, RanksB []int
+	// Kind records the physical packaging for area/power accounting.
+	Kind NodeKind
+}
+
+// IsLeaf reports whether the PE's inputs come directly from ranks.
+func (n *PENode) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is the full reduction-tree topology over a memory system.
+type Tree struct {
+	cfg    Config
+	root   *PENode
+	levels [][]*PENode // levels[0] = leaves
+	byRank []*PENode   // rank -> leaf PE
+	all    []*PENode
+}
+
+// NewTree builds the topology for the configuration: NumRanks/LeafFanIn leaf
+// PEs paired level by level into a (near-)balanced binary tree. Odd nodes at
+// a level carry up unpaired, so any rank count is supported; with 32 ranks
+// and fan-in 2 the result is the paper's 31-PE tree.
+func NewTree(cfg Config) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{cfg: cfg, byRank: make([]*PENode, cfg.NumRanks)}
+
+	id := 0
+	leaves := make([]*PENode, cfg.NumLeaves())
+	for i := range leaves {
+		n := &PENode{ID: id, Level: 0}
+		id++
+		// Split the leaf's ranks across its two inputs.
+		base := i * cfg.LeafFanIn
+		half := (cfg.LeafFanIn + 1) / 2
+		for r := base; r < base+cfg.LeafFanIn; r++ {
+			if r < base+half {
+				n.RanksA = append(n.RanksA, r)
+			} else {
+				n.RanksB = append(n.RanksB, r)
+			}
+			t.byRank[r] = n
+		}
+		leaves[i] = n
+	}
+	t.levels = append(t.levels, leaves)
+	t.all = append(t.all, leaves...)
+
+	cur := leaves
+	level := 1
+	for len(cur) > 1 {
+		var next []*PENode
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 == len(cur) {
+				// Odd node: carry up without a new PE.
+				next = append(next, cur[i])
+				continue
+			}
+			n := &PENode{ID: id, Level: level, Left: cur[i], Right: cur[i+1]}
+			id++
+			cur[i].Parent = n
+			cur[i+1].Parent = n
+			next = append(next, n)
+			t.all = append(t.all, n)
+		}
+		t.levels = append(t.levels, next)
+		cur = next
+		level++
+	}
+	t.root = cur[0]
+
+	t.assignKinds()
+	return t, nil
+}
+
+// assignKinds marks the top PEs joining channel-sized subtrees as the
+// channel node. With the paper's geometry (8 ranks per channel, fan-in 2)
+// each channel contributes a 4-leaf subtree of 7 PEs, and the 3 PEs above
+// them form the channel node.
+func (t *Tree) assignKinds() {
+	ranksPerChannel := 8 // 4 DIMMs x 2 ranks; cosmetic grouping only
+	leavesPerChannel := ranksPerChannel / t.cfg.LeafFanIn
+	if leavesPerChannel <= 0 {
+		leavesPerChannel = 1
+	}
+	// A PE is in a DIMM/rank node while its subtree spans at most one
+	// channel's leaves.
+	var span func(n *PENode) int
+	spans := make(map[*PENode]int)
+	span = func(n *PENode) int {
+		if s, ok := spans[n]; ok {
+			return s
+		}
+		s := 0
+		if n.IsLeaf() {
+			s = 1
+		} else {
+			s = span(n.Left)
+			if n.Right != nil {
+				s += span(n.Right)
+			}
+		}
+		spans[n] = s
+		return s
+	}
+	for _, n := range t.all {
+		if span(n) > leavesPerChannel {
+			n.Kind = KindChannel
+		} else {
+			n.Kind = KindDIMMRank
+		}
+	}
+}
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Root returns the root PE.
+func (t *Tree) Root() *PENode { return t.root }
+
+// NumPEs reports the number of processing elements.
+func (t *Tree) NumPEs() int { return len(t.all) }
+
+// PEs returns all PEs in construction order (leaves first).
+func (t *Tree) PEs() []*PENode { return t.all }
+
+// Depth reports the number of PE levels from leaf to root inclusive.
+func (t *Tree) Depth() int { return t.root.Level + 1 }
+
+// LeafOfRank returns the leaf PE whose inputs include global rank r.
+func (t *Tree) LeafOfRank(r int) (*PENode, error) {
+	if r < 0 || r >= len(t.byRank) {
+		return nil, fmt.Errorf("fafnir: rank %d out of range [0,%d)", r, len(t.byRank))
+	}
+	return t.byRank[r], nil
+}
+
+// Connections reports the number of links in the Fafnir design: 2m-2 tree
+// links for m leaf-level attach points plus the root-to-host links, the
+// paper's (2m-2)+c formula that replaces all-to-all c*m wiring.
+func (t *Tree) Connections(hostLinks int) int {
+	// Each PE except the root has one upstream link; each leaf input link
+	// from a rank also counts.
+	links := 0
+	for _, n := range t.all {
+		if n.Parent != nil {
+			links++
+		}
+		links += len(n.RanksA) + len(n.RanksB)
+	}
+	return links + hostLinks
+}
+
+// CountKind reports how many PEs carry the given packaging kind.
+func (t *Tree) CountKind(k NodeKind) int {
+	c := 0
+	for _, n := range t.all {
+		if n.Kind == k {
+			c++
+		}
+	}
+	return c
+}
+
+// String renders the tree shape level by level, for debugging.
+func (t *Tree) String() string {
+	var b strings.Builder
+	for lv := len(t.levels) - 1; lv >= 0; lv-- {
+		fmt.Fprintf(&b, "level %d:", lv)
+		for _, n := range t.levels[lv] {
+			if n.Level != lv {
+				continue // carried-up node rendered at its own level
+			}
+			if n.IsLeaf() {
+				fmt.Fprintf(&b, " PE%d(ranks %v|%v)", n.ID, n.RanksA, n.RanksB)
+			} else {
+				right := -1
+				if n.Right != nil {
+					right = n.Right.ID
+				}
+				fmt.Fprintf(&b, " PE%d(%d,%d)", n.ID, n.Left.ID, right)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DOT renders the tree in Graphviz dot format: ranks as boxes, PEs as
+// ellipses labelled with their packaging kind, edges bottom-up.
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph fafnir {\n  rankdir=BT;\n")
+	for _, n := range t.all {
+		shape := "ellipse"
+		if n.Kind == KindChannel {
+			shape = "doubleoctagon"
+		}
+		fmt.Fprintf(&b, "  pe%d [label=\"PE%d\\n%s\" shape=%s];\n", n.ID, n.ID, n.Kind, shape)
+		for _, r := range append(append([]int{}, n.RanksA...), n.RanksB...) {
+			fmt.Fprintf(&b, "  rank%d [label=\"rank %d\" shape=box];\n", r, r)
+			fmt.Fprintf(&b, "  rank%d -> pe%d;\n", r, n.ID)
+		}
+		if n.Parent != nil {
+			fmt.Fprintf(&b, "  pe%d -> pe%d;\n", n.ID, n.Parent.ID)
+		}
+	}
+	fmt.Fprintf(&b, "  host [shape=box3d];\n  pe%d -> host;\n}\n", t.root.ID)
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/sim"
+	"fafnir/internal/solver"
+	"fafnir/internal/sparse"
+	"fafnir/internal/spmv"
+	"fafnir/internal/tensor"
+)
+
+// chain builds a directed path 0 -> 1 -> ... -> n-1 (edge (r=c+1, c)).
+func chain(n int) *sparse.LIL {
+	coo := &sparse.COO{Rows: n, Cols: n}
+	for v := 0; v+1 < n; v++ {
+		coo.Entries = append(coo.Entries, sparse.Coord{Row: v + 1, Col: v, Val: 1})
+	}
+	l, err := sparse.FromCOO(coo)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// undirectedPair builds two disjoint undirected edges: 0-1 and 2-3.
+func undirectedPair() *sparse.LIL {
+	coo := &sparse.COO{Rows: 4, Cols: 4, Entries: []sparse.Coord{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+	}}
+	l, err := sparse.FromCOO(coo)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func fafnirSpMV(t *testing.T) solver.SpMV {
+	t.Helper()
+	cfg := spmv.Default()
+	cfg.Tree.NumRanks = 8
+	cfg.VectorSize = 1024
+	eng, err := spmv.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(m *sparse.LIL, x tensor.Vector) (tensor.Vector, sim.Cycle, error) {
+		res, err := eng.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Y, res.TotalCycles, nil
+	}
+}
+
+func TestNewRejectsRectangular(t *testing.T) {
+	if _, err := New(sparse.RandomUniform(3, 4, 0.5, 1)); err == nil {
+		t.Fatal("rectangular adjacency accepted")
+	}
+}
+
+func TestBFSChain(t *testing.T) {
+	g, err := New(chain(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.BFS(0, solver.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		if res.Level[v] != v {
+			t.Fatalf("level[%d] = %d, want %d", v, res.Level[v], v)
+		}
+	}
+	if res.Reached != 6 {
+		t.Fatalf("reached %d", res.Reached)
+	}
+	// From the middle, earlier vertices are unreachable (directed chain).
+	res2, err := g.BFS(3, solver.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Level[0] != -1 || res2.Level[5] != 2 {
+		t.Fatalf("levels from 3: %v", res2.Level)
+	}
+}
+
+func TestBFSOnFafnir(t *testing.T) {
+	adj := sparse.PowerLawGraph(256, 4, 5)
+	g, err := New(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := g.BFS(0, solver.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := g.BFS(0, fafnirSpMV(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref.Level {
+		if ref.Level[v] != acc.Level[v] {
+			t.Fatalf("vertex %d: reference level %d vs accelerator %d", v, ref.Level[v], acc.Level[v])
+		}
+	}
+	if acc.SpMVCycles == 0 {
+		t.Fatal("no accelerator cycles recorded")
+	}
+}
+
+func TestBFSBadSource(t *testing.T) {
+	g, err := New(chain(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.BFS(-1, solver.Reference()); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := g.BFS(4, solver.Reference()); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// A directed cycle: perfectly symmetric, so PageRank is uniform.
+	n := 8
+	coo := &sparse.COO{Rows: n, Cols: n}
+	for v := 0; v < n; v++ {
+		coo.Entries = append(coo.Entries, sparse.Coord{Row: (v + 1) % n, Col: v, Val: 1})
+	}
+	adj, err := sparse.FromCOO(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.PageRank(0.85, 1e-6, 200, solver.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: delta %v", res.Delta)
+	}
+	for v, s := range res.Scores {
+		if math.Abs(float64(s)-1.0/float64(n)) > 1e-3 {
+			t.Fatalf("score[%d] = %v, want uniform %v", v, s, 1.0/float64(n))
+		}
+	}
+}
+
+func TestPageRankMassConserved(t *testing.T) {
+	adj := sparse.PowerLawGraph(128, 3, 7)
+	g, err := New(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.PageRank(0.85, 1e-5, 300, solver.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range res.Scores {
+		sum += float64(s)
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Fatalf("rank mass %v, want ~1", sum)
+	}
+	// Hubs outrank leaves in a power-law graph.
+	maxScore := 0.0
+	for _, s := range res.Scores {
+		if float64(s) > maxScore {
+			maxScore = float64(s)
+		}
+	}
+	if maxScore < 3.0/128 {
+		t.Fatalf("max score %v too flat for a power-law graph", maxScore)
+	}
+}
+
+func TestPageRankOnFafnirMatchesReference(t *testing.T) {
+	adj := sparse.PowerLawGraph(128, 3, 9)
+	g, err := New(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := g.PageRank(0.85, 1e-5, 200, solver.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := g.PageRank(0.85, 1e-5, 200, fafnirSpMV(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref.Scores {
+		if math.Abs(float64(ref.Scores[v]-acc.Scores[v])) > 1e-4 {
+			t.Fatalf("vertex %d: %v vs %v", v, ref.Scores[v], acc.Scores[v])
+		}
+	}
+}
+
+func TestPageRankValidation(t *testing.T) {
+	g, err := New(chain(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.PageRank(0, 1e-5, 10, solver.Reference()); err == nil {
+		t.Fatal("damping 0 accepted")
+	}
+	if _, err := g.PageRank(1, 1e-5, 10, solver.Reference()); err == nil {
+		t.Fatal("damping 1 accepted")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g, err := New(undirectedPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.ConnectedComponents(solver.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 {
+		t.Fatalf("components = %d, want 2", res.Count)
+	}
+	if res.Component[0] != res.Component[1] || res.Component[2] != res.Component[3] {
+		t.Fatalf("labels %v", res.Component)
+	}
+	if res.Component[0] == res.Component[2] {
+		t.Fatalf("disjoint components share a label: %v", res.Component)
+	}
+}
+
+func TestConnectedComponentsSingle(t *testing.T) {
+	adj := sparse.PowerLawGraph(64, 3, 3) // preferential attachment: connected
+	g, err := New(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.ConnectedComponents(solver.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("components = %d, want 1", res.Count)
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g, err := New(chain(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 5 || g.Edges() != 4 {
+		t.Fatalf("nodes=%d edges=%d", g.Nodes(), g.Edges())
+	}
+	if g.Adjacency() == nil {
+		t.Fatal("nil adjacency")
+	}
+}

@@ -1,0 +1,32 @@
+package header
+
+import "testing"
+
+func BenchmarkContainsAll(b *testing.B) {
+	s := NewIndexSet(1, 5, 9, 13, 17, 21, 25, 29)
+	sub := NewIndexSet(5, 17, 29)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ContainsAll(sub)
+	}
+}
+
+func BenchmarkReduce(b *testing.B) {
+	a := Header{Indices: NewIndexSet(50), Queries: []IndexSet{NewIndexSet(83, 94), NewIndexSet(11, 94, 26)}}
+	o := Header{Indices: NewIndexSet(11), Queries: []IndexSet{NewIndexSet(32, 83, 77), NewIndexSet(50, 94, 26)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reduce(a, o)
+	}
+}
+
+func BenchmarkCodecPack(b *testing.B) {
+	c := PaperCodec()
+	h := Header{Indices: NewIndexSet(3, 17), Queries: []IndexSet{NewIndexSet(1, 2), NewIndexSet(30)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Pack(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

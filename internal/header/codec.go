@@ -1,0 +1,191 @@
+package header
+
+import (
+	"fmt"
+)
+
+// Codec packs headers into the paper's wire format. The published sizing
+// (Section IV-B) allots q indices of IndexBits each — 16 x 5 bits = 10 bytes
+// in the evaluated configuration — for the combined indices and queries
+// fields of one in-flight entry. The layout is:
+//
+//	[ nIndices : CountBits ] [ index : IndexBits ] * nIndices
+//	[ nSets    : CountBits ] ( [ setLen : CountBits ] [ index ] * setLen ) * nSets
+//
+// Pack fails when a header does not fit the budget, which is exactly the
+// hardware condition that bounds buffer entries to min(nm+n+m, B).
+type Codec struct {
+	// IndexBits is the width of one index (5 bits for 32 tables).
+	IndexBits int
+	// QuerySize is q, the maximum indices per query.
+	QuerySize int
+	// CountBits is the width of the length fields.
+	CountBits int
+}
+
+// PaperCodec returns the evaluated configuration: 5-bit indices, q=16,
+// 5-bit counts.
+func PaperCodec() Codec {
+	return Codec{IndexBits: 5, QuerySize: 16, CountBits: 5}
+}
+
+// Validate reports a descriptive error for unusable codecs.
+func (c Codec) Validate() error {
+	switch {
+	case c.IndexBits <= 0 || c.IndexBits > 32:
+		return fmt.Errorf("header: IndexBits %d outside (0,32]", c.IndexBits)
+	case c.QuerySize <= 0:
+		return fmt.Errorf("header: QuerySize must be positive, got %d", c.QuerySize)
+	case c.CountBits <= 0 || c.CountBits > 16:
+		return fmt.Errorf("header: CountBits %d outside (0,16]", c.CountBits)
+	}
+	return nil
+}
+
+// PayloadBits is the value-field budget: q indices worth of bits, the
+// paper's sizing for the combined indices+queries payload (the count fields
+// are the control overhead on top).
+func (c Codec) PayloadBits() int { return Bits(c.IndexBits, c.QuerySize) }
+
+// maxIndex is the largest index representable at IndexBits.
+func (c Codec) maxIndex() Index {
+	if c.IndexBits >= 32 {
+		return ^Index(0)
+	}
+	return Index(1)<<uint(c.IndexBits) - 1
+}
+
+func (c Codec) maxCount() int { return int(1)<<uint(c.CountBits) - 1 }
+
+// bitWriter appends fixed-width fields to a byte slice, LSB first.
+type bitWriter struct {
+	buf []byte
+	n   int // bits written
+}
+
+func (w *bitWriter) write(v uint32, bits int) {
+	for b := 0; b < bits; b++ {
+		if w.n%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if v&(1<<uint(b)) != 0 {
+			w.buf[w.n/8] |= 1 << uint(w.n%8)
+		}
+		w.n++
+	}
+}
+
+// bitReader consumes fixed-width fields, LSB first.
+type bitReader struct {
+	buf []byte
+	n   int
+}
+
+func (r *bitReader) read(bits int) (uint32, error) {
+	var v uint32
+	for b := 0; b < bits; b++ {
+		if r.n/8 >= len(r.buf) {
+			return 0, fmt.Errorf("header: truncated encoding at bit %d", r.n)
+		}
+		if r.buf[r.n/8]&(1<<uint(r.n%8)) != 0 {
+			v |= 1 << uint(b)
+		}
+		r.n++
+	}
+	return v, nil
+}
+
+// Pack encodes h. It returns an error when any index exceeds IndexBits, any
+// field exceeds the count width, or the indices-payload bits exceed the
+// paper's q x IndexBits budget.
+func (c Codec) Pack(h Header) ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	payload := h.Indices.Len()
+	for _, q := range h.Queries {
+		payload += q.Len()
+	}
+	if payload*c.IndexBits > c.PayloadBits() {
+		return nil, fmt.Errorf("header: %d indices exceed the %d-bit payload budget",
+			payload, c.PayloadBits())
+	}
+	if h.Indices.Len() > c.maxCount() || len(h.Queries) > c.maxCount() {
+		return nil, fmt.Errorf("header: field length exceeds %d-bit count", c.CountBits)
+	}
+
+	w := &bitWriter{}
+	writeSet := func(s IndexSet) error {
+		if s.Len() > c.maxCount() {
+			return fmt.Errorf("header: set of %d exceeds count width", s.Len())
+		}
+		w.write(uint32(s.Len()), c.CountBits)
+		for _, idx := range s {
+			if idx > c.maxIndex() {
+				return fmt.Errorf("header: index %d exceeds %d bits", idx, c.IndexBits)
+			}
+			w.write(uint32(idx), c.IndexBits)
+		}
+		return nil
+	}
+	if err := writeSet(h.Indices); err != nil {
+		return nil, err
+	}
+	w.write(uint32(len(h.Queries)), c.CountBits)
+	for _, q := range h.Queries {
+		if err := writeSet(q); err != nil {
+			return nil, err
+		}
+	}
+	return w.buf, nil
+}
+
+// Unpack decodes an encoding produced by Pack.
+func (c Codec) Unpack(data []byte) (Header, error) {
+	if err := c.Validate(); err != nil {
+		return Header{}, err
+	}
+	r := &bitReader{buf: data}
+	readSet := func() (IndexSet, error) {
+		n, err := r.read(c.CountBits)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Index, n)
+		for i := range out {
+			v, err := r.read(c.IndexBits)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = Index(v)
+		}
+		return NewIndexSet(out...), nil
+	}
+	h := Header{}
+	var err error
+	if h.Indices, err = readSet(); err != nil {
+		return Header{}, err
+	}
+	nSets, err := r.read(c.CountBits)
+	if err != nil {
+		return Header{}, err
+	}
+	for i := uint32(0); i < nSets; i++ {
+		q, err := readSet()
+		if err != nil {
+			return Header{}, err
+		}
+		h.Queries = append(h.Queries, q)
+	}
+	h.Normalize()
+	return h, nil
+}
+
+// EncodedBytes reports the wire size of h under the codec (packing it).
+func (c Codec) EncodedBytes(h Header) (int, error) {
+	data, err := c.Pack(h)
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}

@@ -1,0 +1,200 @@
+package header
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Header is the metadata carried by every value flowing through the tree.
+//
+// Indices is the set of indices already reduced into the value. Queries lists,
+// for every query that still needs this value, the indices of that query which
+// have not yet been visited. At a leaf, Indices holds the single index the
+// value was read from and Queries holds one remaining-set per query that uses
+// the index; at the root, Queries is empty and Indices identifies the complete
+// query the output belongs to.
+type Header struct {
+	Indices IndexSet
+	Queries []IndexSet
+}
+
+// NewLeaf builds the header for a value freshly read from memory at index
+// idx, needed by the given queries. Each entry of remaining must already
+// exclude idx itself (the host-side batch rearrangement guarantees this; see
+// package batch).
+func NewLeaf(idx Index, remaining []IndexSet) Header {
+	qs := make([]IndexSet, len(remaining))
+	for i, r := range remaining {
+		qs[i] = r.Clone()
+	}
+	return Header{Indices: NewIndexSet(idx), Queries: qs}
+}
+
+// Clone returns a deep copy of h.
+func (h Header) Clone() Header {
+	out := Header{Indices: h.Indices.Clone()}
+	if h.Queries != nil {
+		out.Queries = make([]IndexSet, len(h.Queries))
+		for i, q := range h.Queries {
+			out.Queries[i] = q.Clone()
+		}
+	}
+	return out
+}
+
+// Complete reports whether the value has been fully reduced for at least one
+// query: a header is complete when it reaches the root with an empty Queries
+// field, or when one of its remaining-sets has been emptied along the way.
+func (h Header) Complete() bool {
+	if len(h.Queries) == 0 {
+		return true
+	}
+	for _, q := range h.Queries {
+		if q.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasQuery reports whether any remaining-set equals q.
+func (h Header) HasQuery(q IndexSet) bool {
+	for _, r := range h.Queries {
+		if r.Equal(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalQueries returns the Queries field sorted and deduplicated by Key,
+// so two headers that differ only in ordering compare equal.
+func canonicalQueries(qs []IndexSet) []IndexSet {
+	if len(qs) == 0 {
+		return nil
+	}
+	sorted := make([]IndexSet, len(qs))
+	copy(sorted, qs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key() < sorted[j].Key() })
+	out := sorted[:1]
+	for _, q := range sorted[1:] {
+		if !q.Equal(out[len(out)-1]) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Normalize sorts and deduplicates the Queries field in place and returns h.
+// The merge unit relies on the canonical form for equality checks.
+func (h *Header) Normalize() *Header {
+	h.Queries = canonicalQueries(h.Queries)
+	return h
+}
+
+// Key returns a canonical encoding of the whole header (indices + normalized
+// queries). Two headers with equal Key are redundant outputs in the merge
+// unit's first case ("the redundant outputs must be removed").
+func (h Header) Key() string {
+	var b strings.Builder
+	b.WriteString(h.Indices.Key())
+	b.WriteByte('|')
+	for _, q := range canonicalQueries(h.Queries) {
+		b.WriteString(q.Key())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Equal reports whether h and o carry the same indices and the same
+// (order-insensitive) queries.
+func (h Header) Equal(o Header) bool {
+	return h.Key() == o.Key()
+}
+
+// String renders the header like the paper's notation:
+// "[indices:{50, 11} | queries:{94, 26}]".
+func (h Header) String() string {
+	var b strings.Builder
+	b.WriteString("[indices:")
+	b.WriteString(h.Indices.String())
+	b.WriteString(" | queries:")
+	for i, q := range h.Queries {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(q.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// CanReduceInto reports whether the value carrying h may be reduced into a
+// value whose indices are other: some remaining-set of h must contain every
+// index of other. It returns the position of the first such remaining-set,
+// or -1. This is the PE's compare step: "If B[x].queries[j] contains all
+// elements of A[i].indices, the compute unit performs a reduction."
+func (h Header) CanReduceInto(other IndexSet) int {
+	for j, q := range h.Queries {
+		if q.ContainsAll(other) {
+			return j
+		}
+	}
+	return -1
+}
+
+// Reduce computes the header of the reduction of the two values carrying a
+// and b: the Indices fields are unioned, and each remaining-set that covers
+// the counterpart's indices is kept with those indices excluded. Remaining-
+// sets that do not cover the counterpart belong to queries that need only one
+// of the two operands; the PE serves those via separate forward actions, so
+// they are dropped from the reduced header.
+//
+// Reduce returns ok=false when no remaining-set of either side covers the
+// other side's indices, i.e. the reduction is not needed by any query.
+func Reduce(a, b Header) (Header, bool) {
+	union := a.Indices.Union(b.Indices)
+	var qs []IndexSet
+	for _, q := range a.Queries {
+		if q.ContainsAll(b.Indices) {
+			qs = append(qs, q.Minus(b.Indices))
+		}
+	}
+	for _, q := range b.Queries {
+		if q.ContainsAll(a.Indices) {
+			qs = append(qs, q.Minus(a.Indices))
+		}
+	}
+	if len(qs) == 0 {
+		return Header{}, false
+	}
+	h := Header{Indices: union, Queries: qs}
+	h.Normalize()
+	return h, true
+}
+
+// MergeQueries combines the headers of two outputs that carry the same
+// Indices set (and therefore the same value): their Queries fields are
+// concatenated and canonicalized. It is the merge unit's second case
+// ("the outputs with the same data must be merged and the queries field in
+// their headers must be merged").
+func MergeQueries(a, b Header) (Header, error) {
+	if !a.Indices.Equal(b.Indices) {
+		return Header{}, fmt.Errorf("header: MergeQueries on distinct indices %v vs %v", a.Indices, b.Indices)
+	}
+	h := Header{
+		Indices: a.Indices.Clone(),
+		Queries: append(append([]IndexSet{}, a.Queries...), b.Queries...),
+	}
+	h.Normalize()
+	return h, nil
+}
+
+// Bits returns the number of header bits for a configuration with idxBits-bit
+// indices, q indices per query, and batch size b. It backs the Table I buffer
+// sizing: the paper's 10-byte header corresponds to q=16, 5-bit indices
+// (16 x 5 / 8 = 10 bytes).
+func Bits(idxBits, q int) int {
+	return idxBits * q
+}

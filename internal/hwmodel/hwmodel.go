@@ -1,0 +1,186 @@
+// Package hwmodel holds the hardware cost model of the paper's FPGA and
+// ASIC implementations: the Table I buffer sizing (re-derived analytically),
+// the Table IV pipeline latencies, the Table V FPGA resource utilization,
+// the Table VI ASIC area/power numbers, and the Fig. 16 power breakdowns.
+//
+// The FPGA (XCVU9P) and the 7 nm ASAP7 flow are not available in this
+// reproduction, so the published figures are recorded as model constants and
+// everything derivable (buffer capacities, system totals, per-DIMM
+// overheads) is recomputed from first principles so configuration sweeps
+// stay consistent.
+package hwmodel
+
+import (
+	"fmt"
+
+	"fafnir/internal/fafnir"
+	"fafnir/internal/header"
+)
+
+// BufferSpec sizes the FIFO buffers of a PE (Table I): each of the two
+// input buffers holds B entries of a value plus a header.
+type BufferSpec struct {
+	// BatchCapacity is B.
+	BatchCapacity int
+	// ValueBytes is the embedding-vector size (512 B in the paper).
+	ValueBytes int
+	// QuerySize is q, the maximum indices per query (16).
+	QuerySize int
+	// IndexBits is the width of one index (5 bits for 32 tables).
+	IndexBits int
+}
+
+// PaperBuffers returns the published configuration: 512 B values, q=16,
+// 5-bit indices.
+func PaperBuffers(batch int) BufferSpec {
+	return BufferSpec{BatchCapacity: batch, ValueBytes: 512, QuerySize: 16, IndexBits: 5}
+}
+
+// HeaderBytes is the per-entry header size: q indices of IndexBits each,
+// rounded up to bytes (the paper's 10 B for q=16 at 5 bits).
+func (b BufferSpec) HeaderBytes() int {
+	return (header.Bits(b.IndexBits, b.QuerySize) + 7) / 8
+}
+
+// EntryBytes is one buffered entry: value plus header.
+func (b BufferSpec) EntryBytes() int { return b.ValueBytes + b.HeaderBytes() }
+
+// PEBufferBytes is the total buffering of one PE: two input FIFOs of B
+// entries each.
+func (b BufferSpec) PEBufferBytes() int { return 2 * b.BatchCapacity * b.EntryBytes() }
+
+// NodeBufferBytes is the buffering of a node of n PEs (7 for a DIMM/rank
+// node, 3 for the channel node).
+func (b BufferSpec) NodeBufferBytes(pes int) int { return pes * b.PEBufferBytes() }
+
+// KB converts bytes to binary kilobytes.
+func KB(bytes int) float64 { return float64(bytes) / 1024 }
+
+// TableIPublished records the paper's Table I values in KB for
+// cross-checking: PE buffers and DIMM/rank-node buffers at B = 8, 16, 32.
+var TableIPublished = map[int]struct{ PEKB, NodeKB float64 }{
+	8:  {4.6, 32.4},
+	16: {9.3, 64.8},
+	32: {18.5, 129.5},
+}
+
+// FPGAUtilization is one row of Table V: percentages of the XCVU9P's
+// resources.
+type FPGAUtilization struct {
+	Name      string
+	LUTPct    float64
+	LUTRAMPct float64
+	FFPct     float64
+	BRAMPct   float64
+}
+
+// TableV returns the published FPGA resource utilization: per-node figures
+// and the full four-channel system ("up to 5 %, 0.15 %, 1 %, and 13 % of
+// LUTs, LUTRAMs, FFs, and BRAM blocks").
+func TableV() []FPGAUtilization {
+	return []FPGAUtilization{
+		{Name: "DIMM/rank node", LUTPct: 1.0, LUTRAMPct: 0.03, FFPct: 0.2, BRAMPct: 2.6},
+		{Name: "channel node", LUTPct: 0.5, LUTRAMPct: 0.015, FFPct: 0.1, BRAMPct: 1.2},
+		{Name: "full system (4 ch)", LUTPct: 5.0, LUTRAMPct: 0.15, FFPct: 1.0, BRAMPct: 13.0},
+	}
+}
+
+// ASIC holds the published 7 nm ASAP7 figures of Table VI and Section VI.
+type ASIC struct {
+	// PEAreaMM2 is one PE (274 um x 282 um).
+	PEAreaMM2 float64
+	// LeafPEAreaMM2 adds the SpMV multipliers to a leaf PE.
+	LeafPEAreaMM2 float64
+	// DIMMRankNodeAreaMM2 is the seven-PE node chip (492 um x 575 um).
+	DIMMRankNodeAreaMM2 float64
+	// ChannelNodeAreaMM2 is the three-PE chip between channels and core.
+	ChannelNodeAreaMM2 float64
+	// DIMMRankNodePowerMW is the node power ("23.82 mW per four DIMMs").
+	DIMMRankNodePowerMW float64
+	// ChannelNodePowerMW is the channel-node power.
+	ChannelNodePowerMW float64
+	// DDR4DIMMPowerW is one DIMM's power for context (Micron calculator).
+	DDR4DIMMPowerW float64
+	// RecNMPPUAreaMM2 and RecNMPPUPowerMW are the comparison points the
+	// paper cites for one RecNMP processing unit (40 nm, per DIMM).
+	RecNMPPUAreaMM2 float64
+	RecNMPPUPowerMW float64
+}
+
+// TableVI returns the published ASIC figures.
+func TableVI() ASIC {
+	return ASIC{
+		PEAreaMM2:           0.077,
+		LeafPEAreaMM2:       0.18,
+		DIMMRankNodeAreaMM2: 0.283,
+		ChannelNodeAreaMM2:  0.121,
+		DIMMRankNodePowerMW: 23.82,
+		ChannelNodePowerMW:  16.36,
+		DDR4DIMMPowerW:      13,
+		RecNMPPUAreaMM2:     0.54,
+		RecNMPPUPowerMW:     184.2,
+	}
+}
+
+// SystemArea computes the total chip area added to a memory system with the
+// given number of DIMM/rank nodes and channel nodes (the paper's "1.2 mm^2
+// to a memory system of 32 ranks": 4 DIMM/rank nodes + 1 channel node).
+func (a ASIC) SystemArea(dimmRankNodes, channelNodes int) float64 {
+	return float64(dimmRankNodes)*a.DIMMRankNodeAreaMM2 + float64(channelNodes)*a.ChannelNodeAreaMM2
+}
+
+// SystemPowerMW computes the total added power ("in total, 111.64 mW to a
+// four-channel memory system").
+func (a ASIC) SystemPowerMW(dimmRankNodes, channelNodes int) float64 {
+	return float64(dimmRankNodes)*a.DIMMRankNodePowerMW + float64(channelNodes)*a.ChannelNodePowerMW
+}
+
+// PowerShare is one slice of a power breakdown.
+type PowerShare struct {
+	Component string
+	Fraction  float64
+}
+
+// FPGAPower describes Fig. 16a: total dynamic power and its breakdown for
+// the two node types at 200 MHz.
+type FPGAPower struct {
+	Name      string
+	TotalW    float64
+	Breakdown []PowerShare
+}
+
+// Fig16a returns the published FPGA dynamic power figures.
+func Fig16a() []FPGAPower {
+	breakdown := []PowerShare{
+		{"clocks", 0.18}, {"logic", 0.26}, {"signals", 0.30}, {"BRAM", 0.22}, {"I/O", 0.04},
+	}
+	return []FPGAPower{
+		{Name: "DIMM/rank node", TotalW: 0.23, Breakdown: breakdown},
+		{Name: "channel node", TotalW: 0.18, Breakdown: breakdown},
+	}
+}
+
+// Fig16b returns the ASIC PE power distribution; the paper highlights that
+// it is uniform across the PE, preventing hot spots.
+func Fig16b() []PowerShare {
+	return []PowerShare{
+		{"input FIFOs", 0.26},
+		{"compute units", 0.38},
+		{"merge unit", 0.20},
+		{"control", 0.16},
+	}
+}
+
+// Connections compares wiring costs (Section IV-A): the baseline all-to-all
+// needs channels*computeDevices links; Fafnir needs (2m-2)+channels.
+func Connections(channels, computeDevices, leafAttachPoints int) (allToAll, fafnirLinks int) {
+	return channels * computeDevices, (2*leafAttachPoints - 2) + channels
+}
+
+// DescribeTree summarizes a tree's physical composition against the model.
+func DescribeTree(t *fafnir.Tree, asic ASIC) string {
+	d := t.CountKind(fafnir.KindDIMMRank)
+	c := t.CountKind(fafnir.KindChannel)
+	return fmt.Sprintf("%d PEs (%d in DIMM/rank nodes, %d in channel node), approx %.3f mm^2 at 7 nm",
+		t.NumPEs(), d, c, float64(t.NumPEs())*asic.PEAreaMM2)
+}

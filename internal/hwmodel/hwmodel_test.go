@@ -1,0 +1,155 @@
+package hwmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fafnir/internal/fafnir"
+)
+
+func TestHeaderBytesMatchesPaper(t *testing.T) {
+	// "a 10 B header (16 x 5/8) for q = 16".
+	b := PaperBuffers(8)
+	if got := b.HeaderBytes(); got != 10 {
+		t.Fatalf("HeaderBytes = %d, want 10", got)
+	}
+	if got := b.EntryBytes(); got != 522 {
+		t.Fatalf("EntryBytes = %d, want 522", got)
+	}
+}
+
+func TestBufferScalesLinearly(t *testing.T) {
+	small := PaperBuffers(8).PEBufferBytes()
+	mid := PaperBuffers(16).PEBufferBytes()
+	large := PaperBuffers(32).PEBufferBytes()
+	if mid != 2*small || large != 4*small {
+		t.Fatalf("buffers %d/%d/%d not linear in B", small, mid, large)
+	}
+}
+
+func TestNodeBufferIsSevenPEs(t *testing.T) {
+	b := PaperBuffers(16)
+	if b.NodeBufferBytes(7) != 7*b.PEBufferBytes() {
+		t.Fatal("node buffer not 7x PE buffer")
+	}
+}
+
+func TestTableIPublishedRatios(t *testing.T) {
+	// The published node/PE ratio must be the 7-PE node composition.
+	for batch, row := range TableIPublished {
+		ratio := row.NodeKB / row.PEKB
+		if math.Abs(ratio-7) > 0.1 {
+			t.Fatalf("B=%d published node/PE ratio %.2f, want ~7", batch, ratio)
+		}
+	}
+	// And the published PE sizes double with B as the analytic model does.
+	if math.Abs(TableIPublished[16].PEKB/TableIPublished[8].PEKB-2) > 0.05 {
+		t.Fatal("published PE buffers not linear in B")
+	}
+}
+
+func TestKB(t *testing.T) {
+	if KB(2048) != 2 {
+		t.Fatalf("KB(2048) = %v", KB(2048))
+	}
+}
+
+func TestTableV(t *testing.T) {
+	rows := TableV()
+	if len(rows) != 3 {
+		t.Fatalf("TableV rows = %d", len(rows))
+	}
+	full := rows[2]
+	if full.LUTPct != 5.0 || full.BRAMPct != 13.0 {
+		t.Fatalf("full-system row %+v", full)
+	}
+	// Per-node utilization below system utilization.
+	for _, r := range rows[:2] {
+		if r.LUTPct >= full.LUTPct || r.BRAMPct >= full.BRAMPct {
+			t.Fatalf("node row %+v exceeds system", r)
+		}
+	}
+}
+
+func TestTableVISystemTotals(t *testing.T) {
+	a := TableVI()
+	// "1.2 mm^2 to a memory system of 32 ranks": 4 DIMM/rank + 1 channel.
+	area := a.SystemArea(4, 1)
+	if math.Abs(area-1.253) > 0.01 {
+		t.Fatalf("system area %.3f, want ~1.25", area)
+	}
+	// "in total, 111.64 mW to a four-channel memory system".
+	power := a.SystemPowerMW(4, 1)
+	if math.Abs(power-111.64) > 0.01 {
+		t.Fatalf("system power %.2f, want 111.64", power)
+	}
+	// Fafnir's added power must be negligible next to DIMM power and far
+	// below RecNMP's per-DIMM processing unit.
+	if power/1000 >= a.DDR4DIMMPowerW {
+		t.Fatal("added power not negligible vs one DIMM")
+	}
+	perDIMM := a.DIMMRankNodePowerMW / 4
+	if perDIMM >= a.RecNMPPUPowerMW {
+		t.Fatal("per-DIMM power not below RecNMP's")
+	}
+}
+
+func TestNodeAreaConsistentWithPEs(t *testing.T) {
+	a := TableVI()
+	// A 7-PE node chip cannot be smaller than... it is actually *smaller*
+	// than 7 loose PEs (shared pads/control) but must exceed one PE.
+	if a.DIMMRankNodeAreaMM2 <= a.PEAreaMM2 {
+		t.Fatal("node smaller than one PE")
+	}
+	if a.LeafPEAreaMM2 <= a.PEAreaMM2 {
+		t.Fatal("leaf PE (with multipliers) not larger than plain PE")
+	}
+}
+
+func TestFig16(t *testing.T) {
+	for _, p := range Fig16a() {
+		var sum float64
+		for _, s := range p.Breakdown {
+			sum += s.Fraction
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s breakdown sums to %v", p.Name, sum)
+		}
+		if p.TotalW <= 0 {
+			t.Fatalf("%s power %v", p.Name, p.TotalW)
+		}
+	}
+	var sum float64
+	for _, s := range Fig16b() {
+		sum += s.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ASIC breakdown sums to %v", sum)
+	}
+}
+
+func TestConnections(t *testing.T) {
+	// 4 channels x 32 attach points all-to-all vs the tree.
+	allToAll, tree := Connections(4, 32, 32)
+	if allToAll != 128 {
+		t.Fatalf("all-to-all = %d", allToAll)
+	}
+	if tree != 66 { // (2*32-2)+4
+		t.Fatalf("fafnir links = %d", tree)
+	}
+	if tree >= allToAll {
+		t.Fatal("tree does not save connections")
+	}
+}
+
+func TestDescribeTree(t *testing.T) {
+	tr, err := fafnir.NewTree(fafnir.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DescribeTree(tr, TableVI())
+	if !strings.Contains(s, "31 PEs") {
+		t.Fatalf("description %q", s)
+	}
+}

@@ -1,0 +1,144 @@
+// Package memmap maps embedding tables onto the simulated DDR4 address
+// space following Fig. 4b of the paper: embedding vectors (512 B each in the
+// paper's configuration) are interleaved across ranks at vector granularity,
+// so consecutive vectors land on consecutive ranks and any batch of lookups
+// spreads over the whole memory system.
+package memmap
+
+import (
+	"fmt"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/header"
+)
+
+// Layout places the rows of a set of embedding tables into the address space
+// of a dram.Config. Tables are laid out back to back: the global row number
+// of row r of table t is the sum of the row counts of tables 0..t-1 plus r.
+// Global rows are then rank-interleaved by the dram address mapping.
+type Layout struct {
+	cfg         dram.Config
+	vectorBytes int
+	rowsPer     []int
+	rowBase     []uint64 // prefix sums of rowsPer
+	totalRows   uint64
+}
+
+// New builds a layout for tables with the given per-table row counts and a
+// vector size of vectorBytes. vectorBytes must equal the dram interleave
+// granularity so one vector occupies exactly one rank slot; mismatches are
+// configuration bugs and panic.
+func New(cfg dram.Config, vectorBytes int, rowsPerTable []int) *Layout {
+	if vectorBytes != cfg.InterleaveBytes {
+		panic(fmt.Sprintf("memmap: vectorBytes %d must equal dram interleave %d", vectorBytes, cfg.InterleaveBytes))
+	}
+	if len(rowsPerTable) == 0 {
+		panic("memmap: no tables")
+	}
+	l := &Layout{
+		cfg:         cfg,
+		vectorBytes: vectorBytes,
+		rowsPer:     append([]int(nil), rowsPerTable...),
+		rowBase:     make([]uint64, len(rowsPerTable)),
+	}
+	var base uint64
+	for i, n := range rowsPerTable {
+		if n <= 0 {
+			panic(fmt.Sprintf("memmap: table %d has %d rows", i, n))
+		}
+		l.rowBase[i] = base
+		base += uint64(n)
+	}
+	l.totalRows = base
+	return l
+}
+
+// Uniform builds a layout of tables tables each with rows rows.
+func Uniform(cfg dram.Config, vectorBytes, tables, rows int) *Layout {
+	per := make([]int, tables)
+	for i := range per {
+		per[i] = rows
+	}
+	return New(cfg, vectorBytes, per)
+}
+
+// Tables reports the number of tables in the layout.
+func (l *Layout) Tables() int { return len(l.rowsPer) }
+
+// Rows reports the number of rows of table t.
+func (l *Layout) Rows(t int) int { return l.rowsPer[t] }
+
+// TotalRows reports the number of embedding vectors across all tables.
+func (l *Layout) TotalRows() uint64 { return l.totalRows }
+
+// VectorBytes reports the size of one embedding vector in bytes.
+func (l *Layout) VectorBytes() int { return l.vectorBytes }
+
+// GlobalRow flattens (table, row) into the layout's global row number.
+// It returns an error for out-of-range coordinates.
+func (l *Layout) GlobalRow(table, row int) (uint64, error) {
+	if table < 0 || table >= len(l.rowsPer) {
+		return 0, fmt.Errorf("memmap: table %d out of range [0,%d)", table, len(l.rowsPer))
+	}
+	if row < 0 || row >= l.rowsPer[table] {
+		return 0, fmt.Errorf("memmap: row %d out of range [0,%d) in table %d", row, l.rowsPer[table], table)
+	}
+	return l.rowBase[table] + uint64(row), nil
+}
+
+// SplitGlobalRow inverts GlobalRow.
+func (l *Layout) SplitGlobalRow(g uint64) (table, row int, err error) {
+	if g >= l.totalRows {
+		return 0, 0, fmt.Errorf("memmap: global row %d out of range [0,%d)", g, l.totalRows)
+	}
+	// Linear scan is fine: table counts are small (the paper uses 32).
+	for t := len(l.rowBase) - 1; t >= 0; t-- {
+		if g >= l.rowBase[t] {
+			return t, int(g - l.rowBase[t]), nil
+		}
+	}
+	return 0, 0, fmt.Errorf("memmap: unreachable for row %d", g)
+}
+
+// Index converts (table, row) to the header.Index used in queries. The index
+// is simply the global row number, which keeps the reduction-tree headers
+// table-agnostic, exactly as the Fig. 6 example concatenates table number and
+// in-table index into one identifier.
+func (l *Layout) Index(table, row int) (header.Index, error) {
+	g, err := l.GlobalRow(table, row)
+	if err != nil {
+		return 0, err
+	}
+	if g > uint64(^header.Index(0)) {
+		return 0, fmt.Errorf("memmap: global row %d exceeds index width", g)
+	}
+	return header.Index(g), nil
+}
+
+// Addr returns the byte address of the embedding vector with the given
+// header index.
+func (l *Layout) Addr(idx header.Index) dram.Addr {
+	return dram.Addr(uint64(idx) * uint64(l.vectorBytes))
+}
+
+// Rank returns the global rank holding the vector with the given index.
+func (l *Layout) Rank(idx header.Index) int {
+	return l.cfg.GlobalRank(l.cfg.Decode(l.Addr(idx)))
+}
+
+// Location fully decodes the vector's physical placement.
+func (l *Layout) Location(idx header.Index) dram.Location {
+	return l.cfg.Decode(l.Addr(idx))
+}
+
+// RanksOf groups a set of indices by the global rank that stores them,
+// preserving each group's input order. Engines use it to issue per-rank
+// request streams.
+func (l *Layout) RanksOf(indices []header.Index) map[int][]header.Index {
+	out := make(map[int][]header.Index)
+	for _, idx := range indices {
+		r := l.Rank(idx)
+		out[r] = append(out[r], idx)
+	}
+	return out
+}

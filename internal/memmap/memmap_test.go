@@ -1,0 +1,165 @@
+package memmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/header"
+)
+
+func testLayout() *Layout {
+	return Uniform(dram.DDR4(), 512, 32, 1000)
+}
+
+func TestUniformShape(t *testing.T) {
+	l := testLayout()
+	if l.Tables() != 32 {
+		t.Fatalf("Tables = %d", l.Tables())
+	}
+	if l.Rows(0) != 1000 || l.Rows(31) != 1000 {
+		t.Fatal("Rows wrong")
+	}
+	if l.TotalRows() != 32000 {
+		t.Fatalf("TotalRows = %d", l.TotalRows())
+	}
+	if l.VectorBytes() != 512 {
+		t.Fatalf("VectorBytes = %d", l.VectorBytes())
+	}
+}
+
+func TestNewPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("vector/interleave mismatch accepted")
+		}
+	}()
+	New(dram.DDR4(), 256, []int{10})
+}
+
+func TestNewPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty table list accepted")
+		}
+	}()
+	New(dram.DDR4(), 512, nil)
+}
+
+func TestNewPanicsOnZeroRows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-row table accepted")
+		}
+	}()
+	New(dram.DDR4(), 512, []int{10, 0})
+}
+
+func TestGlobalRowLayout(t *testing.T) {
+	l := New(dram.DDR4(), 512, []int{5, 7, 3})
+	cases := []struct {
+		table, row int
+		want       uint64
+	}{
+		{0, 0, 0}, {0, 4, 4}, {1, 0, 5}, {1, 6, 11}, {2, 0, 12}, {2, 2, 14},
+	}
+	for _, c := range cases {
+		got, err := l.GlobalRow(c.table, c.row)
+		if err != nil {
+			t.Fatalf("GlobalRow(%d,%d): %v", c.table, c.row, err)
+		}
+		if got != c.want {
+			t.Errorf("GlobalRow(%d,%d) = %d, want %d", c.table, c.row, got, c.want)
+		}
+		tb, rw, err := l.SplitGlobalRow(got)
+		if err != nil || tb != c.table || rw != c.row {
+			t.Errorf("SplitGlobalRow(%d) = (%d,%d,%v), want (%d,%d)", got, tb, rw, err, c.table, c.row)
+		}
+	}
+}
+
+func TestGlobalRowErrors(t *testing.T) {
+	l := New(dram.DDR4(), 512, []int{5})
+	if _, err := l.GlobalRow(-1, 0); err == nil {
+		t.Error("negative table accepted")
+	}
+	if _, err := l.GlobalRow(1, 0); err == nil {
+		t.Error("out-of-range table accepted")
+	}
+	if _, err := l.GlobalRow(0, 5); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, _, err := l.SplitGlobalRow(5); err == nil {
+		t.Error("out-of-range global row accepted")
+	}
+}
+
+func TestIndexAndAddr(t *testing.T) {
+	l := testLayout()
+	idx, err := l.Index(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1003 {
+		t.Fatalf("Index = %d, want 1003", idx)
+	}
+	if l.Addr(idx) != dram.Addr(1003*512) {
+		t.Fatalf("Addr = %d", l.Addr(idx))
+	}
+}
+
+func TestConsecutiveIndicesSpreadOverRanks(t *testing.T) {
+	l := testLayout()
+	ranks := l.cfg.TotalRanks()
+	for i := 0; i < 2*ranks; i++ {
+		if got := l.Rank(header.Index(i)); got != i%ranks {
+			t.Fatalf("index %d on rank %d, want %d", i, got, i%ranks)
+		}
+	}
+}
+
+func TestRanksOfGroups(t *testing.T) {
+	l := testLayout()
+	ranks := l.cfg.TotalRanks()
+	indices := []header.Index{0, header.Index(ranks), 1, header.Index(2 * ranks)}
+	groups := l.RanksOf(indices)
+	if len(groups[0]) != 3 {
+		t.Fatalf("rank 0 group = %v", groups[0])
+	}
+	if len(groups[1]) != 1 {
+		t.Fatalf("rank 1 group = %v", groups[1])
+	}
+	// Input order preserved within a group.
+	if groups[0][0] != 0 || groups[0][1] != header.Index(ranks) || groups[0][2] != header.Index(2*ranks) {
+		t.Fatalf("rank 0 order = %v", groups[0])
+	}
+}
+
+func TestLocationConsistentWithRank(t *testing.T) {
+	l := testLayout()
+	for i := 0; i < 100; i++ {
+		idx := header.Index(i * 37)
+		loc := l.Location(idx)
+		if l.cfg.GlobalRank(loc) != l.Rank(idx) {
+			t.Fatalf("Location and Rank disagree at %d", idx)
+		}
+	}
+}
+
+// Property: GlobalRow and SplitGlobalRow are inverses over the whole space.
+func TestQuickGlobalRowRoundTrip(t *testing.T) {
+	l := New(dram.DDR4(), 512, []int{11, 3, 29, 7})
+	f := func(g uint16) bool {
+		gr := uint64(g) % l.TotalRows()
+		tb, rw, err := l.SplitGlobalRow(gr)
+		if err != nil {
+			return false
+		}
+		back, err := l.GlobalRow(tb, rw)
+		return err == nil && back == gr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package mlp implements the neural-network half of a recommendation system
+// — the part that consumes the pooled embedding vectors FAFNIR produces.
+// The paper describes recommendation models as "(i) embedding tables ...
+// followed by (ii) neural networks, including fully connected and/or
+// rectified-linear-unit layers"; this package provides those layers with
+// deterministic synthetic weights, a DLRM-style top model (pooled
+// embeddings -> feature interaction -> MLP -> click probability), and an
+// analytic host-latency estimate so the end-to-end examples compute real
+// scores instead of treating the FC stage as an opaque constant.
+package mlp
+
+import (
+	"fmt"
+	"math"
+
+	"fafnir/internal/sim"
+	"fafnir/internal/tensor"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation uint8
+
+const (
+	// Identity applies no nonlinearity.
+	Identity Activation = iota
+	// ReLU clamps negatives to zero.
+	ReLU
+	// Sigmoid squashes into (0, 1); the output layer of a click predictor.
+	Sigmoid
+)
+
+// String returns the activation name.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("Activation(%d)", uint8(a))
+	}
+}
+
+func (a Activation) apply(x float32) float32 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	default:
+		return x
+	}
+}
+
+// Dense is one fully-connected layer: y = act(W x + b).
+type Dense struct {
+	In, Out int
+	Act     Activation
+	// W is row-major [Out][In]; B has Out elements.
+	W []float32
+	B []float32
+}
+
+// NewDense builds a layer with deterministic pseudo-random weights drawn
+// from a seeded hash, scaled Xavier-style by 1/sqrt(In).
+func NewDense(in, out int, act Activation, seed uint64) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("mlp: bad layer shape %dx%d", in, out))
+	}
+	d := &Dense{In: in, Out: out, Act: act, W: make([]float32, in*out), B: make([]float32, out)}
+	scale := float32(1 / math.Sqrt(float64(in)))
+	for i := range d.W {
+		d.W[i] = synth(seed, uint64(i)) * scale
+	}
+	for i := range d.B {
+		d.B[i] = synth(seed^0xabcd, uint64(i)) * 0.1
+	}
+	return d
+}
+
+// synth returns a deterministic value in [-1, 1).
+func synth(seed, i uint64) float32 {
+	x := seed ^ i*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return float32(int64(x%2001)-1000) / 1000
+}
+
+// Forward applies the layer. It returns an error on dimension mismatch.
+func (d *Dense) Forward(x tensor.Vector) (tensor.Vector, error) {
+	if len(x) != d.In {
+		return nil, fmt.Errorf("mlp: layer expects %d inputs, got %d", d.In, len(x))
+	}
+	y := tensor.New(d.Out)
+	for o := 0; o < d.Out; o++ {
+		acc := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, w := range row {
+			acc += w * x[i]
+		}
+		y[o] = d.Act.apply(acc)
+	}
+	return y, nil
+}
+
+// FLOPs reports the layer's multiply-accumulate count.
+func (d *Dense) FLOPs() int { return 2 * d.In * d.Out }
+
+// Model is a stack of dense layers.
+type Model struct {
+	Layers []*Dense
+}
+
+// NewModel builds an MLP through the given layer widths, ReLU between
+// hidden layers and Sigmoid at the output.
+func NewModel(widths []int, seed uint64) (*Model, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("mlp: need at least input and output widths, got %v", widths)
+	}
+	m := &Model{}
+	for i := 0; i+1 < len(widths); i++ {
+		act := ReLU
+		if i+2 == len(widths) {
+			act = Sigmoid
+		}
+		m.Layers = append(m.Layers, NewDense(widths[i], widths[i+1], act, seed+uint64(i)*1315423911))
+	}
+	return m, nil
+}
+
+// Forward runs the stack.
+func (m *Model) Forward(x tensor.Vector) (tensor.Vector, error) {
+	cur := x
+	for li, l := range m.Layers {
+		var err error
+		cur, err = l.Forward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("mlp: layer %d: %w", li, err)
+		}
+	}
+	return cur, nil
+}
+
+// FLOPs reports the whole model's multiply-accumulate count.
+func (m *Model) FLOPs() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += l.FLOPs()
+	}
+	return n
+}
+
+// HostLatency estimates the model's inference time on the host at the given
+// sustained GFLOP/s, expressed in cycles of the 200 MHz reporting clock so
+// it composes with the lookup engines' results.
+func (m *Model) HostLatency(gflops float64) sim.Cycle {
+	if gflops <= 0 {
+		return 0
+	}
+	seconds := float64(m.FLOPs()) / (gflops * 1e9)
+	return sim.Cycle(seconds * 200e6)
+}
+
+// Recommender is a DLRM-style top model: the pooled embedding vectors of
+// one inference are combined by pairwise dot-product feature interaction,
+// concatenated with the first vector, and scored by an MLP.
+type Recommender struct {
+	// EmbeddingDim is the pooled-vector width.
+	EmbeddingDim int
+	// Slots is the number of pooled vectors per inference.
+	Slots int
+	top   *Model
+}
+
+// NewRecommender builds the top model for the given embedding geometry.
+func NewRecommender(embeddingDim, slots int, hidden []int, seed uint64) (*Recommender, error) {
+	if embeddingDim <= 0 || slots <= 0 {
+		return nil, fmt.Errorf("mlp: bad recommender shape dim=%d slots=%d", embeddingDim, slots)
+	}
+	interactions := slots * (slots - 1) / 2
+	widths := append([]int{embeddingDim + interactions}, hidden...)
+	widths = append(widths, 1)
+	top, err := NewModel(widths, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Recommender{EmbeddingDim: embeddingDim, Slots: slots, top: top}, nil
+}
+
+// Score computes the click probability for one inference's pooled vectors.
+func (r *Recommender) Score(pooled []tensor.Vector) (float32, error) {
+	if len(pooled) != r.Slots {
+		return 0, fmt.Errorf("mlp: recommender expects %d pooled vectors, got %d", r.Slots, len(pooled))
+	}
+	for i, v := range pooled {
+		if v.Dim() != r.EmbeddingDim {
+			return 0, fmt.Errorf("mlp: pooled vector %d has dim %d, want %d", i, v.Dim(), r.EmbeddingDim)
+		}
+	}
+	// Pairwise dot-product interactions (DLRM's feature interaction).
+	features := make(tensor.Vector, 0, r.EmbeddingDim+r.Slots*(r.Slots-1)/2)
+	features = append(features, pooled[0]...)
+	for i := 0; i < len(pooled); i++ {
+		for j := i + 1; j < len(pooled); j++ {
+			dot, err := tensor.Dot(pooled[i], pooled[j])
+			if err != nil {
+				return 0, err
+			}
+			// Normalize so deep sums stay in sigmoid's useful range.
+			features = append(features, float32(dot)/float32(r.EmbeddingDim))
+		}
+	}
+	out, err := r.top.Forward(features)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// FLOPs reports the top model's cost per inference.
+func (r *Recommender) FLOPs() int {
+	interactions := r.Slots * (r.Slots - 1) / 2
+	return r.top.FLOPs() + 2*r.EmbeddingDim*interactions
+}
+
+// HostLatency estimates the top model's host time per inference.
+func (r *Recommender) HostLatency(gflops float64) sim.Cycle {
+	if gflops <= 0 {
+		return 0
+	}
+	seconds := float64(r.FLOPs()) / (gflops * 1e9)
+	return sim.Cycle(seconds * 200e6)
+}

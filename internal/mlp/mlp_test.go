@@ -1,0 +1,210 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+
+	"fafnir/internal/tensor"
+)
+
+func TestActivationString(t *testing.T) {
+	if Identity.String() != "identity" || ReLU.String() != "relu" || Sigmoid.String() != "sigmoid" {
+		t.Fatal("activation names wrong")
+	}
+	if Activation(9).String() != "Activation(9)" {
+		t.Fatal("unknown activation name wrong")
+	}
+}
+
+func TestDenseForwardHandComputed(t *testing.T) {
+	d := &Dense{In: 2, Out: 1, Act: Identity, W: []float32{2, 3}, B: []float32{1}}
+	y, err := d.Forward(tensor.Vector{10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 321 {
+		t.Fatalf("y = %v, want 321", y[0])
+	}
+}
+
+func TestDenseReLU(t *testing.T) {
+	d := &Dense{In: 1, Out: 2, Act: ReLU, W: []float32{1, -1}, B: []float32{0, 0}}
+	y, err := d.Forward(tensor.Vector{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 5 || y[1] != 0 {
+		t.Fatalf("relu output %v", y)
+	}
+}
+
+func TestDenseSigmoidRange(t *testing.T) {
+	d := NewDense(8, 4, Sigmoid, 1)
+	y, err := d.Forward(tensor.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range y {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("sigmoid output %v outside (0,1)", v)
+		}
+	}
+}
+
+func TestDenseDimensionError(t *testing.T) {
+	d := NewDense(4, 2, Identity, 1)
+	if _, err := d.Forward(tensor.New(5)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestNewDensePanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad shape accepted")
+		}
+	}()
+	NewDense(0, 1, Identity, 1)
+}
+
+func TestDenseDeterministic(t *testing.T) {
+	a := NewDense(8, 8, ReLU, 42)
+	b := NewDense(8, 8, ReLU, 42)
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("same seed, different weights")
+		}
+	}
+	c := NewDense(8, 8, ReLU, 43)
+	same := true
+	for i := range a.W {
+		if a.W[i] != c.W[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds, identical weights")
+	}
+}
+
+func TestModelForwardAndFLOPs(t *testing.T) {
+	m, err := NewModel([]int{16, 8, 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FLOPs(); got != 2*16*8+2*8*1 {
+		t.Fatalf("FLOPs = %d", got)
+	}
+	x := tensor.New(16)
+	for i := range x {
+		x[i] = float32(i) / 16
+	}
+	y, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 1 || y[0] <= 0 || y[0] >= 1 {
+		t.Fatalf("model output %v", y)
+	}
+	// Hidden layers ReLU, output Sigmoid.
+	if m.Layers[0].Act != ReLU || m.Layers[1].Act != Sigmoid {
+		t.Fatal("activation placement wrong")
+	}
+}
+
+func TestNewModelErrors(t *testing.T) {
+	if _, err := NewModel([]int{4}, 1); err == nil {
+		t.Fatal("single-width model accepted")
+	}
+}
+
+func TestHostLatency(t *testing.T) {
+	m, err := NewModel([]int{100, 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20k FLOPs at 1 GFLOP/s = 20 us = 4000 cycles at 200 MHz.
+	if got := m.HostLatency(1); got != 4000 {
+		t.Fatalf("HostLatency = %d, want 4000", got)
+	}
+	if m.HostLatency(0) != 0 {
+		t.Fatal("zero-throughput latency should be 0")
+	}
+}
+
+func TestRecommender(t *testing.T) {
+	r, err := NewRecommender(16, 4, []int{32, 16}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled := make([]tensor.Vector, 4)
+	for i := range pooled {
+		pooled[i] = tensor.New(16)
+		for j := range pooled[i] {
+			pooled[i][j] = float32((i+1)*(j+1)) / 32
+		}
+	}
+	score, err := r.Score(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score <= 0 || score >= 1 {
+		t.Fatalf("score %v outside (0,1)", score)
+	}
+	// Deterministic.
+	score2, err := r.Score(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != score2 {
+		t.Fatal("nondeterministic score")
+	}
+	if r.FLOPs() <= 0 || r.HostLatency(10) == 0 {
+		t.Fatal("cost model empty")
+	}
+}
+
+func TestRecommenderErrors(t *testing.T) {
+	if _, err := NewRecommender(0, 4, []int{8}, 1); err == nil {
+		t.Fatal("bad dim accepted")
+	}
+	r, err := NewRecommender(8, 2, []int{8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Score([]tensor.Vector{tensor.New(8)}); err == nil {
+		t.Fatal("wrong slot count accepted")
+	}
+	if _, err := r.Score([]tensor.Vector{tensor.New(8), tensor.New(4)}); err == nil {
+		t.Fatal("wrong vector dim accepted")
+	}
+}
+
+func TestRecommenderSensitivity(t *testing.T) {
+	// Different inputs must (generically) give different scores.
+	r, err := NewRecommender(8, 2, []int{16}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []tensor.Vector{tensor.New(8), tensor.New(8)}
+	for i := range a[0] {
+		a[0][i] = 1
+		a[1][i] = -1
+	}
+	b := []tensor.Vector{tensor.New(8), tensor.New(8)}
+	for i := range b[0] {
+		b[0][i] = 0.5
+		b[1][i] = 2
+	}
+	sa, err := r.Score(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := r.Score(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(sa-sb)) < 1e-9 {
+		t.Fatalf("scores insensitive to inputs: %v vs %v", sa, sb)
+	}
+}

@@ -1,0 +1,113 @@
+// Package recnmp models the RecNMP baseline (Ke et al., ISCA 2020) as the
+// FAFNIR paper characterizes it in Section III: rank-level parallelism for
+// reading distinct whole vectors, near-data reduction *only* when a query's
+// vectors co-locate in one DIMM (spatial locality), raw forwarding to the
+// host otherwise, and a 128 KB per-rank cache to absorb repeated indices.
+package recnmp
+
+import (
+	"fmt"
+
+	"fafnir/internal/header"
+)
+
+// Cache is a set-associative LRU cache of embedding vectors, keyed by index.
+// It is the rank-local "EmbCache" of RecNMP; the FAFNIR paper notes that no
+// more than a ~50 % hit rate is achievable even at 128 KB per rank.
+type Cache struct {
+	sets   int
+	ways   int
+	lines  [][]cacheLine // [set][way]
+	tick   uint64
+	hits   uint64
+	misses uint64
+}
+
+type cacheLine struct {
+	valid  bool
+	tag    header.Index
+	lastAt uint64
+}
+
+// NewCache builds a cache holding capacityBytes/lineBytes lines organized in
+// ways-associative sets. It panics on invalid geometry (construction-time
+// misuse).
+func NewCache(capacityBytes, lineBytes, ways int) *Cache {
+	if capacityBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("recnmp: bad cache geometry %d/%d/%d", capacityBytes, lineBytes, ways))
+	}
+	lines := capacityBytes / lineBytes
+	if lines == 0 {
+		panic("recnmp: cache smaller than one line")
+	}
+	sets := lines / ways
+	if sets == 0 {
+		sets = 1
+		ways = lines
+	}
+	c := &Cache{sets: sets, ways: ways}
+	c.lines = make([][]cacheLine, sets)
+	for i := range c.lines {
+		c.lines[i] = make([]cacheLine, ways)
+	}
+	return c
+}
+
+// Lines reports the cache's total line count.
+func (c *Cache) Lines() int { return c.sets * c.ways }
+
+// Access looks up idx, updating LRU state, and inserts it on a miss.
+// It reports whether the access hit.
+func (c *Cache) Access(idx header.Index) bool {
+	c.tick++
+	set := c.lines[int(uint(idx)%uint(c.sets))]
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == idx {
+			l.lastAt = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	victim := &set[0]
+	for i := range set {
+		l := &set[i]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if l.lastAt < victim.lastAt {
+			victim = l
+		}
+	}
+	victim.valid = true
+	victim.tag = idx
+	victim.lastAt = c.tick
+	return false
+}
+
+// HitRate reports hits/(hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Hits reports the hit count.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses reports the miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		for j := range c.lines[i] {
+			c.lines[i][j] = cacheLine{}
+		}
+	}
+	c.tick, c.hits, c.misses = 0, 0, 0
+}

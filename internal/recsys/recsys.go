@@ -1,0 +1,265 @@
+// Package recsys assembles the complete recommendation-inference service
+// the paper motivates: embedding lookup on the Fafnir tree, DLRM-style
+// scoring on the host, and a dispatcher that coalesces incoming requests
+// into hardware batches (or serves them one at a time in interactive mode
+// when latency matters more than throughput).
+package recsys
+
+import (
+	"fmt"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
+	"fafnir/internal/memmap"
+	"fafnir/internal/mlp"
+	"fafnir/internal/sim"
+	"fafnir/internal/tensor"
+)
+
+// Mode selects how the dispatcher drives the tree.
+type Mode uint8
+
+const (
+	// Batched coalesces up to BatchWindow requests into one hardware batch
+	// (highest throughput; the paper's concurrent batch processing).
+	Batched Mode = iota
+	// Interactive serves one query at a time with the comparison-free PE
+	// path (lowest single-request latency; Section IV-C).
+	Interactive
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Interactive {
+		return "interactive"
+	}
+	return "batched"
+}
+
+// Config shapes the service.
+type Config struct {
+	// SlotsPerRequest is the number of pooled embedding slots each request
+	// consumes (sparse-feature groups in DLRM terms).
+	SlotsPerRequest int
+	// IndicesPerSlot is the pooling factor of each slot's lookup.
+	IndicesPerSlot int
+	// BatchWindow is the maximum number of requests coalesced into one
+	// hardware batch in Batched mode.
+	BatchWindow int
+	// Hidden lists the top-model hidden-layer widths.
+	Hidden []int
+	// HostGFLOPS is the host throughput used to charge the top model.
+	HostGFLOPS float64
+	// Mode selects the dispatch policy.
+	Mode Mode
+	// RowsPerTable sizes the 32 embedding tables.
+	RowsPerTable int
+	// ZipfS skews the synthetic request generator.
+	ZipfS float64
+	// Seed fixes table contents, model weights, and request generation.
+	Seed int64
+}
+
+// Default returns a service shaped like the paper's evaluation system.
+func Default() Config {
+	return Config{
+		SlotsPerRequest: 4,
+		IndicesPerSlot:  16,
+		BatchWindow:     8,
+		Hidden:          []int{256, 64},
+		HostGFLOPS:      10,
+		Mode:            Batched,
+		RowsPerTable:    1 << 17,
+		ZipfS:           1.3,
+		Seed:            1,
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.SlotsPerRequest <= 0:
+		return fmt.Errorf("recsys: SlotsPerRequest must be positive, got %d", c.SlotsPerRequest)
+	case c.IndicesPerSlot <= 0:
+		return fmt.Errorf("recsys: IndicesPerSlot must be positive, got %d", c.IndicesPerSlot)
+	case c.BatchWindow <= 0:
+		return fmt.Errorf("recsys: BatchWindow must be positive, got %d", c.BatchWindow)
+	case c.HostGFLOPS <= 0:
+		return fmt.Errorf("recsys: HostGFLOPS must be positive, got %v", c.HostGFLOPS)
+	case c.RowsPerTable <= 0:
+		return fmt.Errorf("recsys: RowsPerTable must be positive, got %d", c.RowsPerTable)
+	case c.Seed == 0:
+		return fmt.Errorf("recsys: Seed must be non-zero")
+	}
+	return nil
+}
+
+// Request is one inference request: the indices each slot pools.
+type Request struct {
+	Slots []embedding.Query
+}
+
+// Response is the scored outcome of one request.
+type Response struct {
+	// Score is the click probability from the top model.
+	Score float32
+	// LookupCycles and ModelCycles split the request's latency estimate.
+	LookupCycles, ModelCycles sim.Cycle
+}
+
+// ServeStats aggregates one Serve call.
+type ServeStats struct {
+	Requests     int
+	HWBatches    int
+	MemoryReads  int
+	TotalCycles  sim.Cycle
+	AvgCyclesPer float64
+}
+
+// Service is a ready recommendation-inference pipeline. Not safe for
+// concurrent use (the simulators are single-threaded by design).
+type Service struct {
+	cfg    Config
+	layout *memmap.Layout
+	store  *embedding.Store
+	engine *core.Engine
+	mem    *dram.System
+	model  *mlp.Recommender
+	gen    *embedding.Generator
+}
+
+// NewService builds the pipeline over the paper's 32-rank DDR4 system.
+func NewService(cfg Config) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mcfg := dram.DDR4()
+	layout := memmap.Uniform(mcfg, 512, 32, cfg.RowsPerTable)
+	store := embedding.NewStore(layout.TotalRows(), 128, uint64(cfg.Seed))
+
+	ecfg := core.Default()
+	ecfg.BatchCapacity = cfg.BatchWindow * cfg.SlotsPerRequest
+	engine, err := core.NewEngine(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := mlp.NewRecommender(128, cfg.SlotsPerRequest, cfg.Hidden, uint64(cfg.Seed)+7)
+	if err != nil {
+		return nil, err
+	}
+	gcfg := embedding.GeneratorConfig{
+		NumQueries: cfg.SlotsPerRequest,
+		QuerySize:  cfg.IndicesPerSlot,
+		Rows:       layout.TotalRows(),
+		Seed:       cfg.Seed,
+	}
+	if cfg.ZipfS > 1 {
+		gcfg.Dist = embedding.Zipf
+		gcfg.ZipfS = cfg.ZipfS
+	}
+	gen, err := embedding.NewGenerator(gcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{cfg: cfg, layout: layout, store: store, engine: engine,
+		mem: dram.NewSystem(mcfg), model: model, gen: gen}, nil
+}
+
+// Config returns the service configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// GenerateRequests draws n deterministic synthetic requests.
+func (s *Service) GenerateRequests(n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		slots := make([]embedding.Query, s.cfg.SlotsPerRequest)
+		for j := range slots {
+			slots[j] = s.gen.Query()
+		}
+		out[i] = Request{Slots: slots}
+	}
+	return out
+}
+
+// Serve runs the requests through the pipeline and returns one response per
+// request plus aggregate statistics.
+func (s *Service) Serve(requests []Request) ([]Response, *ServeStats, error) {
+	if len(requests) == 0 {
+		return nil, nil, fmt.Errorf("recsys: no requests")
+	}
+	for ri, r := range requests {
+		if len(r.Slots) != s.cfg.SlotsPerRequest {
+			return nil, nil, fmt.Errorf("recsys: request %d has %d slots, want %d",
+				ri, len(r.Slots), s.cfg.SlotsPerRequest)
+		}
+	}
+	stats := &ServeStats{Requests: len(requests)}
+	responses := make([]Response, len(requests))
+
+	window := s.cfg.BatchWindow
+	if s.cfg.Mode == Interactive {
+		window = 1
+	}
+	for start := 0; start < len(requests); start += window {
+		end := start + window
+		if end > len(requests) {
+			end = len(requests)
+		}
+		group := requests[start:end]
+
+		b := embedding.Batch{Op: tensor.OpSum}
+		for _, r := range group {
+			b.Queries = append(b.Queries, r.Slots...)
+		}
+
+		var pooled []tensor.Vector
+		var lookupCycles sim.Cycle
+		switch s.cfg.Mode {
+		case Interactive:
+			res, err := s.engine.InteractiveLookup(s.store, s.layout, s.mem, b)
+			if err != nil {
+				return nil, nil, err
+			}
+			pooled = res.Outputs
+			lookupCycles = res.TotalCycles
+			stats.MemoryReads += res.MemoryReads
+		default:
+			res, err := s.engine.TimedLookup(s.store, s.layout, s.mem, b, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			pooled = res.Outputs
+			lookupCycles = res.TotalCycles
+			stats.MemoryReads += res.MemoryReads
+		}
+		stats.HWBatches++
+
+		// Score each request in the group; lookup cycles are shared across
+		// the coalesced requests, the model runs per request.
+		perReq := lookupCycles / sim.Cycle(len(group))
+		if perReq == 0 {
+			perReq = 1
+		}
+		for gi := range group {
+			slots := pooled[gi*s.cfg.SlotsPerRequest : (gi+1)*s.cfg.SlotsPerRequest]
+			scaled := make([]tensor.Vector, len(slots))
+			for i, v := range slots {
+				// Normalize pooled magnitudes into the model's range.
+				scaled[i] = v.Clone().Scale(1 / float32(4*s.cfg.IndicesPerSlot))
+			}
+			score, err := s.model.Score(scaled)
+			if err != nil {
+				return nil, nil, err
+			}
+			responses[start+gi] = Response{
+				Score:        score,
+				LookupCycles: perReq,
+				ModelCycles:  s.model.HostLatency(s.cfg.HostGFLOPS),
+			}
+		}
+		stats.TotalCycles += lookupCycles + s.model.HostLatency(s.cfg.HostGFLOPS)*sim.Cycle(len(group))
+	}
+	stats.AvgCyclesPer = float64(stats.TotalCycles) / float64(len(requests))
+	return responses, stats, nil
+}

@@ -1,0 +1,165 @@
+package recsys
+
+import (
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := Default()
+	cfg.RowsPerTable = 1024
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.SlotsPerRequest = 0 },
+		func(c *Config) { c.IndicesPerSlot = 0 },
+		func(c *Config) { c.BatchWindow = 0 },
+		func(c *Config) { c.HostGFLOPS = 0 },
+		func(c *Config) { c.RowsPerTable = 0 },
+		func(c *Config) { c.Seed = 0 },
+	}
+	for i, m := range bad {
+		cfg := Default()
+		m(&cfg)
+		if _, err := NewService(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestServeBatched(t *testing.T) {
+	svc, err := NewService(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := svc.GenerateRequests(20)
+	resp, stats, err := svc.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 20 {
+		t.Fatalf("responses = %d", len(resp))
+	}
+	for i, r := range resp {
+		if r.Score <= 0 || r.Score >= 1 {
+			t.Fatalf("response %d score %v outside (0,1)", i, r.Score)
+		}
+		if r.LookupCycles == 0 || r.ModelCycles == 0 {
+			t.Fatalf("response %d missing latency: %+v", i, r)
+		}
+	}
+	// 20 requests at window 8 -> 3 hardware batches.
+	if stats.HWBatches != 3 {
+		t.Fatalf("HWBatches = %d, want 3", stats.HWBatches)
+	}
+	if stats.TotalCycles == 0 || stats.AvgCyclesPer == 0 || stats.MemoryReads == 0 {
+		t.Fatalf("stats empty: %+v", stats)
+	}
+}
+
+func TestServeInteractiveMode(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Mode = Interactive
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := svc.GenerateRequests(4)
+	resp, stats, err := svc.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HWBatches != 4 {
+		t.Fatalf("interactive mode batched: %d", stats.HWBatches)
+	}
+	for _, r := range resp {
+		if r.Score <= 0 || r.Score >= 1 {
+			t.Fatalf("score %v", r.Score)
+		}
+	}
+}
+
+func TestBatchingBeatsInteractiveThroughput(t *testing.T) {
+	mk := func(mode Mode) float64 {
+		cfg := smallConfig()
+		cfg.Mode = mode
+		svc, err := NewService(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := svc.Serve(svc.GenerateRequests(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.AvgCyclesPer
+	}
+	batched := mk(Batched)
+	interactive := mk(Interactive)
+	if batched >= interactive {
+		t.Fatalf("batched %v not below interactive %v per request", batched, interactive)
+	}
+}
+
+func TestServeDeterministic(t *testing.T) {
+	run := func() []Response {
+		svc, err := NewService(smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, _, err := svc.Serve(svc.GenerateRequests(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Score != b[i].Score {
+			t.Fatalf("nondeterministic score at %d: %v vs %v", i, a[i].Score, b[i].Score)
+		}
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	svc, err := NewService(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.Serve(nil); err == nil {
+		t.Fatal("empty request list accepted")
+	}
+	bad := svc.GenerateRequests(1)
+	bad[0].Slots = bad[0].Slots[:1]
+	if _, _, err := svc.Serve(bad); err == nil {
+		t.Fatal("short request accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Batched.String() != "batched" || Interactive.String() != "interactive" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestScoresVaryAcrossRequests(t *testing.T) {
+	svc, err := NewService(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := svc.Serve(svc.GenerateRequests(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := resp[0].Score
+	varied := false
+	for _, r := range resp[1:] {
+		if r.Score != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("all scores identical; model insensitive to lookups")
+	}
+}

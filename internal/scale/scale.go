@@ -1,0 +1,228 @@
+// Package scale models scale-out deployments: several independent Fafnir
+// trees, each spanning its own memory shard, with the host combining the
+// per-shard partial sums. The paper's single tree reduces a query fully at
+// NDP no matter where its vectors live; sharding brings back a (small)
+// host-side combine — exactly the spatial-locality trade-off the paper
+// criticizes in RecNMP, now at shard granularity. The abl-scaleout
+// experiment quantifies when the extra trees' parallelism outweighs the
+// combine cost.
+package scale
+
+import (
+	"fmt"
+
+	"fafnir/internal/cpu"
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
+	"fafnir/internal/header"
+	"fafnir/internal/sim"
+	"fafnir/internal/tensor"
+)
+
+// Config shapes a sharded deployment. Total ranks = Shards * RanksPerShard.
+type Config struct {
+	// Shards is the number of independent trees/memory shards.
+	Shards int
+	// RanksPerShard is each shard's memory width.
+	RanksPerShard int
+	// BatchCapacity is each tree's hardware batch size.
+	BatchCapacity int
+	// Host models the partial-sum combine.
+	Host cpu.Config
+	// Seed fixes table contents.
+	Seed int64
+}
+
+// Default returns a 2x16 sharding of the paper's 32-rank system.
+func Default() Config {
+	return Config{
+		Shards:        2,
+		RanksPerShard: 16,
+		BatchCapacity: 32,
+		Host:          cpu.Default(),
+		Seed:          1,
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Shards <= 0:
+		return fmt.Errorf("scale: Shards must be positive, got %d", c.Shards)
+	case c.RanksPerShard <= 0:
+		return fmt.Errorf("scale: RanksPerShard must be positive, got %d", c.RanksPerShard)
+	case c.BatchCapacity <= 0:
+		return fmt.Errorf("scale: BatchCapacity must be positive, got %d", c.BatchCapacity)
+	}
+	return c.Host.Validate()
+}
+
+// shardPlacement maps global indices into one shard: index i belongs to
+// shard i mod S and lives at local position i div S, striped over the
+// shard's ranks at vector granularity.
+type shardPlacement struct {
+	shards int
+	ranks  int
+	bytes  int
+}
+
+func (p shardPlacement) Rank(idx header.Index) int {
+	return int(uint64(idx) / uint64(p.shards) % uint64(p.ranks))
+}
+
+func (p shardPlacement) Addr(idx header.Index) dram.Addr {
+	return dram.Addr(uint64(idx) / uint64(p.shards) * uint64(p.bytes))
+}
+
+func (p shardPlacement) VectorBytes() int { return p.bytes }
+
+// shard is one tree plus its memory.
+type shard struct {
+	engine *core.Engine
+	mem    *dram.System
+	place  shardPlacement
+}
+
+// Result is the outcome of a sharded lookup.
+type Result struct {
+	// Outputs holds the combined vector per query.
+	Outputs []tensor.Vector
+	// ShardCycles is the slowest shard's lookup time.
+	ShardCycles sim.Cycle
+	// CombineCycles is the host-side partial combination time.
+	CombineCycles sim.Cycle
+	// TotalCycles is the end-to-end latency.
+	TotalCycles sim.Cycle
+	// Partials counts per-shard partial vectors sent to the host.
+	Partials int
+	// MemoryReads counts DRAM reads across all shards.
+	MemoryReads int
+}
+
+// System is a sharded deployment over one global embedding store.
+type System struct {
+	cfg    Config
+	store  *embedding.Store
+	shards []shard
+	host   *cpu.Engine
+	mcfg   dram.Config
+}
+
+// New builds the deployment. rows is the global embedding-vector count.
+func New(cfg Config, rows uint64) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mcfg := dram.DDR4()
+	switch {
+	case cfg.RanksPerShard%8 == 0:
+		mcfg.Channels = cfg.RanksPerShard / 8
+	case cfg.RanksPerShard%2 == 0:
+		mcfg.Channels = 1
+		mcfg.DIMMsPerChannel = cfg.RanksPerShard / 2
+	default:
+		mcfg.Channels = 1
+		mcfg.DIMMsPerChannel = 1
+		mcfg.RanksPerDIMM = cfg.RanksPerShard
+	}
+
+	host, err := cpu.NewEngine(cfg.Host)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		cfg:   cfg,
+		store: embedding.NewStore(rows, 128, uint64(cfg.Seed)),
+		host:  host,
+		mcfg:  mcfg,
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		ecfg := core.Default()
+		ecfg.NumRanks = cfg.RanksPerShard
+		if cfg.RanksPerShard%2 != 0 {
+			ecfg.LeafFanIn = 1
+		}
+		ecfg.BatchCapacity = cfg.BatchCapacity
+		engine, err := core.NewEngine(ecfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.shards = append(sys.shards, shard{
+			engine: engine,
+			mem:    dram.NewSystem(mcfg),
+			place:  shardPlacement{shards: cfg.Shards, ranks: cfg.RanksPerShard, bytes: 512},
+		})
+	}
+	return sys, nil
+}
+
+// Store exposes the global embedding store (for golden comparisons).
+func (s *System) Store() *embedding.Store { return s.store }
+
+// TotalRanks reports the deployment's memory width.
+func (s *System) TotalRanks() int { return s.cfg.Shards * s.cfg.RanksPerShard }
+
+// Lookup shards each query's indices, runs every shard's sub-batch through
+// its own tree in parallel, and combines the per-shard partials at the host.
+func (s *System) Lookup(b embedding.Batch) (*Result, error) {
+	if b.Op != tensor.OpSum {
+		return nil, fmt.Errorf("scale: sharded combine supports sum pooling, got %v", b.Op)
+	}
+	res := &Result{Outputs: make([]tensor.Vector, len(b.Queries))}
+
+	// Build each shard's sub-batch; remember which queries touch it.
+	type subref struct{ query int }
+	subBatches := make([]embedding.Batch, s.cfg.Shards)
+	refs := make([][]subref, s.cfg.Shards)
+	for qi, q := range b.Queries {
+		perShard := make(map[int][]header.Index)
+		for _, idx := range q.Indices {
+			sh := int(uint64(idx) % uint64(s.cfg.Shards))
+			perShard[sh] = append(perShard[sh], idx)
+		}
+		for sh, indices := range perShard {
+			subBatches[sh].Queries = append(subBatches[sh].Queries,
+				embedding.Query{Indices: header.NewIndexSet(indices...)})
+			refs[sh] = append(refs[sh], subref{query: qi})
+		}
+	}
+
+	partialsPerQuery := make([]int, len(b.Queries))
+	for sh := range subBatches {
+		if len(subBatches[sh].Queries) == 0 {
+			continue
+		}
+		subBatches[sh].Op = tensor.OpSum
+		shardRes, err := s.shards[sh].engine.TimedLookup(
+			s.store, s.shards[sh].place, s.shards[sh].mem, subBatches[sh], true)
+		if err != nil {
+			return nil, fmt.Errorf("scale: shard %d: %w", sh, err)
+		}
+		res.ShardCycles = sim.Max(res.ShardCycles, shardRes.TotalCycles)
+		res.MemoryReads += shardRes.MemoryReads
+		for i, out := range shardRes.Outputs {
+			qi := refs[sh][i].query
+			if res.Outputs[qi] == nil {
+				res.Outputs[qi] = out.Clone()
+			} else if err := res.Outputs[qi].AddInPlace(out); err != nil {
+				return nil, err
+			}
+			partialsPerQuery[qi]++
+			res.Partials++
+		}
+	}
+
+	// Host combine: one vector handled per partial beyond the first of each
+	// query, plus channel transfer of every partial.
+	combines := 0
+	for _, n := range partialsPerQuery {
+		if n > 1 {
+			combines += n - 1
+		}
+	}
+	res.CombineCycles = s.host.HandleVectors(combines)
+	xfer := s.cfg.Host.DRAMToHost(s.mcfg.TransferCycles(res.Partials * 512))
+	res.TotalCycles = res.ShardCycles + res.CombineCycles + xfer
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package scale
+
+import (
+	"testing"
+
+	"fafnir/internal/embedding"
+	"fafnir/internal/tensor"
+)
+
+func testBatch(t *testing.T, n, q int, rows uint64, seed int64) embedding.Batch {
+	t.Helper()
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: n, QuerySize: q, Rows: rows, Dist: embedding.Zipf, ZipfS: 1.3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Batch(tensor.OpSum)
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Shards = 0 },
+		func(c *Config) { c.RanksPerShard = 0 },
+		func(c *Config) { c.BatchCapacity = 0 },
+		func(c *Config) { c.Host.Cores = 0 },
+	}
+	for i, m := range bad {
+		cfg := Default()
+		m(&cfg)
+		if _, err := New(cfg, 1024); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestLookupMatchesGolden(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		cfg := Default()
+		cfg.Shards = shards
+		cfg.RanksPerShard = 32 / shards
+		sys, err := New(cfg, 1<<16)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		b := testBatch(t, 16, 16, 1<<16, int64(shards))
+		res, err := sys.Lookup(b)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		golden := b.Golden(sys.Store())
+		for qi := range golden {
+			if res.Outputs[qi] == nil || !res.Outputs[qi].ApproxEqual(golden[qi], 1e-3) {
+				t.Fatalf("shards=%d query %d mismatch", shards, qi)
+			}
+		}
+		if res.TotalCycles == 0 || res.MemoryReads == 0 {
+			t.Fatalf("shards=%d empty result %+v", shards, res)
+		}
+	}
+}
+
+func TestSingleShardNoCombine(t *testing.T) {
+	cfg := Default()
+	cfg.Shards = 1
+	cfg.RanksPerShard = 32
+	sys, err := New(cfg, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBatch(t, 8, 16, 1<<14, 5)
+	res, err := sys.Lookup(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One tree: exactly one partial per query, no host combines.
+	if res.Partials != 8 {
+		t.Fatalf("partials = %d, want 8", res.Partials)
+	}
+	if res.CombineCycles != 0 {
+		t.Fatalf("combine cycles = %d with one shard", res.CombineCycles)
+	}
+}
+
+func TestMoreShardsMorePartials(t *testing.T) {
+	mk := func(shards int) *Result {
+		cfg := Default()
+		cfg.Shards = shards
+		cfg.RanksPerShard = 32 / shards
+		sys, err := New(cfg, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := testBatch(t, 16, 16, 1<<16, 9)
+		res, err := sys.Lookup(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := mk(1)
+	four := mk(4)
+	if four.Partials <= one.Partials {
+		t.Fatalf("partials did not grow with shards: %d vs %d", four.Partials, one.Partials)
+	}
+	if four.CombineCycles == 0 {
+		t.Fatal("sharded run needed no combines")
+	}
+}
+
+func TestLookupRejectsNonSum(t *testing.T) {
+	sys, err := New(Default(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBatch(t, 2, 4, 1024, 1)
+	b.Op = tensor.OpMin
+	if _, err := sys.Lookup(b); err == nil {
+		t.Fatal("non-sum pooling accepted by sharded combine")
+	}
+}
+
+func TestTotalRanks(t *testing.T) {
+	sys, err := New(Config{Shards: 4, RanksPerShard: 8, BatchCapacity: 16,
+		Host: Default().Host, Seed: 1}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.TotalRanks() != 32 {
+		t.Fatalf("TotalRanks = %d", sys.TotalRanks())
+	}
+}

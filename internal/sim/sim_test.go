@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMin(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Max wrong")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Fatal("Min wrong")
+	}
+}
+
+func TestPicosPerCycle(t *testing.T) {
+	if got := PicosPerCycle(200); got != 5000 {
+		t.Fatalf("200 MHz -> %v ps, want 5000", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PicosPerCycle(0) did not panic")
+		}
+	}()
+	PicosPerCycle(0)
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(200e6, 200); got != 1 {
+		t.Fatalf("Seconds = %v, want 1", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func(Cycle) { order = append(order, 2) })
+	e.Schedule(5, func(Cycle) { order = append(order, 1) })
+	e.Schedule(10, func(Cycle) { order = append(order, 3) }) // same time: insertion order
+	end := e.Run()
+	if end != 10 {
+		t.Fatalf("end = %d", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("fired = %d", e.Fired())
+	}
+}
+
+func TestEngineAfterAndNested(t *testing.T) {
+	e := NewEngine()
+	var hits []Cycle
+	e.Schedule(4, func(now Cycle) {
+		hits = append(hits, now)
+		e.After(6, func(now Cycle) { hits = append(hits, now) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 4 || hits[1] != 10 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(now Cycle) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(3, func(Cycle) {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	e.Schedule(5, func(Cycle) { fired++ })
+	e.Schedule(15, func(Cycle) { fired++ })
+	now := e.RunUntil(10)
+	if now != 10 || fired != 1 {
+		t.Fatalf("now=%d fired=%d", now, fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after full run", fired)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := NewStats()
+	s.Inc("a", 2)
+	s.Inc("a", 3)
+	if s.Counter("a") != 5 {
+		t.Fatalf("counter = %d", s.Counter("a"))
+	}
+	if s.Counter("missing") != 0 {
+		t.Fatal("missing counter non-zero")
+	}
+}
+
+func TestStatsDistribution(t *testing.T) {
+	s := NewStats()
+	for _, x := range []float64{5, 1, 3} {
+		s.Observe("d", x)
+	}
+	d := s.Dist("d")
+	if d == nil {
+		t.Fatal("nil dist")
+	}
+	if d.N() != 3 || d.Min() != 1 || d.Max() != 5 || d.Mean() != 3 || d.Sum() != 9 {
+		t.Fatalf("stats wrong: n=%d min=%v max=%v mean=%v", d.N(), d.Min(), d.Max(), d.Mean())
+	}
+	if got := d.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := d.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := d.Percentile(100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if s.Dist("missing") != nil {
+		t.Fatal("missing dist not nil")
+	}
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	var d Distribution
+	if d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.Percentile(50) != 0 {
+		t.Fatal("empty distribution should report zeros")
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := NewStats()
+	a.Inc("c", 1)
+	a.Observe("d", 2)
+	b := NewStats()
+	b.Inc("c", 4)
+	b.Observe("d", 6)
+	b.Observe("e", 1)
+	a.Merge(b)
+	if a.Counter("c") != 5 {
+		t.Fatalf("merged counter = %d", a.Counter("c"))
+	}
+	if a.Dist("d").N() != 2 {
+		t.Fatalf("merged dist n = %d", a.Dist("d").N())
+	}
+	if a.Dist("e").N() != 1 {
+		t.Fatal("merge dropped new dist")
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestStatsZeroValueUsable(t *testing.T) {
+	var s Stats
+	s.Inc("x", 1)
+	s.Observe("y", 2)
+	if s.Counter("x") != 1 || s.Dist("y").N() != 1 {
+		t.Fatal("zero-value Stats unusable")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := NewStats()
+	s.Inc("alpha", 7)
+	s.Observe("beta", 1.5)
+	out := s.String()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// Property: the engine fires events in nondecreasing time order regardless of
+// insertion order.
+func TestQuickEngineMonotonic(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fired []Cycle
+		for _, at := range times {
+			at := Cycle(at)
+			e.Schedule(at, func(now Cycle) { fired = append(fired, now) })
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(samples []float32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var d Distribution
+		for _, x := range samples {
+			d.Add(float64(x))
+		}
+		prev := d.Percentile(0)
+		for p := 5.0; p <= 100; p += 5 {
+			cur := d.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package solver implements iterative linear solvers — Jacobi and conjugate
+// gradient — whose sparse matrix-vector products execute on an accelerator.
+// The paper names "numeric algebra such as matrix inversion and
+// differential-equation solvers" as sparse-gathering domains Fafnir serves
+// without hardware changes; this package is that application layer: every
+// SpMV goes through a pluggable executor (the Fafnir tree, the Two-Step
+// baseline, or the plain software reference), and the solver accounts for
+// the accelerator cycles it consumed.
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"fafnir/internal/sim"
+	"fafnir/internal/sparse"
+	"fafnir/internal/tensor"
+)
+
+// SpMV executes one sparse matrix-vector product and reports the cycles it
+// took on the executing hardware (zero for pure software).
+type SpMV func(m *sparse.LIL, x tensor.Vector) (tensor.Vector, sim.Cycle, error)
+
+// Reference returns an SpMV executor backed by the software reference
+// implementation (no simulated hardware, zero cycles).
+func Reference() SpMV {
+	return func(m *sparse.LIL, x tensor.Vector) (tensor.Vector, sim.Cycle, error) {
+		y, err := m.MulVec(x)
+		return y, 0, err
+	}
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	// X is the solution estimate.
+	X tensor.Vector
+	// Iterations is the number of iterations performed.
+	Iterations int
+	// Residual is the final ||Ax-b||_2 (computed in software).
+	Residual float64
+	// Converged reports whether the tolerance was met within the budget.
+	Converged bool
+	// SpMVCycles accumulates the accelerator cycles across all products.
+	SpMVCycles sim.Cycle
+	// SpMVCount is the number of products issued.
+	SpMVCount int
+}
+
+// Options bound a solve.
+type Options struct {
+	// MaxIterations caps the iteration count (default 200).
+	MaxIterations int
+	// Tolerance is the target ||Ax-b||_2 (default 1e-3 * sqrt(n)).
+	Tolerance float64
+}
+
+func (o *Options) fill(n int) {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 200
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-3 * math.Sqrt(float64(n))
+	}
+}
+
+// residual computes ||A x - b||_2 in software.
+func residual(a *sparse.LIL, x, b tensor.Vector) (float64, error) {
+	ax, err := a.MulVec(x)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range ax {
+		d := float64(ax[i] - b[i])
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// Jacobi solves A x = b for diagonally dominant A using Jacobi iteration:
+// x' = D^-1 (b - R x), with the R x product running on the accelerator.
+func Jacobi(a *sparse.LIL, b tensor.Vector, mul SpMV, opts Options) (*Result, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("solver: Jacobi needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("solver: rhs of %d elements against %d rows", len(b), a.Rows)
+	}
+	opts.fill(a.Rows)
+
+	diag := a.Diagonal()
+	for i, d := range diag {
+		if d == 0 {
+			return nil, fmt.Errorf("solver: zero diagonal at row %d", i)
+		}
+	}
+	r := a.WithoutDiagonal()
+
+	res := &Result{X: tensor.New(a.Rows)}
+	for res.Iterations = 0; res.Iterations < opts.MaxIterations; res.Iterations++ {
+		rx, cyc, err := mul(r, res.X)
+		if err != nil {
+			return nil, err
+		}
+		res.SpMVCycles += cyc
+		res.SpMVCount++
+		next := tensor.New(a.Rows)
+		for i := range next {
+			next[i] = (b[i] - rx[i]) / diag[i]
+		}
+		res.X = next
+
+		rn, err := residual(a, res.X, b)
+		if err != nil {
+			return nil, err
+		}
+		res.Residual = rn
+		if rn <= opts.Tolerance {
+			res.Converged = true
+			res.Iterations++
+			break
+		}
+	}
+	return res, nil
+}
+
+// CG solves A x = b for symmetric positive-definite A with the conjugate
+// gradient method; the A p products run on the accelerator, the dot
+// products and vector updates on the host (they are dense and tiny).
+func CG(a *sparse.LIL, b tensor.Vector, mul SpMV, opts Options) (*Result, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("solver: CG needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("solver: rhs of %d elements against %d rows", len(b), a.Rows)
+	}
+	opts.fill(a.Rows)
+
+	res := &Result{X: tensor.New(a.Rows)}
+	r := b.Clone() // residual b - A*0
+	p := r.Clone()
+	rsold, err := tensor.Dot(r, r)
+	if err != nil {
+		return nil, err
+	}
+
+	for res.Iterations = 0; res.Iterations < opts.MaxIterations; res.Iterations++ {
+		if math.Sqrt(rsold) <= opts.Tolerance {
+			res.Converged = true
+			break
+		}
+		ap, cyc, err := mul(a, p)
+		if err != nil {
+			return nil, err
+		}
+		res.SpMVCycles += cyc
+		res.SpMVCount++
+
+		pap, err := tensor.Dot(p, ap)
+		if err != nil {
+			return nil, err
+		}
+		if pap == 0 {
+			break // breakdown; report what we have
+		}
+		alpha := rsold / pap
+		for i := range res.X {
+			res.X[i] += float32(alpha) * p[i]
+			r[i] -= float32(alpha) * ap[i]
+		}
+		rsnew, err := tensor.Dot(r, r)
+		if err != nil {
+			return nil, err
+		}
+		beta := rsnew / rsold
+		for i := range p {
+			p[i] = r[i] + float32(beta)*p[i]
+		}
+		rsold = rsnew
+	}
+
+	rn, err := residual(a, res.X, b)
+	if err != nil {
+		return nil, err
+	}
+	res.Residual = rn
+	if rn <= opts.Tolerance {
+		res.Converged = true
+	}
+	return res, nil
+}

@@ -1,0 +1,232 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/sim"
+	"fafnir/internal/sparse"
+	"fafnir/internal/spmv"
+	"fafnir/internal/tensor"
+)
+
+// fafnirSpMV returns an executor backed by the Fafnir tree simulator.
+func fafnirSpMV(t *testing.T) SpMV {
+	t.Helper()
+	cfg := spmv.Default()
+	cfg.Tree.NumRanks = 8
+	cfg.VectorSize = 512
+	eng, err := spmv.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(m *sparse.LIL, x tensor.Vector) (tensor.Vector, sim.Cycle, error) {
+		res, err := eng.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Y, res.TotalCycles, nil
+	}
+}
+
+func spdSystem(t *testing.T, n int, seed int64) (*sparse.LIL, tensor.Vector, tensor.Vector) {
+	t.Helper()
+	a := sparse.SymmetricDiagDominant(n, 3, seed)
+	// Construct b = A * xTrue so the solution is known.
+	xTrue := sparse.DenseVector(n, seed+5)
+	b, err := a.MulVec(xTrue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, xTrue
+}
+
+func maxAbsDiff(a, b tensor.Vector) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i] - b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestSPDGeneratorProperties(t *testing.T) {
+	a := sparse.SymmetricDiagDominant(64, 3, 1)
+	// Symmetry.
+	get := func(r, c int) float32 {
+		for i, cc := range a.ColIdx[r] {
+			if int(cc) == c {
+				return a.Vals[r][i]
+			}
+		}
+		return 0
+	}
+	for r := 0; r < 64; r++ {
+		for i, c := range a.ColIdx[r] {
+			if get(int(c), r) != a.Vals[r][i] {
+				t.Fatalf("asymmetric at (%d,%d)", r, c)
+			}
+		}
+	}
+	// Strict diagonal dominance.
+	diag := a.Diagonal()
+	for r := 0; r < 64; r++ {
+		var off float64
+		for i, c := range a.ColIdx[r] {
+			if int(c) != r {
+				off += math.Abs(float64(a.Vals[r][i]))
+			}
+		}
+		if float64(diag[r]) <= off {
+			t.Fatalf("row %d not strictly dominant: diag %v, off %v", r, diag[r], off)
+		}
+	}
+}
+
+func TestDiagonalHelpers(t *testing.T) {
+	a := sparse.SymmetricDiagDominant(16, 2, 2)
+	d := a.Diagonal()
+	r := a.WithoutDiagonal()
+	if r.NNZ() != a.NNZ()-16 {
+		t.Fatalf("WithoutDiagonal NNZ %d, want %d", r.NNZ(), a.NNZ()-16)
+	}
+	for i, v := range d {
+		if v == 0 {
+			t.Fatalf("zero diagonal at %d", i)
+		}
+	}
+	for row := range r.ColIdx {
+		for _, c := range r.ColIdx[row] {
+			if int(c) == row {
+				t.Fatalf("diagonal entry survived at %d", row)
+			}
+		}
+	}
+}
+
+func TestJacobiReference(t *testing.T) {
+	a, b, xTrue := spdSystem(t, 128, 3)
+	res, err := Jacobi(a, b, Reference(), Options{MaxIterations: 500, Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("Jacobi did not converge: residual %v after %d iterations", res.Residual, res.Iterations)
+	}
+	if d := maxAbsDiff(res.X, xTrue); d > 0.01 {
+		t.Fatalf("solution off by %v", d)
+	}
+	if res.SpMVCycles != 0 {
+		t.Fatal("reference executor charged cycles")
+	}
+}
+
+func TestJacobiOnFafnir(t *testing.T) {
+	a, b, xTrue := spdSystem(t, 128, 4)
+	res, err := Jacobi(a, b, fafnirSpMV(t), Options{MaxIterations: 500, Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("Jacobi-on-Fafnir did not converge: residual %v", res.Residual)
+	}
+	if d := maxAbsDiff(res.X, xTrue); d > 0.01 {
+		t.Fatalf("solution off by %v", d)
+	}
+	if res.SpMVCycles == 0 || res.SpMVCount != res.Iterations {
+		t.Fatalf("accelerator accounting wrong: %d cycles over %d products for %d iterations",
+			res.SpMVCycles, res.SpMVCount, res.Iterations)
+	}
+}
+
+func TestCGReference(t *testing.T) {
+	a, b, xTrue := spdSystem(t, 128, 5)
+	res, err := CG(a, b, Reference(), Options{MaxIterations: 300, Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge: residual %v after %d iterations", res.Residual, res.Iterations)
+	}
+	if d := maxAbsDiff(res.X, xTrue); d > 0.01 {
+		t.Fatalf("solution off by %v", d)
+	}
+}
+
+func TestCGOnFafnir(t *testing.T) {
+	a, b, xTrue := spdSystem(t, 128, 6)
+	res, err := CG(a, b, fafnirSpMV(t), Options{MaxIterations: 300, Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG-on-Fafnir did not converge: residual %v", res.Residual)
+	}
+	if d := maxAbsDiff(res.X, xTrue); d > 0.01 {
+		t.Fatalf("solution off by %v", d)
+	}
+	if res.SpMVCycles == 0 {
+		t.Fatal("no accelerator cycles recorded")
+	}
+}
+
+func TestCGConvergesFasterThanJacobi(t *testing.T) {
+	a, b, _ := spdSystem(t, 256, 7)
+	jac, err := Jacobi(a, b, Reference(), Options{MaxIterations: 1000, Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := CG(a, b, Reference(), Options{MaxIterations: 1000, Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jac.Converged || !cg.Converged {
+		t.Fatalf("convergence failed: jacobi %v, cg %v", jac.Converged, cg.Converged)
+	}
+	if cg.Iterations >= jac.Iterations {
+		t.Fatalf("CG (%d iters) not faster than Jacobi (%d)", cg.Iterations, jac.Iterations)
+	}
+}
+
+func TestSolverErrors(t *testing.T) {
+	rect := sparse.RandomUniform(4, 5, 0.5, 1)
+	if _, err := Jacobi(rect, tensor.New(4), Reference(), Options{}); err == nil {
+		t.Fatal("rectangular matrix accepted by Jacobi")
+	}
+	if _, err := CG(rect, tensor.New(4), Reference(), Options{}); err == nil {
+		t.Fatal("rectangular matrix accepted by CG")
+	}
+	sq := sparse.SymmetricDiagDominant(4, 1, 1)
+	if _, err := Jacobi(sq, tensor.New(3), Reference(), Options{}); err == nil {
+		t.Fatal("wrong rhs length accepted by Jacobi")
+	}
+	if _, err := CG(sq, tensor.New(3), Reference(), Options{}); err == nil {
+		t.Fatal("wrong rhs length accepted by CG")
+	}
+	// Zero diagonal rejected by Jacobi.
+	zero := sparse.NewLIL(2, 2)
+	zero.ColIdx[0] = []int32{1}
+	zero.Vals[0] = []float32{1}
+	zero.ColIdx[1] = []int32{0}
+	zero.Vals[1] = []float32{1}
+	if _, err := Jacobi(zero, tensor.New(2), Reference(), Options{}); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+}
+
+func TestJacobiNonConvergenceReported(t *testing.T) {
+	a, b, _ := spdSystem(t, 128, 8)
+	res, err := Jacobi(a, b, Reference(), Options{MaxIterations: 1, Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("one iteration reported as converged at 1e-9")
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+}

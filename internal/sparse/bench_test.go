@@ -1,0 +1,33 @@
+package sparse
+
+import "testing"
+
+func BenchmarkMulVecLIL(b *testing.B) {
+	m := RandomUniform(4096, 4096, 1e-3, 1)
+	x := DenseVector(4096, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MulVec(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulVecCSR(b *testing.B) {
+	m := RandomUniform(4096, 4096, 1e-3, 1).ToCSR()
+	x := DenseVector(4096, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MulVec(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColumnChunk(b *testing.B) {
+	m := RandomUniform(4096, 8192, 1e-3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ColumnChunk(2048, 4096)
+	}
+}

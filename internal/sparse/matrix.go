@@ -1,0 +1,409 @@
+// Package sparse provides the sparse-matrix substrate for the SpMV
+// experiments: the LIL (list-of-lists) compression format the paper
+// recommends for streaming (Section IV-D), CSR and COO for interchange,
+// deterministic synthetic matrix generators standing in for the paper's
+// scientific and graph workloads, and a reference SpMV implementation.
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fafnir/internal/tensor"
+)
+
+// Coord is one non-zero element in coordinate form.
+type Coord struct {
+	Row, Col int
+	Val      float32
+}
+
+// COO is an unordered coordinate-format matrix, the interchange format the
+// generators produce.
+type COO struct {
+	Rows, Cols int
+	Entries    []Coord
+}
+
+// Validate reports a descriptive error when entries fall outside the shape
+// or coordinates repeat.
+func (m *COO) Validate() error {
+	if m.Rows <= 0 || m.Cols <= 0 {
+		return fmt.Errorf("sparse: bad shape %dx%d", m.Rows, m.Cols)
+	}
+	seen := make(map[[2]int]bool, len(m.Entries))
+	for _, e := range m.Entries {
+		if e.Row < 0 || e.Row >= m.Rows || e.Col < 0 || e.Col >= m.Cols {
+			return fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", e.Row, e.Col, m.Rows, m.Cols)
+		}
+		key := [2]int{e.Row, e.Col}
+		if seen[key] {
+			return fmt.Errorf("sparse: duplicate entry (%d,%d)", e.Row, e.Col)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// NNZ reports the number of non-zero entries.
+func (m *COO) NNZ() int { return len(m.Entries) }
+
+// LIL is the list-of-lists format of Section IV-D: the matrix is compressed
+// along rows — each row stores its non-zero column indices and values —
+// leaving the column dimension uncompressed so large matrices split cleanly
+// into column chunks for parallel streaming.
+type LIL struct {
+	Rows, Cols int
+	// ColIdx[r] lists the column indices of row r's non-zeros, ascending.
+	ColIdx [][]int32
+	// Vals[r] lists the matching values.
+	Vals [][]float32
+}
+
+// NewLIL returns an empty matrix of the given shape.
+func NewLIL(rows, cols int) *LIL {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("sparse: bad shape %dx%d", rows, cols))
+	}
+	return &LIL{
+		Rows:   rows,
+		Cols:   cols,
+		ColIdx: make([][]int32, rows),
+		Vals:   make([][]float32, rows),
+	}
+}
+
+// FromCOO builds a LIL matrix from coordinates, sorting each row's entries
+// by column.
+func FromCOO(m *COO) (*LIL, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	l := NewLIL(m.Rows, m.Cols)
+	for _, e := range m.Entries {
+		l.ColIdx[e.Row] = append(l.ColIdx[e.Row], int32(e.Col))
+		l.Vals[e.Row] = append(l.Vals[e.Row], e.Val)
+	}
+	for r := range l.ColIdx {
+		cols, vals := l.ColIdx[r], l.Vals[r]
+		order := make([]int, len(cols))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool { return cols[order[i]] < cols[order[j]] })
+		sc := make([]int32, len(cols))
+		sv := make([]float32, len(vals))
+		for i, o := range order {
+			sc[i], sv[i] = cols[o], vals[o]
+		}
+		l.ColIdx[r], l.Vals[r] = sc, sv
+	}
+	return l, nil
+}
+
+// NNZ reports the number of non-zero entries.
+func (l *LIL) NNZ() int {
+	n := 0
+	for _, r := range l.ColIdx {
+		n += len(r)
+	}
+	return n
+}
+
+// Density reports NNZ / (Rows*Cols).
+func (l *LIL) Density() float64 {
+	return float64(l.NNZ()) / (float64(l.Rows) * float64(l.Cols))
+}
+
+// BytesStreamed reports the compressed size streamed from memory: for SpMV
+// both data and indices stream through the tree (Table II), so each
+// non-zero costs a value plus a column index.
+func (l *LIL) BytesStreamed() int {
+	return l.NNZ() * (4 + 4)
+}
+
+// ColumnChunk extracts the sub-matrix of columns [lo, hi) as a new LIL with
+// original row numbering and column indices rebased to lo. It implements the
+// splitting "through their non-compressed dimension" used to fit large
+// matrices into the Fafnir tree (Fig. 8).
+func (l *LIL) ColumnChunk(lo, hi int) *LIL {
+	if lo < 0 || hi > l.Cols || lo >= hi {
+		panic(fmt.Sprintf("sparse: bad chunk [%d,%d) of %d cols", lo, hi, l.Cols))
+	}
+	c := NewLIL(l.Rows, hi-lo)
+	for r := range l.ColIdx {
+		cols := l.ColIdx[r]
+		// Rows are sorted by column: binary-search the window.
+		start := sort.Search(len(cols), func(i int) bool { return cols[i] >= int32(lo) })
+		end := sort.Search(len(cols), func(i int) bool { return cols[i] >= int32(hi) })
+		if start == end {
+			continue
+		}
+		c.ColIdx[r] = make([]int32, end-start)
+		c.Vals[r] = make([]float32, end-start)
+		for i := start; i < end; i++ {
+			c.ColIdx[r][i-start] = cols[i] - int32(lo)
+			c.Vals[r][i-start] = l.Vals[r][i]
+		}
+	}
+	return c
+}
+
+// ToCSR converts to compressed-sparse-row form.
+func (l *LIL) ToCSR() *CSR {
+	csr := &CSR{
+		Rows:   l.Rows,
+		Cols:   l.Cols,
+		RowPtr: make([]int, l.Rows+1),
+	}
+	nnz := l.NNZ()
+	csr.ColIdx = make([]int32, 0, nnz)
+	csr.Vals = make([]float32, 0, nnz)
+	for r := 0; r < l.Rows; r++ {
+		csr.RowPtr[r] = len(csr.ColIdx)
+		csr.ColIdx = append(csr.ColIdx, l.ColIdx[r]...)
+		csr.Vals = append(csr.Vals, l.Vals[r]...)
+	}
+	csr.RowPtr[l.Rows] = len(csr.ColIdx)
+	return csr
+}
+
+// CSR is the compressed-sparse-row format used by the reference SpMV.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int32
+	Vals       []float32
+}
+
+// NNZ reports the number of non-zero entries.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// MulVec computes y = A*x, the reference SpMV all engines are validated
+// against.
+func (m *CSR) MulVec(x tensor.Vector) (tensor.Vector, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("sparse: vector of %d elements against %d columns", len(x), m.Cols)
+	}
+	y := tensor.New(m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		var acc float32
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			acc += m.Vals[i] * x[m.ColIdx[i]]
+		}
+		y[r] = acc
+	}
+	return y, nil
+}
+
+// MulVecLIL computes y = A*x directly from the LIL form.
+func (l *LIL) MulVec(x tensor.Vector) (tensor.Vector, error) {
+	if len(x) != l.Cols {
+		return nil, fmt.Errorf("sparse: vector of %d elements against %d columns", len(x), l.Cols)
+	}
+	y := tensor.New(l.Rows)
+	for r := 0; r < l.Rows; r++ {
+		var acc float32
+		for i, c := range l.ColIdx[r] {
+			acc += l.Vals[r][i] * x[c]
+		}
+		y[r] = acc
+	}
+	return y, nil
+}
+
+// smallVal returns a deterministic small integer value so float32 sums stay
+// exact in tests.
+func smallVal(rng *rand.Rand) float32 {
+	return float32(rng.Intn(9) - 4)
+}
+
+// RandomUniform generates a matrix with each entry present independently at
+// the given density (clamped to produce at least one entry), deterministic
+// in seed.
+func RandomUniform(rows, cols int, density float64, seed int64) *LIL {
+	rng := rand.New(rand.NewSource(seed))
+	target := int(density * float64(rows) * float64(cols))
+	if target < 1 {
+		target = 1
+	}
+	seen := make(map[[2]int]bool, target)
+	coo := &COO{Rows: rows, Cols: cols}
+	for len(coo.Entries) < target {
+		r, c := rng.Intn(rows), rng.Intn(cols)
+		if seen[[2]int{r, c}] {
+			continue
+		}
+		seen[[2]int{r, c}] = true
+		v := smallVal(rng)
+		if v == 0 {
+			v = 1
+		}
+		coo.Entries = append(coo.Entries, Coord{Row: r, Col: c, Val: v})
+	}
+	l, err := FromCOO(coo)
+	if err != nil {
+		panic(err) // generator produces valid coordinates by construction
+	}
+	return l
+}
+
+// PowerLawGraph generates the adjacency matrix of a scale-free graph via
+// preferential attachment (each new vertex attaches to edgesPerNode earlier
+// vertices with probability proportional to their degree), a stand-in for
+// the paper's graph workloads.
+func PowerLawGraph(nodes, edgesPerNode int, seed int64) *LIL {
+	if nodes < 2 || edgesPerNode < 1 {
+		panic(fmt.Sprintf("sparse: bad graph shape nodes=%d edges=%d", nodes, edgesPerNode))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coo := &COO{Rows: nodes, Cols: nodes}
+	seen := make(map[[2]int]bool)
+	// Degree-proportional sampling via a repeated-endpoints list.
+	var endpoints []int
+	add := func(u, v int) {
+		if u == v || seen[[2]int{u, v}] {
+			return
+		}
+		seen[[2]int{u, v}] = true
+		coo.Entries = append(coo.Entries, Coord{Row: u, Col: v, Val: 1})
+		endpoints = append(endpoints, u, v)
+	}
+	add(0, 1)
+	add(1, 0)
+	for v := 2; v < nodes; v++ {
+		for e := 0; e < edgesPerNode; e++ {
+			var u int
+			if len(endpoints) > 0 && rng.Float64() < 0.9 {
+				u = endpoints[rng.Intn(len(endpoints))]
+			} else {
+				u = rng.Intn(v)
+			}
+			if u == v {
+				u = rng.Intn(v)
+			}
+			add(v, u)
+			add(u, v)
+		}
+	}
+	l, err := FromCOO(coo)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Banded generates a banded matrix (half-bandwidth band on each side of the
+// diagonal), the stand-in for the paper's scientific stencil and matrix-
+// inversion workloads.
+func Banded(n, band int, seed int64) *LIL {
+	if n <= 0 || band < 0 {
+		panic(fmt.Sprintf("sparse: bad banded shape n=%d band=%d", n, band))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coo := &COO{Rows: n, Cols: n}
+	for r := 0; r < n; r++ {
+		lo := r - band
+		if lo < 0 {
+			lo = 0
+		}
+		hi := r + band
+		if hi >= n {
+			hi = n - 1
+		}
+		for c := lo; c <= hi; c++ {
+			v := smallVal(rng)
+			if v == 0 {
+				v = 1
+			}
+			coo.Entries = append(coo.Entries, Coord{Row: r, Col: c, Val: v})
+		}
+	}
+	l, err := FromCOO(coo)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// DenseVector builds a deterministic dense operand vector of length n with
+// small integer values.
+func DenseVector(n int, seed int64) tensor.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n)
+	for i := range x {
+		x[i] = smallVal(rng)
+	}
+	return x
+}
+
+// SymmetricDiagDominant generates a symmetric, strictly diagonally dominant
+// banded matrix — positive definite by Gershgorin's theorem — the canonical
+// operator of discretized differential equations and the input the iterative
+// solvers in internal/solver expect.
+func SymmetricDiagDominant(n, band int, seed int64) *LIL {
+	if n <= 0 || band < 0 {
+		panic(fmt.Sprintf("sparse: bad SPD shape n=%d band=%d", n, band))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coo := &COO{Rows: n, Cols: n}
+	offSum := make([]float32, n)
+	for r := 0; r < n; r++ {
+		hi := r + band
+		if hi >= n {
+			hi = n - 1
+		}
+		for c := r + 1; c <= hi; c++ {
+			v := smallVal(rng)
+			if v == 0 {
+				v = 1
+			}
+			coo.Entries = append(coo.Entries, Coord{Row: r, Col: c, Val: v})
+			coo.Entries = append(coo.Entries, Coord{Row: c, Col: r, Val: v})
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			offSum[r] += av
+			offSum[c] += av
+		}
+	}
+	for r := 0; r < n; r++ {
+		coo.Entries = append(coo.Entries, Coord{Row: r, Col: r, Val: offSum[r] + 2})
+	}
+	l, err := FromCOO(coo)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Diagonal extracts the main diagonal of the matrix.
+func (l *LIL) Diagonal() tensor.Vector {
+	d := tensor.New(l.Rows)
+	for r := 0; r < l.Rows && r < l.Cols; r++ {
+		for i, c := range l.ColIdx[r] {
+			if int(c) == r {
+				d[r] = l.Vals[r][i]
+			}
+		}
+	}
+	return d
+}
+
+// WithoutDiagonal returns a copy of the matrix with the main diagonal
+// removed (the R = A - D operand of Jacobi iteration).
+func (l *LIL) WithoutDiagonal() *LIL {
+	out := NewLIL(l.Rows, l.Cols)
+	for r := range l.ColIdx {
+		for i, c := range l.ColIdx[r] {
+			if int(c) == r {
+				continue
+			}
+			out.ColIdx[r] = append(out.ColIdx[r], c)
+			out.Vals[r] = append(out.Vals[r], l.Vals[r][i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package trace provides a JSON interchange format for embedding-lookup
+// workloads, so batches can be captured, shared, inspected, and replayed
+// across runs. The paper's experiments use production traces; this format is
+// the hook where real traces would plug into the simulators (any tool that
+// can emit the JSON schema can drive every engine in this repository).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fafnir/internal/embedding"
+	"fafnir/internal/header"
+	"fafnir/internal/tensor"
+)
+
+// FormatVersion is the current schema version.
+const FormatVersion = 1
+
+// Trace is a serializable batch of embedding-lookup queries.
+type Trace struct {
+	// Version is the schema version (FormatVersion).
+	Version int `json:"version"`
+	// Op names the pooling operation: "sum", "min", "max", or "mean".
+	Op string `json:"op"`
+	// Rows is the index space the queries draw from, used for validation.
+	Rows uint64 `json:"rows"`
+	// Queries lists each query's indices.
+	Queries [][]header.Index `json:"queries"`
+}
+
+// FromBatch captures a batch into the interchange form.
+func FromBatch(b embedding.Batch, rows uint64) *Trace {
+	t := &Trace{Version: FormatVersion, Op: b.Op.String(), Rows: rows}
+	for _, q := range b.Queries {
+		t.Queries = append(t.Queries, append([]header.Index(nil), q.Indices...))
+	}
+	return t
+}
+
+// parseOp inverts tensor.ReduceOp.String.
+func parseOp(s string) (tensor.ReduceOp, error) {
+	switch s {
+	case "sum":
+		return tensor.OpSum, nil
+	case "min":
+		return tensor.OpMin, nil
+	case "max":
+		return tensor.OpMax, nil
+	case "mean":
+		return tensor.OpMean, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown op %q", s)
+	}
+}
+
+// Validate reports a descriptive error for malformed traces.
+func (t *Trace) Validate() error {
+	if t.Version != FormatVersion {
+		return fmt.Errorf("trace: unsupported version %d (want %d)", t.Version, FormatVersion)
+	}
+	if _, err := parseOp(t.Op); err != nil {
+		return err
+	}
+	if t.Rows == 0 {
+		return fmt.Errorf("trace: zero row space")
+	}
+	if len(t.Queries) == 0 {
+		return fmt.Errorf("trace: no queries")
+	}
+	for qi, q := range t.Queries {
+		if len(q) == 0 {
+			return fmt.Errorf("trace: query %d is empty", qi)
+		}
+		for _, idx := range q {
+			if uint64(idx) >= t.Rows {
+				return fmt.Errorf("trace: query %d index %d outside row space %d", qi, idx, t.Rows)
+			}
+		}
+	}
+	return nil
+}
+
+// Batch reconstructs the runnable batch. Duplicate indices within one query
+// are coalesced (queries are sets, as in the paper's terminology).
+func (t *Trace) Batch() (embedding.Batch, error) {
+	if err := t.Validate(); err != nil {
+		return embedding.Batch{}, err
+	}
+	op, err := parseOp(t.Op)
+	if err != nil {
+		return embedding.Batch{}, err
+	}
+	b := embedding.Batch{Op: op}
+	for _, q := range t.Queries {
+		b.Queries = append(b.Queries, embedding.Query{Indices: header.NewIndexSet(q...)})
+	}
+	return b, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	NumQueries     int
+	TotalAccesses  int
+	UniqueIndices  int
+	UniqueFraction float64
+	MaxQuerySize   int
+}
+
+// Stats computes the trace's access statistics (the Fig. 3 quantities).
+func (t *Trace) Stats() (Stats, error) {
+	b, err := t.Batch()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		NumQueries:     b.NumQueries(),
+		TotalAccesses:  b.TotalAccesses(),
+		UniqueIndices:  b.UniqueIndices().Len(),
+		UniqueFraction: b.UniqueFraction(),
+		MaxQuerySize:   b.MaxQuerySize(),
+	}, nil
+}
+
+// Save writes the trace as indented JSON.
+func Save(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Load reads and validates a trace.
+func Load(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

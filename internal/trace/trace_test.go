@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fafnir/internal/embedding"
+	"fafnir/internal/header"
+	"fafnir/internal/tensor"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Version: FormatVersion,
+		Op:      "sum",
+		Rows:    100,
+		Queries: [][]header.Index{{1, 2, 5}, {2, 5}, {7}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Queries) != 3 || got.Rows != 100 || got.Op != "sum" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestFromBatchAndBack(t *testing.T) {
+	b := embedding.Batch{
+		Queries: []embedding.Query{
+			{Indices: header.NewIndexSet(3, 9)},
+			{Indices: header.NewIndexSet(1)},
+		},
+		Op: tensor.OpMean,
+	}
+	tr := FromBatch(b, 50)
+	back, err := tr.Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Op != tensor.OpMean {
+		t.Fatalf("op lost: %v", back.Op)
+	}
+	for i := range b.Queries {
+		if !back.Queries[i].Indices.Equal(b.Queries[i].Indices) {
+			t.Fatalf("query %d lost", i)
+		}
+	}
+}
+
+func TestAllOpsRoundTrip(t *testing.T) {
+	for _, op := range []tensor.ReduceOp{tensor.OpSum, tensor.OpMin, tensor.OpMax, tensor.OpMean} {
+		b := embedding.Batch{Queries: []embedding.Query{{Indices: header.NewIndexSet(1)}}, Op: op}
+		back, err := FromBatch(b, 10).Batch()
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if back.Op != op {
+			t.Fatalf("op %v became %v", op, back.Op)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []*Trace{
+		{Version: 2, Op: "sum", Rows: 10, Queries: [][]header.Index{{1}}},
+		{Version: 1, Op: "median", Rows: 10, Queries: [][]header.Index{{1}}},
+		{Version: 1, Op: "sum", Rows: 0, Queries: [][]header.Index{{1}}},
+		{Version: 1, Op: "sum", Rows: 10},
+		{Version: 1, Op: "sum", Rows: 10, Queries: [][]header.Index{{}}},
+		{Version: 1, Op: "sum", Rows: 10, Queries: [][]header.Index{{10}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, &Trace{Version: 1, Op: "sum", Rows: 0}); err == nil {
+		t.Fatal("invalid trace saved")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"op":"sum","rows":0,"queries":[[1]]}`)); err == nil {
+		t.Fatal("invalid loaded trace accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s, err := sample().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumQueries != 3 || s.TotalAccesses != 6 || s.UniqueIndices != 4 || s.MaxQuerySize != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.UniqueFraction <= 0.6 || s.UniqueFraction >= 0.7 {
+		t.Fatalf("unique fraction %v", s.UniqueFraction)
+	}
+}
+
+func TestDuplicateIndicesCoalesced(t *testing.T) {
+	tr := &Trace{Version: 1, Op: "sum", Rows: 10, Queries: [][]header.Index{{3, 3, 4}}}
+	b, err := tr.Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Queries[0].Indices.Len() != 2 {
+		t.Fatalf("duplicates not coalesced: %v", b.Queries[0].Indices)
+	}
+}
