@@ -24,6 +24,7 @@ import (
 	"fafnir/internal/dram"
 	"fafnir/internal/embedding"
 	core "fafnir/internal/fafnir"
+	"fafnir/internal/fault"
 	"fafnir/internal/memmap"
 	"fafnir/internal/sim"
 	"fafnir/internal/sparse"
@@ -48,7 +49,31 @@ type (
 	LookupResult = core.TimedResult
 	// SpMVResult is a timed SpMV outcome.
 	SpMVResult = spmv.Result
+	// FaultPlan is a deterministic fault-injection schedule attachable to a
+	// System via SystemConfig.Faults. The zero value injects nothing.
+	FaultPlan = fault.Plan
+	// RankFailure schedules one memory rank going dark.
+	RankFailure = fault.RankFailure
+	// PEStallFault schedules a latency spike on one tree node.
+	PEStallFault = fault.PEStall
+	// DegradedReport quantifies the graceful-degradation work of a
+	// fault-injected lookup (LookupResult.Degraded).
+	DegradedReport = core.DegradedReport
 )
+
+// Structured failure modes of fault-injected runs; match with errors.Is.
+var (
+	// ErrRankFailed reports a read on a dark rank with no live replica.
+	ErrRankFailed = fault.ErrRankFailed
+	// ErrInvariantViolated reports broken reduction-tree header accounting.
+	ErrInvariantViolated = fault.ErrInvariantViolated
+	// ErrRetriesExhausted reports a read whose every retry came back corrupt.
+	ErrRetriesExhausted = fault.ErrRetriesExhausted
+)
+
+// ParseFaultPlan builds a FaultPlan from the compact spec format of
+// fafnir-sim's -faults flag, e.g. "rank=3@0;ecc=0.001;stall=5+200;seed=9".
+func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.Parse(spec) }
 
 // Pooling operations.
 const (
@@ -79,6 +104,10 @@ type SystemConfig struct {
 	// Dedup controls whether Lookup eliminates redundant accesses
 	// (default true; set DisableDedup to turn off).
 	DisableDedup bool
+	// Faults attaches a deterministic fault-injection schedule. The zero
+	// plan injects nothing and leaves every run bit-identical to a system
+	// built without it.
+	Faults FaultPlan
 }
 
 func (c *SystemConfig) fillDefaults() {
@@ -111,6 +140,7 @@ type System struct {
 	store  *embedding.Store
 	engine *core.Engine
 	mem    *dram.System
+	inj    *fault.Injector
 }
 
 // NewSystem builds a system; zero-value config selects the paper's setup.
@@ -130,7 +160,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 
 	layout := memmap.Uniform(mcfg, 512, 32, cfg.RowsPerTable)
-	store := embedding.NewStore(layout.TotalRows(), 128, uint64(cfg.Seed))
+	store, err := embedding.NewStore(layout.TotalRows(), 128, uint64(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
 
 	ecfg := core.Default()
 	ecfg.NumRanks = cfg.Ranks
@@ -139,14 +172,27 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	mem, err := dram.NewSystem(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
 		cfg:    cfg,
 		mcfg:   mcfg,
 		layout: layout,
 		store:  store,
 		engine: engine,
-		mem:    dram.NewSystem(mcfg),
-	}, nil
+		mem:    mem,
+	}
+	if !cfg.Faults.Empty() {
+		inj, err := fault.NewInjector(cfg.Faults, mcfg.TotalRanks())
+		if err != nil {
+			return nil, err
+		}
+		sys.inj = inj
+		mem.AttachFaults(inj)
+	}
+	return sys, nil
 }
 
 // TotalRows reports the number of embedding vectors in the system.
@@ -182,21 +228,28 @@ func (s *System) GenerateBatch(n int, seed int64) (Batch, error) {
 }
 
 // Lookup runs a batch through the Fafnir tree with full timing and verifies
-// the outputs against the golden reference before returning.
+// the outputs against the golden reference before returning. When a fault
+// plan is attached the run degrades gracefully — dark-rank reads remap to
+// replicas, corrupt reads retry with backoff — and the result carries a
+// DegradedReport; outputs still verify against the golden reference.
 func (s *System) Lookup(b Batch) (*LookupResult, error) {
-	res, err := s.engine.TimedLookup(s.store, s.layout, s.mem, b, !s.cfg.DisableDedup)
+	res, err := s.engine.TimedLookupFaulted(s.store, s.layout, s.mem, b, !s.cfg.DisableDedup, s.inj)
 	if err != nil {
 		return nil, err
 	}
-	golden := b.Golden(s.store)
+	golden, err := b.Golden(s.store)
+	if err != nil {
+		return nil, err
+	}
 	if i := core.VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
 		return nil, fmt.Errorf("fafnir: query %d mismatches the golden reference", i)
 	}
 	return res, nil
 }
 
-// Golden computes the reference result of a batch (no simulation).
-func (s *System) Golden(b Batch) []Vector { return b.Golden(s.store) }
+// Golden computes the reference result of a batch (no simulation). It
+// returns an error when the batch references rows outside the store.
+func (s *System) Golden(b Batch) ([]Vector, error) { return b.Golden(s.store) }
 
 // SpMV multiplies the sparse matrix by x on the Fafnir tree (vectorized
 // mode, Section IV-D) and verifies the product against the reference.
@@ -263,7 +316,10 @@ func (s *System) LookupInteractive(b Batch) (*LookupResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	golden := b.Golden(s.store)
+	golden, err := b.Golden(s.store)
+	if err != nil {
+		return nil, err
+	}
 	if i := core.VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
 		return nil, fmt.Errorf("fafnir: query %d mismatches the golden reference", i)
 	}

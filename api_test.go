@@ -45,7 +45,10 @@ func TestLookupEndToEnd(t *testing.T) {
 	if res.TotalCycles == 0 || len(res.Outputs) != 16 {
 		t.Fatalf("implausible result %+v", res)
 	}
-	golden := sys.Golden(b)
+	golden, err := sys.Golden(b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range golden {
 		if !res.Outputs[i].ApproxEqual(golden[i], 1e-3) {
 			t.Fatalf("query %d mismatch", i)
@@ -177,5 +180,36 @@ func TestTreeDOTFacade(t *testing.T) {
 	}
 	if !strings.Contains(sys.TreeDOT(), "digraph fafnir") {
 		t.Fatal("DOT render missing header")
+	}
+}
+
+func TestLookupWithFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("rank=0@0;ecc=0.02;seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(SystemConfig{RowsPerTable: 1024, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.GenerateBatch(64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lookup golden-verifies internally, so success means the degraded run
+	// still produced correct outputs.
+	res, err := sys.Lookup(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Degraded
+	if d == nil {
+		t.Fatal("fault-injected lookup reports no degradation")
+	}
+	if len(d.FailedRanks) != 1 || d.FailedRanks[0] != 0 {
+		t.Fatalf("FailedRanks = %v, want [0]", d.FailedRanks)
+	}
+	if d.RemappedReads < 1 {
+		t.Fatalf("expected remapped reads, got %+v", d)
 	}
 }

@@ -7,6 +7,7 @@
 //	fafnir-sim -mode lookup -engine fafnir -batch 32 -q 16 -zipf 1.3
 //	fafnir-sim -mode lookup -engine recnmp -batch 16
 //	fafnir-sim -mode lookup -engine interactive -batch 4
+//	fafnir-sim -mode lookup -faults "rank=3@0;ecc=0.001;seed=9"
 //	fafnir-sim -mode spmv -engine twostep -matrix graph -size 8192
 //	fafnir-sim -mode graph -algo pagerank -size 4096
 //	fafnir-sim -mode solver -algo cg -size 2048
@@ -21,6 +22,7 @@ import (
 	"fafnir/internal/dram"
 	"fafnir/internal/embedding"
 	"fafnir/internal/fafnir"
+	"fafnir/internal/fault"
 	"fafnir/internal/graph"
 	"fafnir/internal/memmap"
 	"fafnir/internal/recnmp"
@@ -46,13 +48,14 @@ func main() {
 		seed   = flag.Int64("seed", 1, "workload seed")
 		matrix = flag.String("matrix", "banded", "spmv: banded|graph|uniform")
 		size   = flag.Int("size", 8192, "spmv: matrix dimension")
+		faults = flag.String("faults", "", `lookup (fafnir): fault plan, e.g. "rank=3@0;ecc=0.001;stall=5+200;seed=9"`)
 	)
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "lookup":
-		err = runLookup(*engine, *batch, *q, *rows, *zipf, *dedup, *seed)
+		err = runLookup(*engine, *batch, *q, *rows, *zipf, *dedup, *seed, *faults)
 	case "spmv":
 		err = runSpMV(*engine, *matrix, *size, *seed)
 	case "graph":
@@ -70,11 +73,18 @@ func main() {
 
 func usSeconds(c sim.Cycle) float64 { return sim.Seconds(c, 200) * 1e6 }
 
-func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, seed int64) error {
+func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, seed int64, faults string) error {
+	plan, err := fault.Parse(faults)
+	if err != nil {
+		return err
+	}
+	if !plan.Empty() && engine != "fafnir" {
+		return fmt.Errorf("-faults is only supported by the fafnir engine, not %q", engine)
+	}
 	mcfg := dram.DDR4()
 	layout := memmap.Uniform(mcfg, 512, 32, rowsPer)
-	store := embedding.NewStore(layout.TotalRows(), 128, uint64(seed))
-	mem := dram.NewSystem(mcfg)
+	store := embedding.MustStore(layout.TotalRows(), 128, uint64(seed))
+	mem := dram.MustSystem(mcfg)
 
 	gcfg := embedding.GeneratorConfig{
 		NumQueries: batchN, QuerySize: q, Rows: layout.TotalRows(), Seed: seed,
@@ -88,7 +98,7 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 		return err
 	}
 	b := gen.Batch(tensor.OpSum)
-	golden := b.Golden(store)
+	golden := b.MustGolden(store)
 
 	fmt.Printf("embedding lookup: engine=%s batch=%d q=%d dedup=%v\n", engine, batchN, q, dedup)
 	switch engine {
@@ -114,7 +124,13 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 		if err != nil {
 			return err
 		}
-		res, err := e.TimedLookup(store, layout, mem, b, dedup)
+		var inj *fault.Injector
+		if !plan.Empty() {
+			if inj, err = fault.NewInjector(plan, mcfg.TotalRanks()); err != nil {
+				return err
+			}
+		}
+		res, err := e.TimedLookupFaulted(store, layout, mem, b, dedup, inj)
 		if err != nil {
 			return err
 		}
@@ -125,6 +141,10 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 		fmt.Printf("  total    %8.2f us\n", usSeconds(res.TotalCycles))
 		fmt.Printf("  PE actions: %d reduces, %d forwards, %d merged duplicates\n",
 			res.PETotals.Reduces, res.PETotals.Forwards, res.PETotals.MergedDuplicates)
+		if d := res.Degraded; d != nil {
+			fmt.Printf("  degraded: ranks dark %v, %d reads remapped (%d queries), %d retries costing %d mem cycles\n",
+				d.FailedRanks, d.RemappedReads, d.RemappedQueries, d.Retries, d.RetryCycles)
+		}
 		if i := fafnir.VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
 			return fmt.Errorf("query %d mismatches golden", i)
 		}
@@ -184,7 +204,7 @@ func fafnirExecutor() (solver.SpMV, error) {
 		return nil, err
 	}
 	return func(m *sparse.LIL, x tensor.Vector) (tensor.Vector, sim.Cycle, error) {
-		res, err := eng.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+		res, err := eng.Multiply(m, x, dram.MustSystem(dram.DDR4()))
 		if err != nil {
 			return nil, 0, err
 		}
@@ -278,7 +298,7 @@ func runSpMV(engine, matrix string, size int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	mem := dram.NewSystem(dram.DDR4())
+	mem := dram.MustSystem(dram.DDR4())
 
 	fmt.Printf("SpMV: engine=%s matrix=%s %dx%d nnz=%d density=%.2e\n",
 		engine, matrix, m.Rows, m.Cols, m.NNZ(), m.Density())

@@ -135,8 +135,8 @@ func cmdRun(args []string) error {
 	mcfg := dram.DDR4()
 	rowsPer := int((tr.Rows + 31) / 32)
 	layout := memmap.Uniform(mcfg, 512, 32, rowsPer)
-	store := embedding.NewStore(layout.TotalRows(), 128, 1)
-	mem := dram.NewSystem(mcfg)
+	store := embedding.MustStore(layout.TotalRows(), 128, 1)
+	mem := dram.MustSystem(mcfg)
 
 	us := func(c sim.Cycle) float64 { return sim.Seconds(c, 200) * 1e6 }
 	switch *engine {

@@ -47,14 +47,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	store := embedding.NewStore(100, 4, 77)
+	store := embedding.MustStore(100, 4, 77)
 
 	// Place each access's entry at rank = table digit.
 	rankIn := map[int][]core.Entry{}
 	for _, acc := range plan.Accesses {
 		r := int(acc.Index) % 10
 		rankIn[r] = append(rankIn[r], core.Entry{
-			Value:  store.Vector(acc.Index),
+			Value:  store.MustVector(acc.Index),
 			Header: acc.LeafHeader(),
 		})
 	}
@@ -106,7 +106,7 @@ func main() {
 
 	// Resolve the root outputs back to queries and verify.
 	fmt.Println("\nroot outputs resolved to queries:")
-	golden := b.Golden(store)
+	golden := b.MustGolden(store)
 	for _, out := range rootOut {
 		if !out.Header.Complete() {
 			continue

@@ -27,7 +27,7 @@ func us(c sim.Cycle) float64 { return sim.Seconds(c, 200) * 1e6 }
 func main() {
 	mcfg := dram.DDR4()
 	layout := memmap.Uniform(mcfg, 512, 32, 1<<17)
-	store := embedding.NewStore(layout.TotalRows(), 128, 7)
+	store := embedding.MustStore(layout.TotalRows(), 128, 7)
 
 	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
 		NumQueries: queriesPerInference,
@@ -51,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	bres, err := base.TimedLookup(store, layout, dram.NewSystem(mcfg), batch)
+	bres, err := base.TimedLookup(store, layout, dram.MustSystem(mcfg), batch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rres, err := rec.TimedLookup(store, layout, dram.NewSystem(mcfg), batch)
+	rres, err := rec.TimedLookup(store, layout, dram.MustSystem(mcfg), batch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fres, err := eng.TimedLookup(store, layout, dram.NewSystem(mcfg), batch, true)
+	fres, err := eng.TimedLookup(store, layout, dram.MustSystem(mcfg), batch, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func main() {
 		fres.MemoryReads, batch.TotalAccesses())
 
 	// Cross-check: all engines agree with the golden reference.
-	golden := batch.Golden(store)
+	golden := batch.MustGolden(store)
 	for name, outs := range map[string][]tensor.Vector{
 		"baseline": bres.Outputs, "recnmp": rres.Outputs, "fafnir": fres.Outputs,
 	} {

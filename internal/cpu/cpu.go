@@ -120,7 +120,11 @@ func (e *Engine) Config() Config { return e.cfg }
 // read reserves the channel bus, and the host handles each arriving vector
 // at VectorHandleCycles on one of Cores cores.
 func (e *Engine) TimedLookup(store *embedding.Store, layout fafnir.Placement, mem *dram.System, b embedding.Batch) (*Result, error) {
-	res := &Result{Outputs: b.Golden(store)}
+	outputs, err := b.Golden(store)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Outputs: outputs}
 
 	var memDone sim.Cycle
 	vectors := 0

@@ -17,8 +17,8 @@ func fixture(t *testing.T) (*Engine, *embedding.Store, *memmap.Layout, *dram.Sys
 	}
 	mcfg := dram.DDR4()
 	layout := memmap.Uniform(mcfg, 512, 32, 1024)
-	store := embedding.NewStore(layout.TotalRows(), 128, 1)
-	return e, store, layout, dram.NewSystem(mcfg)
+	store := embedding.MustStore(layout.TotalRows(), 128, 1)
+	return e, store, layout, dram.MustSystem(mcfg)
 }
 
 func testBatch(t *testing.T, n, q int, rows uint64, seed int64) embedding.Batch {
@@ -55,7 +55,7 @@ func TestTimedLookupGoldenOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	golden := b.Golden(store)
+	golden := b.MustGolden(store)
 	for i := range golden {
 		if !res.Outputs[i].Equal(golden[i]) {
 			t.Fatalf("query %d output mismatch", i)
@@ -98,14 +98,14 @@ func TestChannelContentionSlowsBaseline(t *testing.T) {
 	}
 	lw := memmap.Uniform(wide, 512, 32, 1024)
 	ln := memmap.Uniform(narrow, 512, 32, 1024)
-	store := embedding.NewStore(lw.TotalRows(), 128, 1)
+	store := embedding.MustStore(lw.TotalRows(), 128, 1)
 	b := testBatch(t, 8, 16, lw.TotalRows(), 4)
 
-	rw, err := e.TimedLookup(store, lw, dram.NewSystem(wide), b)
+	rw, err := e.TimedLookup(store, lw, dram.MustSystem(wide), b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rn, err := e.TimedLookup(store, ln, dram.NewSystem(narrow), b)
+	rn, err := e.TimedLookup(store, ln, dram.MustSystem(narrow), b)
 	if err != nil {
 		t.Fatal(err)
 	}

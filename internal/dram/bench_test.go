@@ -4,16 +4,16 @@ import "testing"
 
 func BenchmarkRandomReads(b *testing.B) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Read(0, cfg.Encode(i%cfg.TotalRanks(), uint64(i%4096)), 512, DestLocal)
+		s.Read(0, cfg.MustEncode(i%cfg.TotalRanks(), uint64(i%4096)), 512, DestLocal)
 	}
 }
 
 func BenchmarkStreamRead(b *testing.B) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.StreamRead(0, i%cfg.TotalRanks(), 0, 64<<10, DestLocal)

@@ -21,6 +21,7 @@ package dram
 import (
 	"fmt"
 
+	"fafnir/internal/fault"
 	"fafnir/internal/sim"
 )
 
@@ -219,13 +220,24 @@ func (c Config) Decode(addr Addr) Location {
 
 // Encode inverts Decode for slot-aligned addresses: it returns the byte
 // address of interleave slot slot within global rank rank. Slot s of rank r
-// is the s-th InterleaveBytes-sized block stored in that rank.
-func (c Config) Encode(globalRank int, slot uint64) Addr {
+// is the s-th InterleaveBytes-sized block stored in that rank. It returns an
+// error for a rank outside the geometry.
+func (c Config) Encode(globalRank int, slot uint64) (Addr, error) {
 	if globalRank < 0 || globalRank >= c.TotalRanks() {
-		panic(fmt.Sprintf("dram: rank %d out of range [0,%d)", globalRank, c.TotalRanks()))
+		return 0, fmt.Errorf("dram: rank %d out of range [0,%d)", globalRank, c.TotalRanks())
 	}
 	idx := slot*uint64(c.TotalRanks()) + uint64(globalRank)
-	return Addr(idx * uint64(c.InterleaveBytes))
+	return Addr(idx * uint64(c.InterleaveBytes)), nil
+}
+
+// MustEncode is Encode for callers with statically valid ranks (tests,
+// examples); it panics on error.
+func (c Config) MustEncode(globalRank int, slot uint64) Addr {
+	a, err := c.Encode(globalRank, slot)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // bank tracks one bank's open row and availability.
@@ -254,13 +266,14 @@ type System struct {
 	ranks     []rank
 	chanBusAt []sim.Cycle // per-channel host-bus availability
 	stats     *sim.Stats
+	faults    *fault.Injector // nil when no fault plan is attached
 }
 
-// NewSystem builds a memory system for the configuration. It panics on an
-// invalid configuration (construction-time misuse, not a runtime condition).
-func NewSystem(cfg Config) *System {
+// NewSystem builds a memory system for the configuration. It returns an
+// error for an invalid configuration.
+func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	s := &System{
 		cfg:       cfg,
@@ -274,8 +287,27 @@ func NewSystem(cfg Config) *System {
 			s.ranks[i].banks[b].openRow = -1
 		}
 	}
+	return s, nil
+}
+
+// MustSystem is NewSystem for callers with statically valid configurations
+// (the DDR4/HBM2 presets in tests and examples); it panics on error.
+func MustSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
+
+// AttachFaults threads a fault injector into the memory model: ReadChecked
+// consults it for dark ranks. A nil injector detaches. The attachment itself
+// never perturbs timing — a system with an inactive injector behaves
+// bit-identically to one with none.
+func (s *System) AttachFaults(inj *fault.Injector) { s.faults = inj }
+
+// Faults returns the attached injector (nil when none).
+func (s *System) Faults() *fault.Injector { return s.faults }
 
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -361,6 +393,32 @@ func (s *System) Read(now sim.Cycle, addr Addr, size int, dest Dest) sim.Cycle {
 		size -= chunk
 	}
 	return done
+}
+
+// ReadChecked is Read with the attached fault injector consulted first: a
+// read whose address decodes to a rank that is dark at issue time returns
+// fault.ErrRankFailed instead of timing. With no injector attached (or an
+// inactive one) it is exactly Read.
+func (s *System) ReadChecked(now sim.Cycle, addr Addr, size int, dest Dest) (sim.Cycle, error) {
+	if s.faults.Active() {
+		// Walk the interleave slots the read spans; each may map to a
+		// different rank.
+		a, left := addr, size
+		for left > 0 {
+			chunk := s.cfg.InterleaveBytes - int(a)%s.cfg.InterleaveBytes
+			if chunk > left {
+				chunk = left
+			}
+			if g := s.cfg.GlobalRank(s.cfg.Decode(a)); s.faults.RankFailed(g, now) {
+				s.stats.Inc("dram.failed_rank_reads", 1)
+				return 0, fmt.Errorf("%w: read of %d B at %#x targets dark rank %d at cycle %d",
+					fault.ErrRankFailed, size, uint64(addr), g, now)
+			}
+			a += Addr(chunk)
+			left -= chunk
+		}
+	}
+	return s.Read(now, addr, size, dest), nil
 }
 
 // readWithinSlot serves a read that stays inside one interleave slot (hence
@@ -503,8 +561,8 @@ func (s *System) Write(now sim.Cycle, addr Addr, size int) sim.Cycle {
 
 // StreamWrite models a sequential write-back stream of size bytes to global
 // rank g starting at slot startSlot (the partial-result spill of an SpMV
-// merge round).
-func (s *System) StreamWrite(now sim.Cycle, g int, startSlot uint64, size int) sim.Cycle {
+// merge round). It returns an error for a rank outside the geometry.
+func (s *System) StreamWrite(now sim.Cycle, g int, startSlot uint64, size int) (sim.Cycle, error) {
 	done := now
 	slot := startSlot
 	for size > 0 {
@@ -512,19 +570,23 @@ func (s *System) StreamWrite(now sim.Cycle, g int, startSlot uint64, size int) s
 		if chunk > size {
 			chunk = size
 		}
-		addr := s.cfg.Encode(g, slot)
+		addr, err := s.cfg.Encode(g, slot)
+		if err != nil {
+			return 0, err
+		}
 		done = s.Write(done, addr, chunk)
 		slot++
 		size -= chunk
 	}
-	return done
+	return done, nil
 }
 
 // StreamRead models a sequential stream of size bytes from global rank g
 // starting at that rank's slot startSlot, as used by SpMV streaming. It is
 // row-buffer friendly by construction: consecutive slots of a rank share
-// rows. Returns the completion cycle of the final burst.
-func (s *System) StreamRead(now sim.Cycle, g int, startSlot uint64, size int, dest Dest) sim.Cycle {
+// rows. Returns the completion cycle of the final burst, or an error for a
+// rank outside the geometry.
+func (s *System) StreamRead(now sim.Cycle, g int, startSlot uint64, size int, dest Dest) (sim.Cycle, error) {
 	done := now
 	slot := startSlot
 	for size > 0 {
@@ -532,10 +594,13 @@ func (s *System) StreamRead(now sim.Cycle, g int, startSlot uint64, size int, de
 		if chunk > size {
 			chunk = size
 		}
-		addr := s.cfg.Encode(g, slot)
+		addr, err := s.cfg.Encode(g, slot)
+		if err != nil {
+			return 0, err
+		}
 		done = s.Read(done, addr, chunk, dest)
 		slot++
 		size -= chunk
 	}
-	return done
+	return done, nil
 }

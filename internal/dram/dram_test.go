@@ -43,13 +43,10 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 	}
 }
 
-func TestNewSystemPanicsOnInvalid(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewSystem accepted invalid config")
-		}
-	}()
-	NewSystem(Config{})
+func TestNewSystemErrorsOnInvalid(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Fatal("NewSystem accepted invalid config")
+	}
 }
 
 func TestGlobalRankRoundTrip(t *testing.T) {
@@ -66,7 +63,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	cfg := DDR4()
 	for g := 0; g < cfg.TotalRanks(); g += 7 {
 		for slot := uint64(0); slot < 200; slot += 13 {
-			addr := cfg.Encode(g, slot)
+			addr := cfg.MustEncode(g, slot)
 			loc := cfg.Decode(addr)
 			if got := cfg.GlobalRank(loc); got != g {
 				t.Fatalf("Encode(%d,%d)=%d decoded to rank %d", g, slot, addr, got)
@@ -75,14 +72,14 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
-func TestEncodePanicsOutOfRange(t *testing.T) {
+func TestEncodeErrorsOutOfRange(t *testing.T) {
 	cfg := DDR4()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Encode accepted out-of-range rank")
-		}
-	}()
-	cfg.Encode(cfg.TotalRanks(), 0)
+	if _, err := cfg.Encode(cfg.TotalRanks(), 0); err == nil {
+		t.Fatal("Encode accepted out-of-range rank")
+	}
+	if _, err := cfg.Encode(-1, 0); err == nil {
+		t.Fatal("Encode accepted negative rank")
+	}
 }
 
 func TestDecodeConsecutiveSlotsRotateRanks(t *testing.T) {
@@ -99,7 +96,7 @@ func TestDecodeConsecutiveSlotsRotateRanks(t *testing.T) {
 
 func TestReadLatencyRowMissThenHit(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	// First read of a closed bank: tRCD + tCAS + tBurst for one burst.
 	done := s.Read(0, 0, cfg.BurstBytes, DestLocal)
 	want := cfg.TRCD + cfg.TCAS + cfg.TBurst
@@ -121,14 +118,14 @@ func TestReadLatencyRowMissThenHit(t *testing.T) {
 
 func TestReadRowConflict(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	// Two rows of the same bank: slots within a rank stripe rows across
 	// banks; the same bank repeats every BanksPerRank rows. Each row holds
 	// RowBytes/InterleaveBytes slots.
 	slotsPerRow := uint64(cfg.RowBytes / cfg.InterleaveBytes)
 	sameBankSlot := slotsPerRow * uint64(cfg.BanksPerRank)
-	a1 := cfg.Encode(0, 0)
-	a2 := cfg.Encode(0, sameBankSlot)
+	a1 := cfg.MustEncode(0, 0)
+	a2 := cfg.MustEncode(0, sameBankSlot)
 	if l1, l2 := cfg.Decode(a1), cfg.Decode(a2); l1.Bank != l2.Bank || l1.Row == l2.Row {
 		t.Fatalf("slot construction wrong: %+v vs %+v", l1, l2)
 	}
@@ -141,11 +138,11 @@ func TestReadRowConflict(t *testing.T) {
 
 func TestRankParallelism(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	// Reads to two different ranks issued at the same cycle complete at the
 	// same cycle: no serialization across ranks.
-	d0 := s.Read(0, cfg.Encode(0, 0), 512, DestLocal)
-	d1 := s.Read(0, cfg.Encode(1, 0), 512, DestLocal)
+	d0 := s.Read(0, cfg.MustEncode(0, 0), 512, DestLocal)
+	d1 := s.Read(0, cfg.MustEncode(1, 0), 512, DestLocal)
 	if d0 != d1 {
 		t.Fatalf("parallel rank reads finished at %d and %d", d0, d1)
 	}
@@ -153,9 +150,9 @@ func TestRankParallelism(t *testing.T) {
 
 func TestSameRankSerializesOnPins(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
-	d0 := s.Read(0, cfg.Encode(0, 0), 512, DestLocal)
-	d1 := s.Read(0, cfg.Encode(0, 1), 512, DestLocal)
+	s := MustSystem(cfg)
+	d0 := s.Read(0, cfg.MustEncode(0, 0), 512, DestLocal)
+	d1 := s.Read(0, cfg.MustEncode(0, 1), 512, DestLocal)
 	if d1 <= d0 {
 		t.Fatalf("second read on same rank finished at %d, first at %d", d1, d0)
 	}
@@ -163,14 +160,14 @@ func TestSameRankSerializesOnPins(t *testing.T) {
 
 func TestHostDestinationUsesChannelBus(t *testing.T) {
 	cfg := DDR4()
-	sLocal := NewSystem(cfg)
-	sHost := NewSystem(cfg)
+	sLocal := MustSystem(cfg)
+	sHost := MustSystem(cfg)
 	// Two ranks on the same channel, both streaming to the host, must
 	// serialize on the channel bus; locally they complete in parallel.
-	ld0 := sLocal.Read(0, cfg.Encode(0, 0), 512, DestLocal)
-	ld1 := sLocal.Read(0, cfg.Encode(1, 0), 512, DestLocal)
-	hd0 := sHost.Read(0, cfg.Encode(0, 0), 512, DestHost)
-	hd1 := sHost.Read(0, cfg.Encode(1, 0), 512, DestHost)
+	ld0 := sLocal.Read(0, cfg.MustEncode(0, 0), 512, DestLocal)
+	ld1 := sLocal.Read(0, cfg.MustEncode(1, 0), 512, DestLocal)
+	hd0 := sHost.Read(0, cfg.MustEncode(0, 0), 512, DestHost)
+	hd1 := sHost.Read(0, cfg.MustEncode(1, 0), 512, DestHost)
 	if ld0 != ld1 {
 		t.Fatal("local reads did not overlap")
 	}
@@ -186,7 +183,7 @@ func TestHostDestinationUsesChannelBus(t *testing.T) {
 }
 
 func TestReadZeroSize(t *testing.T) {
-	s := NewSystem(DDR4())
+	s := MustSystem(DDR4())
 	if done := s.Read(42, 0, 0, DestLocal); done != 42 {
 		t.Fatalf("zero-size read advanced time to %d", done)
 	}
@@ -194,7 +191,7 @@ func TestReadZeroSize(t *testing.T) {
 
 func TestReadSpanningSlots(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	// A read of two interleave slots touches two ranks.
 	s.Read(0, 0, 2*cfg.InterleaveBytes, DestLocal)
 	r0, _, _, _, _ := s.RankStats(0)
@@ -206,7 +203,7 @@ func TestReadSpanningSlots(t *testing.T) {
 
 func TestReserveChannel(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	end := s.ReserveChannel(10, 0, 5)
 	if end != 15 {
 		t.Fatalf("reservation end %d", end)
@@ -236,10 +233,12 @@ func TestTransferCycles(t *testing.T) {
 
 func TestStreamReadRowFriendly(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	// Streaming 16 consecutive slots of one rank: only one activate per row.
 	slots := 16
-	s.StreamRead(0, 0, 0, slots*cfg.InterleaveBytes, DestLocal)
+	if _, err := s.StreamRead(0, 0, 0, slots*cfg.InterleaveBytes, DestLocal); err != nil {
+		t.Fatal(err)
+	}
 	slotsPerRow := cfg.RowBytes / cfg.InterleaveBytes
 	wantActivates := uint64((slots + slotsPerRow - 1) / slotsPerRow)
 	gotActivates := s.Stats().Counter("dram.row_misses") + s.Stats().Counter("dram.row_conflicts")
@@ -250,7 +249,7 @@ func TestStreamReadRowFriendly(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	s.Read(0, 0, 512, DestHost)
 	s.Reset()
 	if s.Stats().Counter("dram.reads") != 0 {
@@ -272,7 +271,7 @@ func TestQuickEncodeDecode(t *testing.T) {
 	cfg := DDR4()
 	f := func(rank uint8, slot uint16) bool {
 		g := int(rank) % cfg.TotalRanks()
-		addr := cfg.Encode(g, uint64(slot))
+		addr := cfg.MustEncode(g, uint64(slot))
 		loc := cfg.Decode(addr)
 		if cfg.GlobalRank(loc) != g {
 			return false
@@ -290,10 +289,10 @@ func TestQuickReadMonotone(t *testing.T) {
 	cfg := DDR4()
 	f := func(rank uint8, slot uint8, delay uint8) bool {
 		g := int(rank) % cfg.TotalRanks()
-		addr := cfg.Encode(g, uint64(slot))
-		s1 := NewSystem(cfg)
+		addr := cfg.MustEncode(g, uint64(slot))
+		s1 := MustSystem(cfg)
 		d1 := s1.Read(0, addr, 512, DestLocal)
-		s2 := NewSystem(cfg)
+		s2 := MustSystem(cfg)
 		d2 := s2.Read(sim.Cycle(delay), addr, 512, DestLocal)
 		return d1 >= 0 && d2 >= sim.Cycle(delay) && d2 >= d1
 	}
@@ -316,12 +315,12 @@ func TestHBM2Config(t *testing.T) {
 	}
 	// Same 512 B gather spread over HBM is faster than over DDR4 (more
 	// channel buses, faster clock relative to the 200 MHz reporting base).
-	ddr := NewSystem(DDR4())
-	hbm := NewSystem(cfg)
+	ddr := MustSystem(DDR4())
+	hbm := MustSystem(cfg)
 	var ddrDone, hbmDone sim.Cycle
 	for r := 0; r < 32; r++ {
-		ddrDone = sim.Max(ddrDone, ddr.Read(0, DDR4().Encode(r, 0), 512, DestHost))
-		hbmDone = sim.Max(hbmDone, hbm.Read(0, cfg.Encode(r, 0), 512, DestHost))
+		ddrDone = sim.Max(ddrDone, ddr.Read(0, DDR4().MustEncode(r, 0), 512, DestHost))
+		hbmDone = sim.Max(hbmDone, hbm.Read(0, cfg.MustEncode(r, 0), 512, DestHost))
 	}
 	ddrSec := sim.Seconds(ddrDone, DDR4().ClockMHz)
 	hbmSec := sim.Seconds(hbmDone, cfg.ClockMHz)
@@ -333,7 +332,7 @@ func TestHBM2Config(t *testing.T) {
 func TestClosedPagePolicy(t *testing.T) {
 	cfg := DDR4()
 	cfg.ClosedPage = true
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	// Two back-to-back reads of the same row: second one is NOT a hit
 	// under closed-page.
 	s.Read(0, 0, cfg.BurstBytes, DestLocal)
@@ -348,7 +347,7 @@ func TestClosedPagePolicy(t *testing.T) {
 
 func TestActivateThrottling(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	// Back-to-back activates to different banks of one rank must respect
 	// tRRD and tFAW even though the banks themselves are free.
 	slotsPerRow := uint64(cfg.RowBytes / cfg.InterleaveBytes)
@@ -356,7 +355,7 @@ func TestActivateThrottling(t *testing.T) {
 	const activates = 16
 	for i := 0; i < activates; i++ {
 		// Each slot lands in a different bank (rows stripe across banks).
-		addr := cfg.Encode(0, uint64(i)*slotsPerRow)
+		addr := cfg.MustEncode(0, uint64(i)*slotsPerRow)
 		last = s.Read(0, addr, cfg.BurstBytes, DestLocal)
 	}
 	// 16 activates span at least three full tFAW windows regardless of how
@@ -368,10 +367,10 @@ func TestActivateThrottling(t *testing.T) {
 	free := cfg
 	free.TRRD = 0
 	free.TFAW = 0
-	s2 := NewSystem(free)
+	s2 := MustSystem(free)
 	var last2 sim.Cycle
 	for i := 0; i < activates; i++ {
-		addr := free.Encode(0, uint64(i)*slotsPerRow)
+		addr := free.MustEncode(0, uint64(i)*slotsPerRow)
 		last2 = s2.Read(0, addr, free.BurstBytes, DestLocal)
 	}
 	if last2 >= last {
@@ -381,7 +380,7 @@ func TestActivateThrottling(t *testing.T) {
 
 func TestRefreshDelays(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	// An access landing inside the first refresh window is pushed out.
 	inWindow := cfg.TREFI + cfg.TRFC/2
 	done := s.Read(inWindow, 0, cfg.BurstBytes, DestLocal)
@@ -394,7 +393,7 @@ func TestRefreshDelays(t *testing.T) {
 	}
 	// An access just after the window is unaffected.
 	clear := cfg.TREFI + cfg.TRFC + 100
-	s2 := NewSystem(cfg)
+	s2 := MustSystem(cfg)
 	done2 := s2.Read(clear, 0, cfg.BurstBytes, DestLocal)
 	if done2 != clear+cfg.TRCD+cfg.TCAS+cfg.TBurst {
 		t.Fatalf("clear read done at %d", done2)
@@ -405,7 +404,7 @@ func TestRefreshDelays(t *testing.T) {
 	// Refresh disabled: no delay even inside the nominal window.
 	off := cfg
 	off.TREFI = 0
-	s3 := NewSystem(off)
+	s3 := MustSystem(off)
 	done3 := s3.Read(inWindow, 0, off.BurstBytes, DestLocal)
 	if done3 != inWindow+off.TRCD+off.TCAS+off.TBurst {
 		t.Fatalf("refresh-off read done at %d", done3)
@@ -414,7 +413,7 @@ func TestRefreshDelays(t *testing.T) {
 
 func TestRefreshBeforeFirstWindow(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	// Early accesses (before the first TREFI) never see refresh.
 	done := s.Read(0, 0, cfg.BurstBytes, DestLocal)
 	if done != cfg.TRCD+cfg.TCAS+cfg.TBurst {
@@ -424,7 +423,7 @@ func TestRefreshBeforeFirstWindow(t *testing.T) {
 
 func TestWriteBasics(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
+	s := MustSystem(cfg)
 	done := s.Write(0, 0, 512)
 	if done == 0 {
 		t.Fatal("write took no time")
@@ -442,8 +441,11 @@ func TestWriteBasics(t *testing.T) {
 
 func TestStreamWriteOccupiesRank(t *testing.T) {
 	cfg := DDR4()
-	s := NewSystem(cfg)
-	end := s.StreamWrite(0, 3, 0, 4*cfg.InterleaveBytes)
+	s := MustSystem(cfg)
+	end, err := s.StreamWrite(0, 3, 0, 4*cfg.InterleaveBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if end == 0 {
 		t.Fatal("stream write took no time")
 	}

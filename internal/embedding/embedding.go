@@ -28,12 +28,23 @@ type Store struct {
 }
 
 // NewStore builds a store covering totalRows embedding vectors of dimension
-// dim, with contents derived from seed.
-func NewStore(totalRows uint64, dim int, seed uint64) *Store {
+// dim, with contents derived from seed. It returns an error for an empty
+// shape.
+func NewStore(totalRows uint64, dim int, seed uint64) (*Store, error) {
 	if totalRows == 0 || dim <= 0 {
-		panic(fmt.Sprintf("embedding: bad store shape rows=%d dim=%d", totalRows, dim))
+		return nil, fmt.Errorf("embedding: bad store shape rows=%d dim=%d", totalRows, dim)
 	}
-	return &Store{totalRows: totalRows, dim: dim, seed: seed}
+	return &Store{totalRows: totalRows, dim: dim, seed: seed}, nil
+}
+
+// MustStore is NewStore for callers with statically valid shapes (tests,
+// examples); it panics on error.
+func MustStore(totalRows uint64, dim int, seed uint64) *Store {
+	s, err := NewStore(totalRows, dim, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Dim reports the embedding dimension.
@@ -57,14 +68,25 @@ func (s *Store) Element(idx header.Index, e int) float32 {
 	return float32(int64(h%17)) - 8
 }
 
-// Vector materializes the embedding vector at global row idx.
-func (s *Store) Vector(idx header.Index) tensor.Vector {
+// Vector materializes the embedding vector at global row idx. It returns an
+// error for an out-of-range index.
+func (s *Store) Vector(idx header.Index) (tensor.Vector, error) {
 	if uint64(idx) >= s.totalRows {
-		panic(fmt.Sprintf("embedding: index %d out of range [0,%d)", idx, s.totalRows))
+		return nil, fmt.Errorf("embedding: index %d out of range [0,%d)", idx, s.totalRows)
 	}
 	v := tensor.New(s.dim)
 	for e := range v {
 		v[e] = s.Element(idx, e)
+	}
+	return v, nil
+}
+
+// MustVector is Vector for callers with statically valid indices (tests,
+// examples); it panics on error.
+func (s *Store) MustVector(idx header.Index) tensor.Vector {
+	v, err := s.Vector(idx)
+	if err != nil {
+		panic(err)
 	}
 	return v
 }
@@ -127,22 +149,40 @@ func (b Batch) UniqueFraction() float64 {
 
 // Golden computes the reference result of the batch against the store: one
 // reduced vector per query, in query order. Every engine's functional output
-// is compared against this.
-func (b Batch) Golden(s *Store) []tensor.Vector {
+// is compared against this. It returns an error when a query references an
+// index outside the store or the pooling operation is unusable.
+func (b Batch) Golden(s *Store) ([]tensor.Vector, error) {
 	out := make([]tensor.Vector, len(b.Queries))
 	for i, q := range b.Queries {
 		if q.Indices.Len() == 0 {
 			out[i] = tensor.New(s.Dim())
 			continue
 		}
-		acc := s.Vector(q.Indices[0])
+		acc, err := s.Vector(q.Indices[0])
+		if err != nil {
+			return nil, fmt.Errorf("embedding: golden of query %d: %w", i, err)
+		}
 		for _, idx := range q.Indices[1:] {
-			if err := b.Op.Apply(acc, s.Vector(idx)); err != nil {
-				panic(err) // dimensions come from one store; mismatch is a bug
+			v, err := s.Vector(idx)
+			if err != nil {
+				return nil, fmt.Errorf("embedding: golden of query %d: %w", i, err)
+			}
+			if err := b.Op.Apply(acc, v); err != nil {
+				return nil, fmt.Errorf("embedding: golden of query %d: %w", i, err)
 			}
 		}
 		b.Op.FinalizeMean(acc, q.Indices.Len())
 		out[i] = acc
+	}
+	return out, nil
+}
+
+// MustGolden is Golden for callers with statically valid batches (tests,
+// examples); it panics on error.
+func (b Batch) MustGolden(s *Store) []tensor.Vector {
+	out, err := b.Golden(s)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }

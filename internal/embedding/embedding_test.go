@@ -9,23 +9,23 @@ import (
 )
 
 func TestStoreDeterministic(t *testing.T) {
-	s1 := NewStore(1000, 16, 42)
-	s2 := NewStore(1000, 16, 42)
-	v1 := s1.Vector(123)
-	v2 := s2.Vector(123)
+	s1 := MustStore(1000, 16, 42)
+	s2 := MustStore(1000, 16, 42)
+	v1 := s1.MustVector(123)
+	v2 := s2.MustVector(123)
 	if !v1.Equal(v2) {
 		t.Fatal("same seed produced different vectors")
 	}
-	s3 := NewStore(1000, 16, 43)
-	if s3.Vector(123).Equal(v1) {
+	s3 := MustStore(1000, 16, 43)
+	if s3.MustVector(123).Equal(v1) {
 		t.Fatal("different seed produced identical vector (suspicious)")
 	}
 }
 
 func TestStoreValuesBounded(t *testing.T) {
-	s := NewStore(100, 64, 7)
+	s := MustStore(100, 64, 7)
 	for i := header.Index(0); i < 100; i++ {
-		for _, x := range s.Vector(i) {
+		for _, x := range s.MustVector(i) {
 			if x < -8 || x >= 9 {
 				t.Fatalf("element %v out of range", x)
 			}
@@ -36,29 +36,19 @@ func TestStoreValuesBounded(t *testing.T) {
 	}
 }
 
-func TestStorePanicsOutOfRange(t *testing.T) {
-	s := NewStore(10, 4, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range index accepted")
-		}
-	}()
-	s.Vector(10)
+func TestStoreErrorsOutOfRange(t *testing.T) {
+	s := MustStore(10, 4, 1)
+	if _, err := s.Vector(10); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
 }
 
-func TestNewStorePanicsOnBadShape(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewStore(0, 4, 1) },
-		func() { NewStore(4, 0, 1) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("bad shape accepted")
-				}
-			}()
-			f()
-		}()
+func TestNewStoreErrorsOnBadShape(t *testing.T) {
+	if _, err := NewStore(0, 4, 1); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := NewStore(4, 0, 1); err == nil {
+		t.Error("zero dim accepted")
 	}
 }
 
@@ -95,13 +85,13 @@ func TestEmptyBatchUniqueFraction(t *testing.T) {
 }
 
 func TestGoldenSum(t *testing.T) {
-	s := NewStore(100, 4, 1)
+	s := MustStore(100, 4, 1)
 	b := Batch{
 		Queries: []Query{{Indices: header.NewIndexSet(3, 7)}},
 		Op:      tensor.OpSum,
 	}
-	got := b.Golden(s)
-	want, err := tensor.Add(s.Vector(3), s.Vector(7))
+	got := b.MustGolden(s)
+	want, err := tensor.Add(s.MustVector(3), s.MustVector(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,13 +101,13 @@ func TestGoldenSum(t *testing.T) {
 }
 
 func TestGoldenMean(t *testing.T) {
-	s := NewStore(100, 4, 1)
+	s := MustStore(100, 4, 1)
 	b := Batch{
 		Queries: []Query{{Indices: header.NewIndexSet(3, 7)}},
 		Op:      tensor.OpMean,
 	}
-	got := b.Golden(s)
-	sum, err := tensor.Add(s.Vector(3), s.Vector(7))
+	got := b.MustGolden(s)
+	sum, err := tensor.Add(s.MustVector(3), s.MustVector(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,18 +117,18 @@ func TestGoldenMean(t *testing.T) {
 }
 
 func TestGoldenSingleIndexQuery(t *testing.T) {
-	s := NewStore(100, 4, 1)
+	s := MustStore(100, 4, 1)
 	b := Batch{Queries: []Query{{Indices: header.NewIndexSet(9)}}, Op: tensor.OpSum}
-	got := b.Golden(s)
-	if !got[0].Equal(s.Vector(9)) {
+	got := b.MustGolden(s)
+	if !got[0].Equal(s.MustVector(9)) {
 		t.Fatal("single-index query should return the raw vector")
 	}
 }
 
 func TestGoldenEmptyQuery(t *testing.T) {
-	s := NewStore(100, 4, 1)
+	s := MustStore(100, 4, 1)
 	b := Batch{Queries: []Query{{}}, Op: tensor.OpSum}
-	got := b.Golden(s)
+	got := b.MustGolden(s)
 	if !got[0].Equal(tensor.New(4)) {
 		t.Fatal("empty query should return zeros")
 	}

@@ -52,7 +52,7 @@ func AblFanIn() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.TimedLookup(store, layout, dram.NewSystem(w.Mem), b, true)
+		res, err := eng.TimedLookup(store, layout, dram.MustSystem(w.Mem), b, true)
 		if err != nil {
 			return nil, err
 		}
@@ -92,7 +92,7 @@ func AblPagePolicy() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		mem := dram.NewSystem(mcfg)
+		mem := dram.MustSystem(mcfg)
 		fres, err := eng.faf.TimedLookup(store, layout, mem, b, true)
 		if err != nil {
 			return nil, err
@@ -100,7 +100,7 @@ func AblPagePolicy() (*Report, error) {
 		rep.AddRow("Fafnir", policy, f2(micros(fres.MemCycles)),
 			itoa(int(mem.Stats().Counter("dram.row_hits"))))
 
-		mem2 := dram.NewSystem(mcfg)
+		mem2 := dram.MustSystem(mcfg)
 		tres, err := eng.tdm.TimedLookup(store, mem2, b)
 		if err != nil {
 			return nil, err
@@ -137,7 +137,7 @@ func AblCacheVsDedup() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.TimedLookup(store, layout, dram.NewSystem(w.Mem), b)
+		res, err := eng.TimedLookup(store, layout, dram.MustSystem(w.Mem), b)
 		if err != nil {
 			return nil, err
 		}
@@ -150,7 +150,7 @@ func AblCacheVsDedup() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	fres, err := feng.TimedLookup(store, layout, dram.NewSystem(w.Mem), b, true)
+	fres, err := feng.TimedLookup(store, layout, dram.MustSystem(w.Mem), b, true)
 	if err != nil {
 		return nil, err
 	}
@@ -196,11 +196,11 @@ func AblSkew() (*Report, error) {
 			}
 		}
 		plan := batch.Build(b, true)
-		raw, err := feng.TimedLookup(store, layout, dram.NewSystem(w.Mem), b, false)
+		raw, err := feng.TimedLookup(store, layout, dram.MustSystem(w.Mem), b, false)
 		if err != nil {
 			return nil, err
 		}
-		dedup, err := feng.TimedLookup(store, layout, dram.NewSystem(w.Mem), b, true)
+		dedup, err := feng.TimedLookup(store, layout, dram.MustSystem(w.Mem), b, true)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +234,7 @@ func AblOccupancy() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.TimedLookup(store, layout, dram.NewSystem(w.Mem), b, true)
+		res, err := eng.TimedLookup(store, layout, dram.MustSystem(w.Mem), b, true)
 		if err != nil {
 			return nil, err
 		}
@@ -268,11 +268,11 @@ func AblInteractive() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		inter, err := eng.InteractiveLookup(store, layout, dram.NewSystem(w.Mem), b)
+		inter, err := eng.InteractiveLookup(store, layout, dram.MustSystem(w.Mem), b)
 		if err != nil {
 			return nil, err
 		}
-		batched, err := eng.TimedLookup(store, layout, dram.NewSystem(w.Mem), b, true)
+		batched, err := eng.TimedLookup(store, layout, dram.MustSystem(w.Mem), b, true)
 		if err != nil {
 			return nil, err
 		}
@@ -299,7 +299,7 @@ func AblHBM() (*Report, error) {
 		{"HBM2 32 pseudo-ch", dram.HBM2()},
 	} {
 		layout := memmap.Uniform(mk.cfg, 512, 32, 1<<17)
-		store := embedding.NewStore(layout.TotalRows(), 128, 1)
+		store := embedding.MustStore(layout.TotalRows(), 128, 1)
 		cfg := fafnir.Default()
 		cfg.DRAMClockMHz = mk.cfg.ClockMHz
 		eng, err := fafnir.NewEngine(cfg)
@@ -315,7 +315,7 @@ func AblHBM() (*Report, error) {
 				return nil, err
 			}
 			b := gen.Batch(tensor.OpSum)
-			res, err := eng.TimedLookup(store, layout, dram.NewSystem(mk.cfg), b, true)
+			res, err := eng.TimedLookup(store, layout, dram.MustSystem(mk.cfg), b, true)
 			if err != nil {
 				return nil, err
 			}

@@ -26,7 +26,7 @@ func executors() (faf, ts solver.SpMV, err error) {
 	// Each product is timed against a fresh memory state: the executors
 	// report per-call service times, not positions on one absolute clock.
 	faf = func(m *sparse.LIL, x tensor.Vector) (tensor.Vector, sim.Cycle, error) {
-		res, err := fe.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+		res, err := fe.Multiply(m, x, dram.MustSystem(dram.DDR4()))
 		if err != nil {
 			return nil, 0, err
 		}
@@ -37,7 +37,7 @@ func executors() (faf, ts solver.SpMV, err error) {
 		return nil, nil, err
 	}
 	ts = func(m *sparse.LIL, x tensor.Vector) (tensor.Vector, sim.Cycle, error) {
-		res, err := te.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+		res, err := te.Multiply(m, x, dram.MustSystem(dram.DDR4()))
 		if err != nil {
 			return nil, 0, err
 		}

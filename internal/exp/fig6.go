@@ -39,13 +39,13 @@ func Fig6() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	store := embedding.NewStore(100, 4, 77)
+	store := embedding.MustStore(100, 4, 77)
 
 	rankIn := map[int][]fafnir.Entry{}
 	for _, acc := range plan.Accesses {
 		r := int(acc.Index) % 10
 		rankIn[r] = append(rankIn[r], fafnir.Entry{
-			Value:  store.Vector(acc.Index),
+			Value:  store.MustVector(acc.Index),
 			Header: acc.LeafHeader(),
 		})
 	}
@@ -102,7 +102,7 @@ func Fig6() (*Report, error) {
 	}
 
 	// Verify every query resolved correctly before reporting.
-	golden := b.Golden(store)
+	golden := b.MustGolden(store)
 	resolved := 0
 	for _, out := range rootOut {
 		if !out.Header.Complete() {

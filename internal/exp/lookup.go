@@ -202,11 +202,11 @@ func Fig12() (*Report, error) {
 			return nil, err
 		}
 
-		fres, err := faf.TimedLookup(store, layout, dram.NewSystem(w.Mem), b, true)
+		fres, err := faf.TimedLookup(store, layout, dram.MustSystem(w.Mem), b, true)
 		if err != nil {
 			return nil, err
 		}
-		rres, err := rec.TimedLookup(store, layout, dram.NewSystem(w.Mem), b)
+		rres, err := rec.TimedLookup(store, layout, dram.MustSystem(w.Mem), b)
 		if err != nil {
 			return nil, err
 		}

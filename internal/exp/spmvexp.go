@@ -79,11 +79,11 @@ func Fig14() (*Report, error) {
 	}
 	for _, wl := range fig14Suite() {
 		x := sparse.DenseVector(wl.m.Cols, 7)
-		fres, err := faf.Multiply(wl.m, x, dram.NewSystem(dram.DDR4()))
+		fres, err := faf.Multiply(wl.m, x, dram.MustSystem(dram.DDR4()))
 		if err != nil {
 			return nil, fmt.Errorf("%s (fafnir): %w", wl.name, err)
 		}
-		tres, err := ts.Multiply(wl.m, x, dram.NewSystem(dram.DDR4()))
+		tres, err := ts.Multiply(wl.m, x, dram.MustSystem(dram.DDR4()))
 		if err != nil {
 			return nil, fmt.Errorf("%s (twostep): %w", wl.name, err)
 		}

@@ -45,7 +45,7 @@ func (w Workload) Layout() *memmap.Layout {
 
 // Store builds the synthetic table contents.
 func (w Workload) Store(layout *memmap.Layout) *embedding.Store {
-	return embedding.NewStore(layout.TotalRows(), 128, uint64(w.Seed))
+	return embedding.MustStore(layout.TotalRows(), 128, uint64(w.Seed))
 }
 
 // Batch draws a deterministic batch of n queries.
@@ -102,7 +102,7 @@ func newEngines(w Workload, batchCap int) (*engines, error) {
 	return &engines{w: w, layout: layout, store: store, faf: faf, rec: rec, tdm: tdm, base: base}, nil
 }
 
-func (e *engines) mem() *dram.System { return dram.NewSystem(e.w.Mem) }
+func (e *engines) mem() *dram.System { return dram.MustSystem(e.w.Mem) }
 
 // seconds converts PE cycles to seconds at the 200 MHz reporting clock.
 func seconds(c sim.Cycle) float64 { return sim.Seconds(c, 200) }

@@ -19,10 +19,10 @@ func benchInputs(b *testing.B, n int) ([]Entry, []Entry) {
 	}
 	bt := gen.Batch(tensor.OpSum)
 	plan := batch.Build(bt, true)
-	store := embedding.NewStore(4096, 32, 1)
+	store := embedding.MustStore(4096, 32, 1)
 	var inA, inB []Entry
 	for i, acc := range plan.Accesses {
-		e := Entry{Value: store.Vector(acc.Index), Header: acc.LeafHeader()}
+		e := Entry{Value: store.MustVector(acc.Index), Header: acc.LeafHeader()}
 		if i%2 == 0 {
 			inA = append(inA, e)
 		} else {
@@ -66,7 +66,7 @@ func BenchmarkTimedLookup32(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	store := embedding.NewStore(1<<20, 128, 2)
+	store := embedding.MustStore(1<<20, 128, 2)
 	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
 		NumQueries: 32, QuerySize: 16, Rows: 1 << 20, Dist: embedding.Zipf, ZipfS: 1.3, Seed: 2,
 	})
@@ -77,7 +77,7 @@ func BenchmarkTimedLookup32(b *testing.B) {
 	pl := modBenchPlacement{ranks: 32, bytes: 512}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.TimedLookup(store, pl, dram.NewSystem(dram.DDR4()), bt, true); err != nil {
+		if _, err := e.TimedLookup(store, pl, dram.MustSystem(dram.DDR4()), bt, true); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fafnir/internal/batch"
 	"fafnir/internal/dram"
 	"fafnir/internal/embedding"
+	"fafnir/internal/fault"
 	"fafnir/internal/header"
 	"fafnir/internal/sim"
 	"fafnir/internal/tensor"
@@ -21,6 +22,15 @@ type Placement interface {
 	Addr(idx header.Index) dram.Addr
 	// VectorBytes reports the stored size of one vector.
 	VectorBytes() int
+}
+
+// ReplicatedPlacement is a Placement that additionally keeps a replica copy
+// of every vector, giving the host somewhere to remap reads when a rank goes
+// dark. *memmap.Layout implements it.
+type ReplicatedPlacement interface {
+	Placement
+	// Replica returns the rank and address of the vector's replica copy.
+	Replica(idx header.Index) (rank int, addr dram.Addr, err error)
 }
 
 // Engine runs embedding-lookup batches through a Fafnir tree.
@@ -73,6 +83,27 @@ type TimedResult struct {
 	TotalCycles sim.Cycle
 	// BytesRead is the DRAM traffic of the batch.
 	BytesRead uint64
+	// Degraded reports the graceful-degradation work of a fault-injected run;
+	// nil for a fault-free run.
+	Degraded *DegradedReport
+}
+
+// DegradedReport quantifies how much graceful-degradation work a
+// fault-injected run performed. The cost is already folded into the
+// TimedResult cycle counts; the report makes it attributable.
+type DegradedReport struct {
+	// FailedRanks lists the ranks dark by the end of the run, sorted.
+	FailedRanks []int
+	// RemappedReads counts vector reads redirected from a dark rank to its
+	// replica placement.
+	RemappedReads int
+	// RemappedQueries counts queries with at least one remapped read.
+	RemappedQueries int
+	// Retries counts extra read attempts after ECC-flagged corrupt returns.
+	Retries int
+	// RetryCycles is the memory-clock time spent in backoff and re-reads,
+	// summed over all retried accesses.
+	RetryCycles sim.Cycle
 }
 
 // Seconds converts the total latency to seconds at the PE clock.
@@ -100,7 +131,7 @@ func (e *Engine) Lookup(store *embedding.Store, layout Placement, b embedding.Ba
 	}
 	for qi, out := range res.Outputs {
 		if out == nil {
-			return nil, fmt.Errorf("fafnir: query %d produced no output", qi)
+			return nil, fmt.Errorf("fafnir: query %d produced no output: %w", qi, fault.ErrInvariantViolated)
 		}
 	}
 	return res, nil
@@ -110,7 +141,7 @@ func (e *Engine) Lookup(store *embedding.Store, layout Placement, b embedding.Ba
 // outputs at offset qBase of res.Outputs.
 func (e *Engine) runPlan(store *embedding.Store, layout Placement, plan *batch.Plan, qBase int, res *Result) error {
 	op := plan.Batch().Op
-	leafIn, err := e.leafInputs(store, layout, plan)
+	leafIn, err := e.leafInputs(store, layout, plan, nil)
 	if err != nil {
 		return err
 	}
@@ -127,16 +158,26 @@ func (e *Engine) runPlan(store *embedding.Store, layout Placement, plan *batch.P
 type rankEntries map[int][]Entry
 
 // leafInputs reads every planned access from the store and builds the leaf
-// entries, grouped by rank.
-func (e *Engine) leafInputs(store *embedding.Store, layout Placement, plan *batch.Plan) (rankEntries, error) {
+// entries, grouped by rank. remap overrides the placement rank for indices
+// whose reads the host redirected to a replica (nil when no faults are
+// injected); the entry must enter the tree at the leaf that actually served
+// the read so the functional and timing passes agree.
+func (e *Engine) leafInputs(store *embedding.Store, layout Placement, plan *batch.Plan, remap map[header.Index]int) (rankEntries, error) {
 	in := make(rankEntries)
 	for _, acc := range plan.Accesses {
 		r := layout.Rank(acc.Index)
+		if rr, ok := remap[acc.Index]; ok {
+			r = rr
+		}
 		if r >= e.cfg.NumRanks {
 			return nil, fmt.Errorf("fafnir: index %d maps to rank %d beyond the tree's %d ranks",
 				acc.Index, r, e.cfg.NumRanks)
 		}
-		in[r] = append(in[r], Entry{Value: store.Vector(acc.Index), Header: acc.LeafHeader()})
+		v, err := store.Vector(acc.Index)
+		if err != nil {
+			return nil, err
+		}
+		in[r] = append(in[r], Entry{Value: v, Header: acc.LeafHeader()})
 	}
 	return in, nil
 }
@@ -209,8 +250,32 @@ func (e *Engine) runTree(op tensor.ReduceOp, in rankEntries, totals *PEStats, ma
 	return eval(e.tree.Root())
 }
 
+// checkRootConservation is the always-on cheap invariant checker run on
+// every hardware batch's root outputs: each output must still carry query
+// accounting (a header that lost its query sets can never resolve), and each
+// complete output's index set must correspond to a batch query. Violations
+// mean the reduction tree corrupted header state and are reported as
+// structured fault.ErrInvariantViolated errors rather than silently dropping
+// queries.
+func checkRootConservation(plan *batch.Plan, outputs []Entry) error {
+	for _, out := range outputs {
+		if len(out.Header.Queries) == 0 {
+			return fmt.Errorf("fafnir: root output %v carries no query sets: %w",
+				out.Header.Indices, fault.ErrInvariantViolated)
+		}
+		if out.Header.Complete() && len(plan.QueriesFor(out.Header.Indices)) == 0 {
+			return fmt.Errorf("fafnir: root output %v matches no query: %w",
+				out.Header.Indices, fault.ErrInvariantViolated)
+		}
+	}
+	return nil
+}
+
 // resolve maps complete root outputs back to query positions.
 func (e *Engine) resolve(plan *batch.Plan, outputs []Entry, qBase int, res *Result) error {
+	if err := checkRootConservation(plan, outputs); err != nil {
+		return err
+	}
 	sub := plan.Batch()
 	for _, out := range outputs {
 		if !out.Header.Complete() {
@@ -219,11 +284,6 @@ func (e *Engine) resolve(plan *batch.Plan, outputs []Entry, qBase int, res *Resu
 			continue
 		}
 		qids := plan.QueriesFor(out.Header.Indices)
-		if len(qids) == 0 {
-			// Complete sets always correspond to at least one query when
-			// the header logic is sound.
-			return fmt.Errorf("fafnir: root output %v matches no query", out.Header.Indices)
-		}
 		for _, qi := range qids {
 			if res.Outputs[qBase+qi] != nil {
 				continue // duplicate completion via another path
@@ -248,8 +308,83 @@ func (e *Engine) resolve(plan *batch.Plan, outputs []Entry, qBase int, res *Resu
 // after the previous batch's reads complete, modelling the double-buffered
 // input FIFOs.
 func (e *Engine) TimedLookup(store *embedding.Store, layout Placement, mem *dram.System, b embedding.Batch, dedup bool) (*TimedResult, error) {
+	return e.timedLookup(store, layout, mem, b, dedup, nil)
+}
+
+// TimedLookupFaulted is TimedLookup under an attached fault injector: reads
+// bound for a dark rank are remapped to the replica placement, ECC-flagged
+// reads are retried with capped exponential backoff (the cost lands in
+// TotalCycles), and stalled PEs charge their extra latency in the tree walk.
+// The returned result carries a DegradedReport. With a nil or inactive
+// injector the run is bit-identical to TimedLookup.
+func (e *Engine) TimedLookupFaulted(store *embedding.Store, layout Placement, mem *dram.System, b embedding.Batch, dedup bool, inj *fault.Injector) (*TimedResult, error) {
+	return e.timedLookup(store, layout, mem, b, dedup, inj)
+}
+
+// readFaulted performs one vector read under fault injection: a dark primary
+// rank redirects to the replica placement, and ECC-flagged returns are
+// retried with capped exponential backoff in the memory clock. It returns
+// the effective rank that served the read and its completion cycle.
+func (e *Engine) readFaulted(layout Placement, mem *dram.System, inj *fault.Injector,
+	idx header.Index, clock sim.Cycle, res *TimedResult, deg *DegradedReport) (int, sim.Cycle, error) {
+	rank := layout.Rank(idx)
+	addr := layout.Addr(idx)
+	if inj.RankFailed(rank, clock) {
+		rp, ok := layout.(ReplicatedPlacement)
+		if !ok {
+			return 0, 0, fmt.Errorf("fafnir: index %d lives on dark rank %d and the placement keeps no replicas: %w",
+				idx, rank, fault.ErrRankFailed)
+		}
+		rrank, raddr, err := rp.Replica(idx)
+		if err != nil {
+			return 0, 0, err
+		}
+		if inj.RankFailed(rrank, clock) {
+			return 0, 0, fmt.Errorf("fafnir: index %d primary rank %d and replica rank %d are both dark: %w",
+				idx, rank, rrank, fault.ErrRankFailed)
+		}
+		rank, addr = rrank, raddr
+		deg.RemappedReads++
+	}
+	done, err := mem.ReadChecked(clock, addr, layout.VectorBytes(), dram.DestLocal)
+	if err != nil {
+		// The rank died between the host's liveness check and the read
+		// reaching the memory controller (failure cycle inside this batch).
+		return 0, 0, err
+	}
+	res.BytesRead += uint64(layout.VectorBytes())
+	if inj.ReadFault() {
+		first := done
+		plan := inj.Plan()
+		recovered := false
+		for attempt := 1; attempt <= plan.Retries(); attempt++ {
+			done = mem.Read(done+plan.BackoffAt(attempt), addr, layout.VectorBytes(), dram.DestLocal)
+			res.BytesRead += uint64(layout.VectorBytes())
+			deg.Retries++
+			if !inj.ReadFault() {
+				recovered = true
+				break
+			}
+		}
+		if !recovered {
+			return 0, 0, fmt.Errorf("fafnir: read of index %d still corrupt after %d retries: %w",
+				idx, plan.Retries(), fault.ErrRetriesExhausted)
+		}
+		deg.RetryCycles += done - first
+	}
+	return rank, done, nil
+}
+
+func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram.System, b embedding.Batch, dedup bool, inj *fault.Injector) (*TimedResult, error) {
 	res := &TimedResult{}
 	res.Outputs = make([]tensor.Vector, len(b.Queries))
+	faulted := inj.Active()
+	var deg *DegradedReport
+	if faulted {
+		deg = &DegradedReport{}
+		res.Degraded = deg
+		mem.AttachFaults(inj)
+	}
 	var clock sim.Cycle // DRAM-domain time at which the next batch may issue
 
 	for start := 0; start < len(b.Queries); start += e.cfg.BatchCapacity {
@@ -262,23 +397,54 @@ func (e *Engine) TimedLookup(store *embedding.Store, layout Placement, mem *dram
 		res.HWBatches++
 		res.MemoryReads += plan.NumAccesses()
 
-		// Issue every planned read; record per-leaf-input readiness.
+		// Issue every planned read; record per-leaf-input readiness. Under
+		// fault injection the host consults the injector per access, remaps
+		// dark-rank reads, and charges retry backoff; remap records which
+		// leaf each redirected entry enters the tree through.
 		leafReady := make(map[*PENode]sim.Cycle)
+		var remap map[header.Index]int
 		var memDone sim.Cycle
 		for _, acc := range plan.Accesses {
-			addr := layout.Addr(acc.Index)
-			done := mem.Read(clock, addr, layout.VectorBytes(), dram.DestLocal)
-			res.BytesRead += uint64(layout.VectorBytes())
-			leaf, err := e.tree.LeafOfRank(layout.Rank(acc.Index))
+			var rank int
+			var done sim.Cycle
+			if faulted {
+				var err error
+				before := deg.RemappedReads
+				rank, done, err = e.readFaulted(layout, mem, inj, acc.Index, clock, res, deg)
+				if err != nil {
+					return nil, err
+				}
+				if deg.RemappedReads > before {
+					if remap == nil {
+						remap = make(map[header.Index]int)
+					}
+					remap[acc.Index] = rank
+				}
+			} else {
+				rank = layout.Rank(acc.Index)
+				done = mem.Read(clock, layout.Addr(acc.Index), layout.VectorBytes(), dram.DestLocal)
+				res.BytesRead += uint64(layout.VectorBytes())
+			}
+			leaf, err := e.tree.LeafOfRank(rank)
 			if err != nil {
 				return nil, err
 			}
 			leafReady[leaf] = sim.Max(leafReady[leaf], done)
 			memDone = sim.Max(memDone, done)
 		}
+		if len(remap) > 0 {
+			for _, q := range sub.Queries {
+				for _, idx := range q.Indices {
+					if _, ok := remap[idx]; ok {
+						deg.RemappedQueries++
+						break
+					}
+				}
+			}
+		}
 
 		// Functional pass to learn per-PE occupancies.
-		leafIn, err := e.leafInputs(store, layout, plan)
+		leafIn, err := e.leafInputs(store, layout, plan, remap)
 		if err != nil {
 			return nil, err
 		}
@@ -313,6 +479,9 @@ func (e *Engine) TimedLookup(store *embedding.Store, layout Placement, mem *dram
 			if occ > 1 {
 				t += sim.Cycle(occ - 1)
 			}
+			if faulted {
+				t += inj.PEStall(n.ID)
+			}
 			ready[n] = t
 			return t
 		}
@@ -335,8 +504,11 @@ func (e *Engine) TimedLookup(store *embedding.Store, layout Placement, mem *dram
 
 	for qi, out := range res.Outputs {
 		if out == nil {
-			return nil, fmt.Errorf("fafnir: query %d produced no output", qi)
+			return nil, fmt.Errorf("fafnir: query %d produced no output: %w", qi, fault.ErrInvariantViolated)
 		}
+	}
+	if faulted {
+		deg.FailedRanks = inj.FailedRanks(clock)
 	}
 	return res, nil
 }
@@ -409,7 +581,10 @@ func (e *Engine) InteractiveLookup(store *embedding.Store, layout Placement, mem
 			memDone = sim.Max(memDone, done)
 			res.BytesRead += uint64(layout.VectorBytes())
 			res.MemoryReads++
-			v := store.Vector(idx)
+			v, err := store.Vector(idx)
+			if err != nil {
+				return nil, err
+			}
 			if acc == nil {
 				acc = v.Clone()
 				continue

@@ -65,13 +65,13 @@ func smallEngine(t *testing.T, ranks, fanIn, capacity, dim int) *Engine {
 // (44, 94) in table 4 and the shared value (32, 83) of queries a and b.
 func TestLookupFig6(t *testing.T) {
 	e := smallEngine(t, 8, 2, 4, 4)
-	store := embedding.NewStore(100, 4, 77)
+	store := embedding.MustStore(100, 4, 77)
 	b := fig6Batch()
 	res, err := e.Lookup(store, tablePlacement{bytes: 16}, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	golden := b.Golden(store)
+	golden := b.MustGolden(store)
 	if i := VerifyAgainstGolden(res.Outputs, golden, 1e-4); i >= 0 {
 		t.Fatalf("query %d mismatches golden: got %v want %v", i, res.Outputs[i], golden[i])
 	}
@@ -99,7 +99,7 @@ func TestLookupMatchesGoldenRandom(t *testing.T) {
 		for _, ranks := range rankCounts {
 			for seed := int64(0); seed < 4; seed++ {
 				e := smallEngine(t, ranks, 2, 32, dims[seed%2])
-				store := embedding.NewStore(4096, dims[seed%2], uint64(seed))
+				store := embedding.MustStore(4096, dims[seed%2], uint64(seed))
 				gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
 					NumQueries: 16,
 					QuerySize:  8,
@@ -116,7 +116,7 @@ func TestLookupMatchesGoldenRandom(t *testing.T) {
 				if err != nil {
 					t.Fatalf("dist=%v ranks=%d seed=%d: %v", dist, ranks, seed, err)
 				}
-				golden := b.Golden(store)
+				golden := b.MustGolden(store)
 				if i := VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
 					t.Fatalf("dist=%v ranks=%d seed=%d query %d mismatch", dist, ranks, seed, i)
 				}
@@ -131,7 +131,7 @@ func TestLookupMatchesGoldenRandom(t *testing.T) {
 func TestLookupAllOps(t *testing.T) {
 	for _, op := range []tensor.ReduceOp{tensor.OpSum, tensor.OpMin, tensor.OpMax, tensor.OpMean} {
 		e := smallEngine(t, 8, 2, 8, 4)
-		store := embedding.NewStore(512, 4, 3)
+		store := embedding.MustStore(512, 4, 3)
 		gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
 			NumQueries: 8, QuerySize: 5, Rows: 512, Seed: 9,
 		})
@@ -143,7 +143,7 @@ func TestLookupAllOps(t *testing.T) {
 		if err != nil {
 			t.Fatalf("op %v: %v", op, err)
 		}
-		golden := b.Golden(store)
+		golden := b.MustGolden(store)
 		if i := VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
 			t.Fatalf("op %v query %d mismatch: got %v want %v", op, i, res.Outputs[i], golden[i])
 		}
@@ -152,7 +152,7 @@ func TestLookupAllOps(t *testing.T) {
 
 func TestLookupSingleIndexQueries(t *testing.T) {
 	e := smallEngine(t, 8, 2, 4, 4)
-	store := embedding.NewStore(64, 4, 5)
+	store := embedding.MustStore(64, 4, 5)
 	b := embedding.Batch{
 		Queries: []embedding.Query{
 			{Indices: header.NewIndexSet(3)},
@@ -165,7 +165,7 @@ func TestLookupSingleIndexQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	golden := b.Golden(store)
+	golden := b.MustGolden(store)
 	if i := VerifyAgainstGolden(res.Outputs, golden, 0); i >= 0 {
 		t.Fatalf("query %d mismatch", i)
 	}
@@ -176,7 +176,7 @@ func TestLookupSingleIndexQueries(t *testing.T) {
 
 func TestLookupSplitsSoftwareBatches(t *testing.T) {
 	e := smallEngine(t, 8, 2, 4, 4) // hardware capacity 4
-	store := embedding.NewStore(1024, 4, 8)
+	store := embedding.MustStore(1024, 4, 8)
 	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
 		NumQueries: 10, QuerySize: 4, Rows: 1024, Seed: 13,
 	})
@@ -191,7 +191,7 @@ func TestLookupSplitsSoftwareBatches(t *testing.T) {
 	if res.HWBatches != 3 {
 		t.Fatalf("HWBatches = %d, want 3 (10 queries / capacity 4)", res.HWBatches)
 	}
-	golden := b.Golden(store)
+	golden := b.MustGolden(store)
 	if i := VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
 		t.Fatalf("query %d mismatch", i)
 	}
@@ -199,7 +199,7 @@ func TestLookupSplitsSoftwareBatches(t *testing.T) {
 
 func TestLookupRejectsOutOfRangeRank(t *testing.T) {
 	e := smallEngine(t, 4, 2, 4, 4)
-	store := embedding.NewStore(64, 4, 1)
+	store := embedding.MustStore(64, 4, 1)
 	b := embedding.Batch{
 		Queries: []embedding.Query{{Indices: header.NewIndexSet(1, 2)}},
 		Op:      tensor.OpSum,
@@ -224,8 +224,8 @@ func timedFixture(t *testing.T, batchCap int) (*Engine, *embedding.Store, *memma
 	}
 	mcfg := dram.DDR4()
 	layout := memmap.Uniform(mcfg, 512, 32, 4096)
-	store := embedding.NewStore(layout.TotalRows(), 128, 21)
-	return e, store, layout, dram.NewSystem(mcfg)
+	store := embedding.MustStore(layout.TotalRows(), 128, 21)
+	return e, store, layout, dram.MustSystem(mcfg)
 }
 
 func genBatch(t *testing.T, n, q int, rows uint64, seed int64) embedding.Batch {
@@ -255,7 +255,7 @@ func TestTimedLookupBasics(t *testing.T) {
 	if res.BytesRead != uint64(res.MemoryReads)*512 {
 		t.Fatalf("BytesRead %d for %d reads", res.BytesRead, res.MemoryReads)
 	}
-	golden := b.Golden(store)
+	golden := b.MustGolden(store)
 	if i := VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
 		t.Fatalf("query %d mismatch", i)
 	}
@@ -283,7 +283,7 @@ func TestTimedLookupDedupReducesTraffic(t *testing.T) {
 		t.Fatalf("dedup latency %d not below raw %d", withDedup.TotalCycles, without.TotalCycles)
 	}
 	// Functional results identical either way.
-	if i := VerifyAgainstGolden(without.Outputs, b.Golden(store), 1e-3); i >= 0 {
+	if i := VerifyAgainstGolden(without.Outputs, b.MustGolden(store), 1e-3); i >= 0 {
 		t.Fatalf("no-dedup query %d mismatch", i)
 	}
 }
@@ -309,8 +309,8 @@ func TestTimedLookupScalesWithRanks(t *testing.T) {
 			mcfg.RanksPerDIMM = ranks
 		}
 		layout := memmap.Uniform(mcfg, 512, 4, 4096)
-		store := embedding.NewStore(layout.TotalRows(), 128, 2)
-		mem := dram.NewSystem(mcfg)
+		store := embedding.MustStore(layout.TotalRows(), 128, 2)
+		mem := dram.MustSystem(mcfg)
 		b := genBatch(t, 32, 16, layout.TotalRows(), 7)
 		res, err := e.TimedLookup(store, layout, mem, b, true)
 		if err != nil {
@@ -333,7 +333,7 @@ func TestTimedLookupMultipleHWBatches(t *testing.T) {
 	if res.HWBatches != 3 {
 		t.Fatalf("HWBatches = %d, want 3", res.HWBatches)
 	}
-	if i := VerifyAgainstGolden(res.Outputs, b.Golden(store), 1e-3); i >= 0 {
+	if i := VerifyAgainstGolden(res.Outputs, b.MustGolden(store), 1e-3); i >= 0 {
 		t.Fatalf("query %d mismatch", i)
 	}
 }
@@ -374,7 +374,7 @@ func TestLookupStress(t *testing.T) {
 		dim := 1 + rng.Intn(6)
 		e := smallEngine(t, ranks, fan, 8, dim)
 		rows := uint64(64 + rng.Intn(512))
-		store := embedding.NewStore(rows, dim, uint64(trial))
+		store := embedding.MustStore(rows, dim, uint64(trial))
 		n := 1 + rng.Intn(12)
 		q := 1 + rng.Intn(8)
 		if uint64(q) > rows {
@@ -391,7 +391,7 @@ func TestLookupStress(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d (ranks=%d fan=%d n=%d q=%d): %v", trial, ranks, fan, n, q, err)
 		}
-		if i := VerifyAgainstGolden(res.Outputs, b.Golden(store), 1e-3); i >= 0 {
+		if i := VerifyAgainstGolden(res.Outputs, b.MustGolden(store), 1e-3); i >= 0 {
 			t.Fatalf("trial %d query %d mismatch", trial, i)
 		}
 	}
@@ -404,7 +404,7 @@ func TestInteractiveLookup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	golden := b.Golden(store)
+	golden := b.MustGolden(store)
 	if i := VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
 		t.Fatalf("query %d mismatch", i)
 	}
@@ -429,11 +429,11 @@ func TestInteractiveSingleQueryFasterThanBatchPath(t *testing.T) {
 	// batch path's full header processing.
 	e, store, layout, _ := timedFixture(t, 32)
 	b := genBatch(t, 1, 16, layout.TotalRows(), 19)
-	inter, err := e.InteractiveLookup(store, layout, dram.NewSystem(dram.DDR4()), b)
+	inter, err := e.InteractiveLookup(store, layout, dram.MustSystem(dram.DDR4()), b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := e.TimedLookup(store, layout, dram.NewSystem(dram.DDR4()), b, true)
+	batch, err := e.TimedLookup(store, layout, dram.MustSystem(dram.DDR4()), b, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,7 +463,7 @@ func TestQuickOccupancyBound(t *testing.T) {
 		capacity := []int{4, 8, 16, 32}[rng.Intn(4)]
 		e := smallEngine(t, ranks, 2, capacity, 4)
 		rows := uint64(256 + rng.Intn(4096))
-		store := embedding.NewStore(rows, 4, uint64(trial))
+		store := embedding.MustStore(rows, 4, uint64(trial))
 		q := 1 + rng.Intn(12)
 		if uint64(q) > rows {
 			q = int(rows)

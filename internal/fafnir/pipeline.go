@@ -49,7 +49,11 @@ func (e *Engine) OfferedLoad(store *embedding.Store, layout Placement, mcfg dram
 	queries := 0
 	var serviceSum sim.Cycle
 	for i, b := range batches {
-		tr, err := e.TimedLookup(store, layout, dram.NewSystem(mcfg), b, true)
+		mem, err := dram.NewSystem(mcfg)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := e.TimedLookup(store, layout, mem, b, true)
 		if err != nil {
 			return nil, err
 		}

@@ -140,16 +140,25 @@ func (c Codec) Pack(h Header) ([]byte, error) {
 	return w.buf, nil
 }
 
-// Unpack decodes an encoding produced by Pack.
+// Unpack decodes an encoding produced by Pack. It enforces the same payload
+// budget Pack does, so any header it accepts can be re-encoded: corrupt or
+// adversarial inputs whose decoded field counts exceed the hardware budget
+// are rejected rather than materialized.
 func (c Codec) Unpack(data []byte) (Header, error) {
 	if err := c.Validate(); err != nil {
 		return Header{}, err
 	}
 	r := &bitReader{buf: data}
+	payload := 0
 	readSet := func() (IndexSet, error) {
 		n, err := r.read(c.CountBits)
 		if err != nil {
 			return nil, err
+		}
+		payload += int(n)
+		if payload*c.IndexBits > c.PayloadBits() {
+			return nil, fmt.Errorf("header: %d decoded indices exceed the %d-bit payload budget",
+				payload, c.PayloadBits())
 		}
 		out := make([]Index, n)
 		for i := range out {

@@ -35,7 +35,7 @@ func newFixture(t *testing.T) *fixture {
 	f := &fixture{
 		mcfg:   mcfg,
 		layout: layout,
-		store:  embedding.NewStore(layout.TotalRows(), 128, 11),
+		store:  embedding.MustStore(layout.TotalRows(), 128, 11),
 	}
 	var err error
 	if f.faf, err = core.NewEngine(core.Default()); err != nil {
@@ -78,25 +78,25 @@ func TestAllEnginesAgreeFunctionally(t *testing.T) {
 		q := 1 + rng.Intn(16)
 		dist := embedding.Distribution(rng.Intn(2))
 		b := f.batch(t, n, q, int64(trial), dist)
-		golden := b.Golden(f.store)
+		golden := b.MustGolden(f.store)
 
-		fres, err := f.faf.TimedLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b, true)
+		fres, err := f.faf.TimedLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b, true)
 		if err != nil {
 			t.Fatalf("trial %d fafnir: %v", trial, err)
 		}
-		ires, err := f.faf.InteractiveLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b)
+		ires, err := f.faf.InteractiveLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b)
 		if err != nil {
 			t.Fatalf("trial %d interactive: %v", trial, err)
 		}
-		rres, err := f.rec.TimedLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b)
+		rres, err := f.rec.TimedLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b)
 		if err != nil {
 			t.Fatalf("trial %d recnmp: %v", trial, err)
 		}
-		tres, err := f.tdm.TimedLookup(f.store, dram.NewSystem(f.mcfg), b)
+		tres, err := f.tdm.TimedLookup(f.store, dram.MustSystem(f.mcfg), b)
 		if err != nil {
 			t.Fatalf("trial %d tensordimm: %v", trial, err)
 		}
-		bres, err := f.base.TimedLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b)
+		bres, err := f.base.TimedLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b)
 		if err != nil {
 			t.Fatalf("trial %d baseline: %v", trial, err)
 		}
@@ -123,19 +123,19 @@ func TestPaperOrderingHolds(t *testing.T) {
 	f := newFixture(t)
 	b := f.batch(t, 32, 16, 5, embedding.Zipf)
 
-	fres, err := f.faf.TimedLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b, true)
+	fres, err := f.faf.TimedLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rres, err := f.rec.TimedLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b)
+	rres, err := f.rec.TimedLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tres, err := f.tdm.TimedLookup(f.store, dram.NewSystem(f.mcfg), b)
+	tres, err := f.tdm.TimedLookup(f.store, dram.MustSystem(f.mcfg), b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bres, err := f.base.TimedLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b)
+	bres, err := f.base.TimedLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,9 +163,9 @@ func TestPaperOrderingHolds(t *testing.T) {
 // the second must observe the first's bus occupancy.
 func TestSharedMemoryStateComposes(t *testing.T) {
 	f := newFixture(t)
-	mem := dram.NewSystem(f.mcfg)
+	mem := dram.MustSystem(f.mcfg)
 	b := f.batch(t, 8, 8, 9, embedding.Uniform)
-	golden := b.Golden(f.store)
+	golden := b.MustGolden(f.store)
 
 	first, err := f.faf.TimedLookup(f.store, f.layout, mem, b, true)
 	if err != nil {
@@ -191,7 +191,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func() (uint64, tensor.Vector) {
 		f := newFixture(t)
 		b := f.batch(t, 16, 16, 3, embedding.Zipf)
-		res, err := f.faf.TimedLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b, true)
+		res, err := f.faf.TimedLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,13 +214,13 @@ func TestAllOpsAcrossEngines(t *testing.T) {
 	for _, op := range []tensor.ReduceOp{tensor.OpSum, tensor.OpMin, tensor.OpMax, tensor.OpMean} {
 		b := f.batch(t, 8, 8, 21, embedding.Uniform)
 		b.Op = op
-		golden := b.Golden(f.store)
+		golden := b.MustGolden(f.store)
 
-		fres, err := f.faf.TimedLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b, true)
+		fres, err := f.faf.TimedLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b, true)
 		if err != nil {
 			t.Fatalf("op %v fafnir: %v", op, err)
 		}
-		rres, err := f.rec.TimedLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b)
+		rres, err := f.rec.TimedLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b)
 		if err != nil {
 			t.Fatalf("op %v recnmp: %v", op, err)
 		}
@@ -243,8 +243,8 @@ func TestSoakLargeBatch(t *testing.T) {
 	}
 	f := newFixture(t)
 	b := f.batch(t, 1024, 16, 31, embedding.Zipf)
-	golden := b.Golden(f.store)
-	res, err := f.faf.TimedLookup(f.store, f.layout, dram.NewSystem(f.mcfg), b, true)
+	golden := b.MustGolden(f.store)
+	res, err := f.faf.TimedLookup(f.store, f.layout, dram.MustSystem(f.mcfg), b, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -131,6 +131,31 @@ func (l *Layout) Location(idx header.Index) dram.Location {
 	return l.cfg.Decode(l.Addr(idx))
 }
 
+// Replica returns the placement of the vector's replica copy, used by the
+// host to remap reads when the primary rank has failed. The replica of a
+// vector on rank r lives on the diagonally opposite rank (r + ranks/2) mod
+// ranks, so one rank failure never takes out both copies (for ranks >= 2),
+// and a whole-memory failure pattern degrades evenly. Replica slots occupy a
+// reserved region past all primary rows, aligned to a full rank rotation so
+// the interleaved address mapping lands each replica on its intended rank.
+func (l *Layout) Replica(idx header.Index) (int, dram.Addr, error) {
+	if uint64(idx) >= l.totalRows {
+		return 0, 0, fmt.Errorf("memmap: replica of index %d out of range [0,%d)", idx, l.totalRows)
+	}
+	ranks := l.cfg.TotalRanks()
+	primary := l.Rank(idx)
+	// For ranks >= 2 the rotation never maps a rank to itself; a single-rank
+	// geometry degenerates to a same-rank copy that only covers transient
+	// faults.
+	replica := (primary + ranks/2) % ranks
+	// First slot boundary past the primary rows, rounded up to a multiple of
+	// the rank count so slot residues line up with global ranks.
+	base := (l.totalRows + uint64(ranks) - 1) / uint64(ranks) * uint64(ranks)
+	group := uint64(idx) / uint64(ranks) * uint64(ranks)
+	slot := base + group + uint64(replica)
+	return replica, dram.Addr(slot * uint64(l.vectorBytes)), nil
+}
+
 // RanksOf groups a set of indices by the global rank that stores them,
 // preserving each group's input order. Engines use it to issue per-rank
 // request streams.

@@ -163,3 +163,37 @@ func TestQuickGlobalRowRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReplicaPlacement(t *testing.T) {
+	cfg := dram.DDR4()
+	l := Uniform(cfg, 512, 4, 100)
+	ranks := cfg.TotalRanks()
+	seen := make(map[dram.Addr]header.Index)
+	for g := uint64(0); g < l.TotalRows(); g++ {
+		idx := header.Index(g)
+		rank, addr, err := l.Replica(idx)
+		if err != nil {
+			t.Fatalf("Replica(%d): %v", idx, err)
+		}
+		if rank == l.Rank(idx) && ranks > 1 {
+			t.Fatalf("replica of index %d shares primary rank %d", idx, rank)
+		}
+		if got := cfg.GlobalRank(cfg.Decode(addr)); got != rank {
+			t.Fatalf("replica address of index %d decodes to rank %d, reported %d", idx, got, rank)
+		}
+		if uint64(addr) < l.TotalRows()*uint64(l.VectorBytes()) {
+			t.Fatalf("replica of index %d at %d overlaps the primary region", idx, addr)
+		}
+		if prev, dup := seen[addr]; dup {
+			t.Fatalf("replica addresses of indices %d and %d collide at %d", prev, idx, addr)
+		}
+		seen[addr] = idx
+	}
+}
+
+func TestReplicaOutOfRange(t *testing.T) {
+	l := Uniform(dram.DDR4(), 512, 1, 10)
+	if _, _, err := l.Replica(header.Index(10)); err == nil {
+		t.Fatal("Replica accepted out-of-range index")
+	}
+}

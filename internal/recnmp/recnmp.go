@@ -174,7 +174,11 @@ func (e *Engine) cacheFor(rank int) *Cache {
 //  4. the host combines the per-DIMM partials and raw vectors per query.
 func (e *Engine) TimedLookup(store *embedding.Store, layout fafnir.Placement, mem *dram.System, b embedding.Batch) (*Result, error) {
 	mcfg := mem.Config()
-	res := &Result{Outputs: b.Golden(store)}
+	outputs, err := b.Golden(store)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Outputs: outputs}
 
 	ratio := e.cfg.DRAMClockMHz / e.cfg.ClockMHz
 	toHost := func(d sim.Cycle) sim.Cycle {

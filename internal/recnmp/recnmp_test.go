@@ -18,8 +18,8 @@ func fixture(t *testing.T, cfg Config) (*Engine, *embedding.Store, *memmap.Layou
 	}
 	mcfg := dram.DDR4()
 	layout := memmap.Uniform(mcfg, 512, 32, 4096)
-	store := embedding.NewStore(layout.TotalRows(), 128, 5)
-	return e, store, layout, dram.NewSystem(mcfg)
+	store := embedding.MustStore(layout.TotalRows(), 128, 5)
+	return e, store, layout, dram.MustSystem(mcfg)
 }
 
 func testBatch(t *testing.T, n, q int, rows uint64, seed int64, dist embedding.Distribution) embedding.Batch {
@@ -132,7 +132,7 @@ func TestTimedLookupGoldenOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	golden := b.Golden(store)
+	golden := b.MustGolden(store)
 	for i := range golden {
 		if !res.Outputs[i].Equal(golden[i]) {
 			t.Fatalf("query %d mismatch", i)
@@ -247,8 +247,8 @@ func TestMoreRanksReduceLocality(t *testing.T) {
 			t.Fatal(err)
 		}
 		layout := memmap.Uniform(mcfg, 512, 4, 4096)
-		store := embedding.NewStore(layout.TotalRows(), 128, 3)
-		mem := dram.NewSystem(mcfg)
+		store := embedding.MustStore(layout.TotalRows(), 128, 3)
+		mem := dram.MustSystem(mcfg)
 		b := testBatch(t, 16, 8, layout.TotalRows(), 9, embedding.Uniform)
 		res, err := e.TimedLookup(store, layout, mem, b)
 		if err != nil {
@@ -281,7 +281,7 @@ func TestCacheHitsCostCycles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := e2.TimedLookup(store, layout, dram.NewSystem(dram.DDR4()), b)
+	res2, err := e2.TimedLookup(store, layout, dram.MustSystem(dram.DDR4()), b)
 	if err != nil {
 		t.Fatal(err)
 	}

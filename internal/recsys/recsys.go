@@ -136,7 +136,7 @@ func NewService(cfg Config) (*Service, error) {
 	}
 	mcfg := dram.DDR4()
 	layout := memmap.Uniform(mcfg, 512, 32, cfg.RowsPerTable)
-	store := embedding.NewStore(layout.TotalRows(), 128, uint64(cfg.Seed))
+	store := embedding.MustStore(layout.TotalRows(), 128, uint64(cfg.Seed))
 
 	ecfg := core.Default()
 	ecfg.BatchCapacity = cfg.BatchWindow * cfg.SlotsPerRequest
@@ -163,7 +163,7 @@ func NewService(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	return &Service{cfg: cfg, layout: layout, store: store, engine: engine,
-		mem: dram.NewSystem(mcfg), model: model, gen: gen}, nil
+		mem: dram.MustSystem(mcfg), model: model, gen: gen}, nil
 }
 
 // Config returns the service configuration.

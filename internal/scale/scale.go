@@ -131,9 +131,13 @@ func New(cfg Config, rows uint64) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	store, err := embedding.NewStore(rows, 128, uint64(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
 	sys := &System{
 		cfg:   cfg,
-		store: embedding.NewStore(rows, 128, uint64(cfg.Seed)),
+		store: store,
 		host:  host,
 		mcfg:  mcfg,
 	}
@@ -148,9 +152,13 @@ func New(cfg Config, rows uint64) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		mem, err := dram.NewSystem(mcfg)
+		if err != nil {
+			return nil, err
+		}
 		sys.shards = append(sys.shards, shard{
 			engine: engine,
-			mem:    dram.NewSystem(mcfg),
+			mem:    mem,
 			place:  shardPlacement{shards: cfg.Shards, ranks: cfg.RanksPerShard, bytes: 512},
 		})
 	}

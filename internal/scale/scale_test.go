@@ -48,7 +48,7 @@ func TestLookupMatchesGolden(t *testing.T) {
 		if err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
 		}
-		golden := b.Golden(sys.Store())
+		golden := b.MustGolden(sys.Store())
 		for qi := range golden {
 			if res.Outputs[qi] == nil || !res.Outputs[qi].ApproxEqual(golden[qi], 1e-3) {
 				t.Fatalf("shards=%d query %d mismatch", shards, qi)

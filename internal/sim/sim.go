@@ -44,12 +44,13 @@ func Min(a, b Cycle) Cycle {
 	return b
 }
 
-// PicosPerCycle returns the picoseconds per cycle for a clock in MHz.
-func PicosPerCycle(mhz float64) float64 {
+// PicosPerCycle returns the picoseconds per cycle for a clock in MHz. It
+// returns an error for non-positive frequencies.
+func PicosPerCycle(mhz float64) (float64, error) {
 	if mhz <= 0 {
-		panic("sim: non-positive frequency")
+		return 0, fmt.Errorf("sim: non-positive frequency %v", mhz)
 	}
-	return 1e6 / mhz
+	return 1e6 / mhz, nil
 }
 
 // Seconds converts a cycle count in a clock domain of the given frequency to
@@ -110,8 +111,14 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending reports how many events are waiting.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// Schedule enqueues fn to run at cycle at. Scheduling in the past (before
-// Now) panics: that is always an engine bug, not a recoverable condition.
+// Schedule enqueues fn to run at cycle at.
+//
+// Scheduling in the past (before Now) panics deliberately, and this is the
+// one input-validation panic kept in the repository: it can only be reached
+// by an engine computing event times incorrectly — never by external input —
+// and silently clamping or returning an error would let a causality bug
+// corrupt every downstream timing number while tests stay green. Failing
+// loudly at the first out-of-order event is the correct behaviour.
 func (e *Engine) Schedule(at Cycle, fn func(now Cycle)) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))

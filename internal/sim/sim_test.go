@@ -17,15 +17,19 @@ func TestMaxMin(t *testing.T) {
 }
 
 func TestPicosPerCycle(t *testing.T) {
-	if got := PicosPerCycle(200); got != 5000 {
+	got, err := PicosPerCycle(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5000 {
 		t.Fatalf("200 MHz -> %v ps, want 5000", got)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("PicosPerCycle(0) did not panic")
-		}
-	}()
-	PicosPerCycle(0)
+	if _, err := PicosPerCycle(0); err == nil {
+		t.Fatal("PicosPerCycle(0) did not error")
+	}
+	if _, err := PicosPerCycle(-3); err == nil {
+		t.Fatal("PicosPerCycle(-3) did not error")
+	}
 }
 
 func TestSeconds(t *testing.T) {

@@ -22,7 +22,7 @@ func fafnirSpMV(t *testing.T) SpMV {
 		t.Fatal(err)
 	}
 	return func(m *sparse.LIL, x tensor.Vector) (tensor.Vector, sim.Cycle, error) {
-		res, err := eng.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+		res, err := eng.Multiply(m, x, dram.MustSystem(dram.DDR4()))
 		if err != nil {
 			return nil, 0, err
 		}

@@ -139,20 +139,23 @@ func (e *Engine) Config() Config { return e.cfg }
 // engine processes them at elemsPerCycle no earlier than peDone (rounds of
 // one iteration pipeline back to back; the slower of memory and compute sets
 // the sustained rate). It returns the updated clocks.
-func (e *Engine) roundTime(mem *dram.System, memClock, peDone sim.Cycle, elems int, elemsPerCycle float64) (sim.Cycle, sim.Cycle) {
+func (e *Engine) roundTime(mem *dram.System, memClock, peDone sim.Cycle, elems int, elemsPerCycle float64) (sim.Cycle, sim.Cycle, error) {
 	if elems == 0 {
-		return memClock, peDone
+		return memClock, peDone, nil
 	}
 	ranks := e.cfg.Tree.NumRanks
 	perRank := (elems + ranks - 1) / ranks
 	var memDone sim.Cycle
 	for r := 0; r < ranks; r++ {
-		done := mem.StreamRead(memClock, r, 0, perRank*8, dram.DestLocal)
+		done, err := mem.StreamRead(memClock, r, 0, perRank*8, dram.DestLocal)
+		if err != nil {
+			return 0, 0, err
+		}
 		memDone = sim.Max(memDone, done)
 	}
 	compute := sim.Cycle(float64(elems)/elemsPerCycle + 1)
 	end := sim.Max(e.cfg.Tree.DRAMToPE(memDone), peDone+compute)
-	return memDone, end
+	return memDone, end, nil
 }
 
 // fill is the tree's pipeline-fill latency, paid once per iteration (the
@@ -165,18 +168,21 @@ func (e *Engine) fill() sim.Cycle {
 // writeBack spills a round's partial stream to memory when a later merge
 // iteration will re-read it, spreading the bytes over the ranks. Final
 // results go to the host instead and are not spilled.
-func (e *Engine) writeBack(mem *dram.System, clock sim.Cycle, s *PartialStream, needed bool) sim.Cycle {
+func (e *Engine) writeBack(mem *dram.System, clock sim.Cycle, s *PartialStream, needed bool) (sim.Cycle, error) {
 	if !needed || s.Len() == 0 {
-		return clock
+		return clock, nil
 	}
 	ranks := e.cfg.Tree.NumRanks
 	perRank := (s.Bytes() + ranks - 1) / ranks
 	done := clock
 	for r := 0; r < ranks; r++ {
-		end := mem.StreamWrite(clock, r, 0, perRank)
+		end, err := mem.StreamWrite(clock, r, 0, perRank)
+		if err != nil {
+			return 0, err
+		}
 		done = sim.Max(done, end)
 	}
-	return done
+	return done, nil
 }
 
 // Multiply computes y = m*x with full timing against the DRAM model. The
@@ -207,8 +213,14 @@ func (e *Engine) Multiply(m *sparse.LIL, x tensor.Vector, mem *dram.System) (*Re
 		elems := chunk.NNZ()
 		res.ElementsStreamed += elems
 		res.BytesStreamed += uint64(elems) * 8
-		clock, peClock = e.roundTime(mem, clock, peClock, elems, e.cfg.MultElemsPerCycle)
-		clock = e.writeBack(mem, clock, partial, plan.MergeIterations() > 0)
+		clock, peClock, err = e.roundTime(mem, clock, peClock, elems, e.cfg.MultElemsPerCycle)
+		if err != nil {
+			return nil, err
+		}
+		clock, err = e.writeBack(mem, clock, partial, plan.MergeIterations() > 0)
+		if err != nil {
+			return nil, err
+		}
 	}
 	peClock += e.fill()
 	res.MultiplyCycles = peClock
@@ -236,10 +248,17 @@ func (e *Engine) Multiply(m *sparse.LIL, x tensor.Vector, mem *dram.System) (*Re
 			}
 			res.ElementsStreamed += elems
 			res.BytesStreamed += uint64(elems) * 8
-			clock, peClock = e.roundTime(mem, clock, peClock, elems, e.cfg.MergeElemsPerCycle)
+			var err error
+			clock, peClock, err = e.roundTime(mem, clock, peClock, elems, e.cfg.MergeElemsPerCycle)
+			if err != nil {
+				return nil, err
+			}
 			merged := mergeStreams(group)
 			next = append(next, merged)
-			clock = e.writeBack(mem, clock, merged, iter+1 < plan.Iterations())
+			clock, err = e.writeBack(mem, clock, merged, iter+1 < plan.Iterations())
+			if err != nil {
+				return nil, err
+			}
 		}
 		if len(next) != plan.RoundsPerIteration[iter] {
 			return nil, fmt.Errorf("spmv: iteration %d produced %d streams, plan says %d",

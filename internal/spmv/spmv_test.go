@@ -115,7 +115,7 @@ func TestMultiplyMatchesReference(t *testing.T) {
 		if errr != nil {
 			t.Fatal(errr)
 		}
-		mem := dram.NewSystem(dram.DDR4())
+		mem := dram.MustSystem(dram.DDR4())
 		res, errr := e.Multiply(m, x, mem)
 		if errr != nil {
 			t.Fatal(errr)
@@ -141,7 +141,7 @@ func TestMultiplySingleChunkNoMergeCycles(t *testing.T) {
 	}
 	m := sparse.RandomUniform(32, 100, 0.1, 3)
 	x := sparse.DenseVector(100, 4)
-	res, err := e.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+	res, err := e.Multiply(m, x, dram.MustSystem(dram.DDR4()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestMultiplyOperandMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := sparse.RandomUniform(4, 8, 0.5, 1)
-	if _, err := e.Multiply(m, sparse.DenseVector(9, 1), dram.NewSystem(dram.DDR4())); err == nil {
+	if _, err := e.Multiply(m, sparse.DenseVector(9, 1), dram.MustSystem(dram.DDR4())); err == nil {
 		t.Fatal("operand mismatch accepted")
 	}
 }
@@ -178,7 +178,7 @@ func TestMultiplyBandedAndGraph(t *testing.T) {
 		if errr != nil {
 			t.Fatal(errr)
 		}
-		res, errr := e.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+		res, errr := e.Multiply(m, x, dram.MustSystem(dram.DDR4()))
 		if errr != nil {
 			t.Fatalf("%s: %v", name, errr)
 		}
@@ -196,11 +196,11 @@ func TestMergeDominanceGrowsWithColumns(t *testing.T) {
 	}
 	small := sparse.RandomUniform(64, 16, 0.2, 2)   // 1 chunk
 	large := sparse.RandomUniform(64, 1024, 0.2, 2) // 64 chunks
-	rs, err := e.Multiply(small, sparse.DenseVector(16, 1), dram.NewSystem(dram.DDR4()))
+	rs, err := e.Multiply(small, sparse.DenseVector(16, 1), dram.MustSystem(dram.DDR4()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rl, err := e.Multiply(large, sparse.DenseVector(1024, 1), dram.NewSystem(dram.DDR4()))
+	rl, err := e.Multiply(large, sparse.DenseVector(1024, 1), dram.MustSystem(dram.DDR4()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -115,7 +115,11 @@ func (e *Engine) TimedLookup(store *embedding.Store, mem *dram.System, b embeddi
 	if sliceBytes == 0 {
 		return nil, fmt.Errorf("tensordimm: vector of %d bytes cannot split over %d ranks", e.cfg.VectorBytes, ranks)
 	}
-	res := &Result{Outputs: b.Golden(store)}
+	outputs, err := b.Golden(store)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Outputs: outputs}
 
 	ratio := e.cfg.DRAMClockMHz / e.cfg.ClockMHz
 	toHost := func(d sim.Cycle) sim.Cycle {
@@ -129,7 +133,11 @@ func (e *Engine) TimedLookup(store *embedding.Store, mem *dram.System, b embeddi
 		for _, idx := range q.Indices {
 			for r := 0; r < ranks; r++ {
 				slot, off := sliceAddr(mcfg, idx, sliceBytes)
-				addr := mcfg.Encode(r, slot) + dram.Addr(off)
+				base, err := mcfg.Encode(r, slot)
+				if err != nil {
+					return nil, err
+				}
+				addr := base + dram.Addr(off)
 				done := mem.Read(0, addr, sliceBytes, dram.DestLocal)
 				memDone = sim.Max(memDone, done)
 				res.MemoryReads++

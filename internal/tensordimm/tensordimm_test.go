@@ -40,8 +40,8 @@ func TestTimedLookupBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mem := dram.NewSystem(dram.DDR4())
-	store := embedding.NewStore(32768, 128, 7)
+	mem := dram.MustSystem(dram.DDR4())
+	store := embedding.MustStore(32768, 128, 7)
 	b := testBatch(t, 4, 8, 32768, 1)
 	res, err := e.TimedLookup(store, mem, b)
 	if err != nil {
@@ -55,7 +55,7 @@ func TestTimedLookupBasics(t *testing.T) {
 	if res.BytesToHost != 4*512 {
 		t.Fatalf("BytesToHost = %d, want %d", res.BytesToHost, 4*512)
 	}
-	if err := Verify(res, b.Golden(store), 0); err != nil {
+	if err := Verify(res, b.MustGolden(store), 0); err != nil {
 		t.Fatal(err)
 	}
 	if res.TotalCycles <= res.MemCycles {
@@ -70,8 +70,8 @@ func TestRowLocalityPenalty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mem := dram.NewSystem(dram.DDR4())
-	store := embedding.NewStore(1<<20, 128, 7)
+	mem := dram.MustSystem(dram.DDR4())
+	store := embedding.MustStore(1<<20, 128, 7)
 	b := testBatch(t, 8, 16, 1<<20, 2)
 	if _, err := e.TimedLookup(store, mem, b); err != nil {
 		t.Fatal(err)
@@ -93,14 +93,14 @@ func TestComputeScalesWithQuerySize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	store := embedding.NewStore(65536, 128, 7)
+	store := embedding.MustStore(65536, 128, 7)
 	b4 := testBatch(t, 4, 4, 65536, 3)
 	b16 := testBatch(t, 4, 16, 65536, 3)
-	r4, err := e.TimedLookup(store, dram.NewSystem(dram.DDR4()), b4)
+	r4, err := e.TimedLookup(store, dram.MustSystem(dram.DDR4()), b4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r16, err := e.TimedLookup(store, dram.NewSystem(dram.DDR4()), b16)
+	r16, err := e.TimedLookup(store, dram.MustSystem(dram.DDR4()), b16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,8 +117,8 @@ func TestTooManyRanksForVector(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	store := embedding.NewStore(1024, 4, 1)
-	if _, err := e.TimedLookup(store, dram.NewSystem(dram.DDR4()), testBatch(t, 1, 2, 1024, 1)); err == nil {
+	store := embedding.MustStore(1024, 4, 1)
+	if _, err := e.TimedLookup(store, dram.MustSystem(dram.DDR4()), testBatch(t, 1, 2, 1024, 1)); err == nil {
 		t.Fatal("degenerate slice size accepted")
 	}
 }

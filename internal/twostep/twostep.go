@@ -121,35 +121,41 @@ func (e *Engine) toPE(d sim.Cycle) sim.Cycle {
 // roundTime charges one round of elems streamed elements at elemsPerCycle,
 // chaining the accelerator's compute occupancy across rounds like the
 // Fafnir SpMV engine does.
-func (e *Engine) roundTime(mem *dram.System, memClock, peDone sim.Cycle, elems int, elemsPerCycle float64) (sim.Cycle, sim.Cycle) {
+func (e *Engine) roundTime(mem *dram.System, memClock, peDone sim.Cycle, elems int, elemsPerCycle float64) (sim.Cycle, sim.Cycle, error) {
 	if elems == 0 {
-		return memClock, peDone
+		return memClock, peDone, nil
 	}
 	perRank := (elems + e.cfg.Ranks - 1) / e.cfg.Ranks
 	var memDone sim.Cycle
 	for r := 0; r < e.cfg.Ranks; r++ {
-		done := mem.StreamRead(memClock, r, 0, perRank*8, dram.DestLocal)
+		done, err := mem.StreamRead(memClock, r, 0, perRank*8, dram.DestLocal)
+		if err != nil {
+			return 0, 0, err
+		}
 		memDone = sim.Max(memDone, done)
 	}
 	compute := sim.Cycle(float64(elems)/elemsPerCycle + 1)
 	end := sim.Max(e.toPE(memDone), peDone+compute)
-	return memDone, end
+	return memDone, end, nil
 }
 
 // writeBack spills a round's partial stream when a later merge iteration
 // will re-read it (same policy as the Fafnir SpMV engine, so the comparison
 // stays fair).
-func (e *Engine) writeBack(mem *dram.System, clock sim.Cycle, s *spmv.PartialStream, needed bool) sim.Cycle {
+func (e *Engine) writeBack(mem *dram.System, clock sim.Cycle, s *spmv.PartialStream, needed bool) (sim.Cycle, error) {
 	if !needed || s.Len() == 0 {
-		return clock
+		return clock, nil
 	}
 	perRank := (s.Bytes() + e.cfg.Ranks - 1) / e.cfg.Ranks
 	done := clock
 	for r := 0; r < e.cfg.Ranks; r++ {
-		end := mem.StreamWrite(clock, r, 0, perRank)
+		end, err := mem.StreamWrite(clock, r, 0, perRank)
+		if err != nil {
+			return 0, err
+		}
 		done = sim.Max(done, end)
 	}
-	return done
+	return done, nil
 }
 
 // Multiply computes y = m*x with full timing. The schedule mirrors the
@@ -182,8 +188,14 @@ func (e *Engine) Multiply(m *sparse.LIL, x tensor.Vector, mem *dram.System) (*Re
 		elems := chunk.NNZ()
 		res.ElementsStreamed += elems
 		res.BytesStreamed += uint64(elems) * 8
-		clock, peClock = e.roundTime(mem, clock, peClock, elems, e.cfg.Step1ElemsPerCycle)
-		clock = e.writeBack(mem, clock, stream, plan.MergeIterations() > 0)
+		clock, peClock, err = e.roundTime(mem, clock, peClock, elems, e.cfg.Step1ElemsPerCycle)
+		if err != nil {
+			return nil, err
+		}
+		clock, err = e.writeBack(mem, clock, stream, plan.MergeIterations() > 0)
+		if err != nil {
+			return nil, err
+		}
 	}
 	peClock += e.cfg.PipelineFill
 	res.Step1Cycles = peClock
@@ -207,10 +219,17 @@ func (e *Engine) Multiply(m *sparse.LIL, x tensor.Vector, mem *dram.System) (*Re
 			}
 			res.ElementsStreamed += elems
 			res.BytesStreamed += uint64(elems) * 8
-			clock, peClock = e.roundTime(mem, clock, peClock, elems, e.cfg.MergeElemsPerCycle)
+			var err error
+			clock, peClock, err = e.roundTime(mem, clock, peClock, elems, e.cfg.MergeElemsPerCycle)
+			if err != nil {
+				return nil, err
+			}
 			merged := MergeStreams(group)
 			next = append(next, merged)
-			clock = e.writeBack(mem, clock, merged, iter+1 < plan.Iterations())
+			clock, err = e.writeBack(mem, clock, merged, iter+1 < plan.Iterations())
+			if err != nil {
+				return nil, err
+			}
 		}
 		streams = next
 		iter++

@@ -46,7 +46,7 @@ func TestMultiplyMatchesReference(t *testing.T) {
 		if errr != nil {
 			t.Fatal(errr)
 		}
-		res, errr := e.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+		res, errr := e.Multiply(m, x, dram.MustSystem(dram.DDR4()))
 		if errr != nil {
 			t.Fatal(errr)
 		}
@@ -65,7 +65,7 @@ func TestMultiplyOperandMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := sparse.RandomUniform(4, 8, 0.5, 1)
-	if _, err := e.Multiply(m, sparse.DenseVector(7, 1), dram.NewSystem(dram.DDR4())); err == nil {
+	if _, err := e.Multiply(m, sparse.DenseVector(7, 1), dram.MustSystem(dram.DDR4())); err == nil {
 		t.Fatal("operand mismatch accepted")
 	}
 }
@@ -88,11 +88,11 @@ func TestStep1SlowerMergeFasterThanFafnir(t *testing.T) {
 	// Dense-ish small matrix, one chunk: pure step-1 comparison.
 	m := sparse.RandomUniform(256, 16, 0.5, 3)
 	x := sparse.DenseVector(16, 4)
-	rts, err := ts.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+	rts, err := ts.Multiply(m, x, dram.MustSystem(dram.DDR4()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rfa, err := fa.Multiply(m, x, dram.NewSystem(dram.DDR4()))
+	rfa, err := fa.Multiply(m, x, dram.MustSystem(dram.DDR4()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,11 +107,11 @@ func TestStep1SlowerMergeFasterThanFafnir(t *testing.T) {
 	// cycles must be below Fafnir's.
 	big := sparse.RandomUniform(512, 2048, 0.05, 5)
 	xb := sparse.DenseVector(2048, 6)
-	rts2, err := ts.Multiply(big, xb, dram.NewSystem(dram.DDR4()))
+	rts2, err := ts.Multiply(big, xb, dram.MustSystem(dram.DDR4()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rfa2, err := fa.Multiply(big, xb, dram.NewSystem(dram.DDR4()))
+	rfa2, err := fa.Multiply(big, xb, dram.MustSystem(dram.DDR4()))
 	if err != nil {
 		t.Fatal(err)
 	}

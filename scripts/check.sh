@@ -1,0 +1,32 @@
+#!/bin/sh
+# check.sh — the repo's tier-1+ gate. Everything here must pass before a
+# change lands:
+#
+#   1. go vet        — static checks
+#   2. go build      — every package compiles
+#   3. go test -race — full suite under the race detector
+#   4. fuzz corpus   — FuzzCodec's seed corpus replayed in -run mode
+#                      (no fuzzing; deterministic and fast)
+#
+# Long-running fuzzing is opt-in, not part of the gate:
+#
+#   go test -fuzz=FuzzCodec -fuzztime=30s ./internal/header
+#
+# Run from the repo root: ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz corpus (replay, -run mode)"
+go test -run 'Fuzz' ./internal/header/
+
+echo "OK: all checks passed"
