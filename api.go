@@ -108,6 +108,12 @@ type SystemConfig struct {
 	// plan injects nothing and leaves every run bit-identical to a system
 	// built without it.
 	Faults FaultPlan
+	// Parallelism bounds the simulator's worker pool (concurrent PE
+	// evaluation and hardware-batch pipelining). It changes wall-clock
+	// speed only: outputs, statistics, and cycle counts are bit-identical
+	// at every setting. 0 uses every core (runtime.GOMAXPROCS); 1 runs the
+	// exact single-threaded legacy path.
+	Parallelism int
 }
 
 func (c *SystemConfig) fillDefaults() {
@@ -168,6 +174,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	ecfg := core.Default()
 	ecfg.NumRanks = cfg.Ranks
 	ecfg.BatchCapacity = cfg.BatchCapacity
+	ecfg.Parallelism = cfg.Parallelism
 	engine, err := core.NewEngine(ecfg)
 	if err != nil {
 		return nil, err

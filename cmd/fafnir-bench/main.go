@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"fafnir/internal/exp"
 )
@@ -25,6 +26,7 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment IDs and exit")
 		format = flag.String("format", "text", "output format: text or md")
 		outDir = flag.String("out", "", "write one file per experiment into this directory")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment runners (1 = serial)")
 	)
 	flag.Parse()
 
@@ -54,7 +56,7 @@ func main() {
 		return
 	} else {
 		var err error
-		reports, err = exp.RunAll()
+		reports, err = exp.RunAllParallel(*jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

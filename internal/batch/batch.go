@@ -9,6 +9,7 @@ package batch
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"fafnir/internal/embedding"
@@ -41,13 +42,14 @@ type Plan struct {
 // (the paper's "neither eliminates redundant accesses" ablation of Fig. 13),
 // every (query, index) pair produces its own access.
 func Build(b embedding.Batch, dedup bool) *Plan {
-	p := &Plan{Dedup: dedup, batch: b, queryByKey: make(map[string][]int)}
+	p := &Plan{Dedup: dedup, batch: b, queryByKey: make(map[string][]int, len(b.Queries))}
+	total := b.TotalAccesses()
 	for qi, q := range b.Queries {
 		p.queryByKey[q.Indices.Key()] = append(p.queryByKey[q.Indices.Key()], qi)
 	}
 
 	if dedup {
-		remaining := make(map[header.Index][]header.IndexSet)
+		remaining := make(map[header.Index][]header.IndexSet, total)
 		for _, q := range b.Queries {
 			for _, idx := range q.Indices {
 				remaining[idx] = append(remaining[idx], q.Indices.Minus(header.NewIndexSet(idx)))
@@ -58,12 +60,14 @@ func Build(b embedding.Batch, dedup bool) *Plan {
 			indices = append(indices, idx)
 		}
 		sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
+		p.Accesses = make([]Access, 0, len(indices))
 		for _, idx := range indices {
 			p.Accesses = append(p.Accesses, Access{Index: idx, Remaining: dedupSets(remaining[idx])})
 		}
 		return p
 	}
 
+	p.Accesses = make([]Access, 0, total)
 	for _, q := range b.Queries {
 		for _, idx := range q.Indices {
 			p.Accesses = append(p.Accesses, Access{
@@ -80,7 +84,7 @@ func Build(b embedding.Batch, dedup bool) *Plan {
 // value the same way; one header entry serves both — QueriesFor maps the
 // completed output back to every matching query position).
 func dedupSets(sets []header.IndexSet) []header.IndexSet {
-	sort.Slice(sets, func(i, j int) bool { return sets[i].Key() < sets[j].Key() })
+	slices.SortFunc(sets, header.IndexSet.Compare)
 	out := sets[:0]
 	for i, s := range sets {
 		if i == 0 || !s.Equal(out[len(out)-1]) {

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"reflect"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -355,7 +357,8 @@ func TestFig12Geometry(t *testing.T) {
 }
 
 // TestAllExperimentsRun executes every registered experiment once end to
-// end: no runner may fail or produce an empty table.
+// end (concurrently, via RunAll): no runner may fail or produce an empty
+// table, and the returned order must be ID order regardless of scheduling.
 func TestAllExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep")
@@ -364,8 +367,26 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != len(IDs()) {
-		t.Fatalf("RunAll returned %d of %d reports", len(reports), len(IDs()))
+	ids := IDs()
+	if len(reports) != len(ids) {
+		t.Fatalf("RunAll returned %d of %d reports", len(reports), len(ids))
+	}
+	for i, rep := range reports {
+		if rep.ID != ids[i] {
+			t.Fatalf("reports not in ID order: position %d is %s, want %s", i, rep.ID, ids[i])
+		}
+	}
+	// Concurrent scheduling must not leak into report contents: fully
+	// deterministic experiments re-run serially must match the sweep.
+	for _, id := range []string{"fig9", "table1", "table5"} {
+		serial, err := Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := sort.SearchStrings(ids, id)
+		if !reflect.DeepEqual(reports[i], serial) {
+			t.Fatalf("%s: RunAll report differs from a serial run", id)
+		}
 	}
 	for _, rep := range reports {
 		if len(rep.Rows) == 0 {

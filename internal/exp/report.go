@@ -8,8 +8,10 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Report is one regenerated table or figure.
@@ -119,17 +121,47 @@ func Run(id string) (*Report, error) {
 	return r()
 }
 
-// RunAll executes every experiment in ID order.
+// RunAll executes every experiment concurrently on every available core and
+// returns the reports in ID order. Each runner builds its own engines,
+// stores, and memory systems, so experiments are independent; the returned
+// order and contents are identical to a serial run.
 func RunAll() ([]*Report, error) {
-	var out []*Report
-	for _, id := range IDs() {
-		rep, err := Run(id)
-		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", id, err)
+	return RunAllParallel(runtime.GOMAXPROCS(0))
+}
+
+// RunAllParallel executes every experiment with at most par concurrent
+// runners (par <= 1 runs serially). Reports are collected by registry
+// position and re-sorted by ID before returning, so callers can never
+// observe scheduling order; the first failure in ID order is reported.
+func RunAllParallel(par int) ([]*Report, error) {
+	ids := IDs()
+	reports := make([]*Report, len(ids))
+	errs := make([]error, len(ids))
+	if par <= 1 {
+		for i, id := range ids {
+			reports[i], errs[i] = Run(id)
 		}
-		out = append(out, rep)
+	} else {
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for i, id := range ids {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				reports[i], errs[i] = Run(id)
+			}(i, id)
+		}
+		wg.Wait()
 	}
-	return out, nil
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", ids[i], err)
+		}
+	}
+	sort.Slice(reports, func(a, b int) bool { return reports[a].ID < reports[b].ID })
+	return reports, nil
 }
 
 // f1 formats a float with one decimal.

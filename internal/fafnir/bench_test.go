@@ -83,6 +83,68 @@ func BenchmarkTimedLookup32(b *testing.B) {
 	}
 }
 
+// benchTreeSetup compiles one hardware batch against the paper's default
+// 31-PE tree, for the runTree/leafInputs hot-path benchmarks.
+func benchTreeSetup(b *testing.B, par int) (*Engine, *batch.Plan, *embedding.Store, modBenchPlacement) {
+	b.Helper()
+	cfg := Default()
+	cfg.VectorDim = 32
+	cfg.Parallelism = par
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: 32, QuerySize: 16, Rows: 1 << 16, Dist: embedding.Zipf, ZipfS: 1.3, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := batch.Build(gen.Batch(tensor.OpSum), true)
+	store := embedding.MustStore(1<<16, 32, 3)
+	return e, plan, store, modBenchPlacement{ranks: 32, bytes: 128}
+}
+
+// BenchmarkLeafInputs measures building the per-rank leaf entries of one
+// hardware batch (the single-backing-array path; allocs/op should stay flat
+// as batches grow).
+func BenchmarkLeafInputs(b *testing.B) {
+	e, plan, store, pl := benchTreeSetup(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.leafInputs(store, pl, plan, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTree measures one full tree reduction of a batch-32 hardware
+// batch, serial vs parallel worker pool.
+func BenchmarkRunTree(b *testing.B) {
+	for _, par := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := "serial"
+		if par == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			e, plan, store, pl := benchTreeSetup(b, par)
+			leafIn, err := e.leafInputs(store, pl, plan, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			perPE := make([]PEStats, e.tree.NumPEs())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var totals PEStats
+				var maxOcc int
+				if _, err := e.runTree(tensor.OpSum, leafIn, &totals, &maxOcc, perPE); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 type modBenchPlacement struct {
 	ranks int
 	bytes int

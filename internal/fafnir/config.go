@@ -72,6 +72,13 @@ type Config struct {
 	// DRAMClockMHz is the memory clock, for converting memory completion
 	// times into PE cycles.
 	DRAMClockMHz float64
+	// Parallelism bounds the simulator's host-side worker pool: how many
+	// PEs evaluate concurrently within one tree pass, and how many hardware
+	// batches precompute their functional pass while an earlier batch is
+	// being timed. It changes wall-clock speed only — outputs, PE statistics,
+	// and cycle counts are bit-identical at every setting. 0 selects
+	// runtime.GOMAXPROCS(0); 1 runs the exact single-threaded legacy path.
+	Parallelism int
 }
 
 // Default returns the paper's evaluated configuration: 32 ranks, 1PE:2R,
@@ -109,6 +116,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fafnir: ClockMHz must be positive, got %v", c.ClockMHz)
 	case c.DRAMClockMHz <= 0:
 		return fmt.Errorf("fafnir: DRAMClockMHz must be positive, got %v", c.DRAMClockMHz)
+	case c.Parallelism < 0:
+		return fmt.Errorf("fafnir: Parallelism must be non-negative, got %d", c.Parallelism)
 	}
 	return nil
 }

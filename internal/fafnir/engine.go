@@ -2,6 +2,7 @@ package fafnir
 
 import (
 	"fmt"
+	"sync"
 
 	"fafnir/internal/batch"
 	"fafnir/internal/dram"
@@ -33,10 +34,15 @@ type ReplicatedPlacement interface {
 	Replica(idx header.Index) (rank int, addr dram.Addr, err error)
 }
 
-// Engine runs embedding-lookup batches through a Fafnir tree.
+// Engine runs embedding-lookup batches through a Fafnir tree. One engine may
+// evaluate several hardware batches concurrently (see Config.Parallelism);
+// the methods themselves keep the external contract of the serial engine.
 type Engine struct {
 	cfg  Config
 	tree *Tree
+	// scratch pools dense treeScratch working sets (see parallel.go) so
+	// steady-state tree evaluations allocate no bookkeeping.
+	scratch sync.Pool
 }
 
 // NewEngine builds an engine; it returns an error for invalid configurations.
@@ -117,17 +123,49 @@ func (r TimedResult) Seconds(cfg Config) float64 {
 // every query.
 func (e *Engine) Lookup(store *embedding.Store, layout Placement, b embedding.Batch) (*Result, error) {
 	res := &Result{Outputs: make([]tensor.Vector, len(b.Queries))}
-	for start := 0; start < len(b.Queries); start += e.cfg.BatchCapacity {
-		end := start + e.cfg.BatchCapacity
-		if end > len(b.Queries) {
-			end = len(b.Queries)
+	starts := e.hwBatchStarts(len(b.Queries))
+	res.HWBatches = len(starts)
+
+	if e.parallelism() > 1 && len(starts) > 1 {
+		// Pipelined: hardware batches compile, read, and reduce concurrently.
+		// Each batch resolves into a disjoint region of res.Outputs; the
+		// per-batch statistics are folded in program order afterwards so the
+		// result is bit-identical to the serial loop.
+		partials := make([]Result, len(starts))
+		errs := make([]error, len(starts))
+		sem := make(chan struct{}, e.parallelism())
+		var wg sync.WaitGroup
+		for k, start := range starts {
+			wg.Add(1)
+			go func(k, start int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				partials[k].Outputs = res.Outputs // disjoint [start,end) writes
+				sub := e.hwBatch(b, start)
+				plan := batch.Build(sub, true)
+				errs[k] = e.runPlan(store, layout, plan, start, &partials[k])
+			}(k, start)
 		}
-		sub := embedding.Batch{Queries: b.Queries[start:end], Op: b.Op}
-		plan := batch.Build(sub, true)
-		if err := e.runPlan(store, layout, plan, start, res); err != nil {
-			return nil, err
+		wg.Wait()
+		for k := range starts {
+			if errs[k] != nil {
+				return nil, errs[k]
+			}
+			res.PETotals.Add(partials[k].PETotals)
+			if partials[k].MaxOccupancy > res.MaxOccupancy {
+				res.MaxOccupancy = partials[k].MaxOccupancy
+			}
+			res.MemoryReads += partials[k].MemoryReads
 		}
-		res.HWBatches++
+	} else {
+		for _, start := range starts {
+			sub := e.hwBatch(b, start)
+			plan := batch.Build(sub, true)
+			if err := e.runPlan(store, layout, plan, start, res); err != nil {
+				return nil, err
+			}
+		}
 	}
 	for qi, out := range res.Outputs {
 		if out == nil {
@@ -135,6 +173,25 @@ func (e *Engine) Lookup(store *embedding.Store, layout Placement, b embedding.Ba
 		}
 	}
 	return res, nil
+}
+
+// hwBatchStarts lists the query offsets at which hardware batches begin.
+func (e *Engine) hwBatchStarts(n int) []int {
+	starts := make([]int, 0, (n+e.cfg.BatchCapacity-1)/e.cfg.BatchCapacity)
+	for s := 0; s < n; s += e.cfg.BatchCapacity {
+		starts = append(starts, s)
+	}
+	return starts
+}
+
+// hwBatch slices the software batch's queries for the hardware batch at the
+// given start offset.
+func (e *Engine) hwBatch(b embedding.Batch, start int) embedding.Batch {
+	end := start + e.cfg.BatchCapacity
+	if end > len(b.Queries) {
+		end = len(b.Queries)
+	}
+	return embedding.Batch{Queries: b.Queries[start:end], Op: b.Op}
 }
 
 // runPlan pushes one hardware batch through the tree and stores the resolved
@@ -154,24 +211,44 @@ func (e *Engine) runPlan(store *embedding.Store, layout Placement, plan *batch.P
 	return e.resolve(plan, outputs, qBase, res)
 }
 
-// rankEntries maps each global rank to the leaf entries read from it.
-type rankEntries map[int][]Entry
+// rankEntries groups the leaf entries of one hardware batch by the global
+// rank they were read from; the slice is indexed by rank.
+type rankEntries [][]Entry
 
 // leafInputs reads every planned access from the store and builds the leaf
-// entries, grouped by rank. remap overrides the placement rank for indices
-// whose reads the host redirected to a replica (nil when no faults are
-// injected); the entry must enter the tree at the leaf that actually served
-// the read so the functional and timing passes agree.
+// entries, grouped by rank. All per-rank buffers are carved out of one
+// backing array sized from plan.NumAccesses(), so the hot path performs two
+// allocations regardless of batch size. remap overrides the placement rank
+// for indices whose reads the host redirected to a replica (nil when no
+// faults are injected); the entry must enter the tree at the leaf that
+// actually served the read so the functional and timing passes agree.
 func (e *Engine) leafInputs(store *embedding.Store, layout Placement, plan *batch.Plan, remap map[header.Index]int) (rankEntries, error) {
-	in := make(rankEntries)
+	in := make(rankEntries, e.cfg.NumRanks)
+	counts := make([]int, e.cfg.NumRanks)
 	for _, acc := range plan.Accesses {
 		r := layout.Rank(acc.Index)
 		if rr, ok := remap[acc.Index]; ok {
 			r = rr
 		}
-		if r >= e.cfg.NumRanks {
+		if r < 0 || r >= e.cfg.NumRanks {
 			return nil, fmt.Errorf("fafnir: index %d maps to rank %d beyond the tree's %d ranks",
 				acc.Index, r, e.cfg.NumRanks)
+		}
+		counts[r]++
+	}
+	buf := make([]Entry, plan.NumAccesses())
+	off := 0
+	for r, c := range counts {
+		if c == 0 {
+			continue
+		}
+		in[r] = buf[off : off : off+c]
+		off += c
+	}
+	for _, acc := range plan.Accesses {
+		r := layout.Rank(acc.Index)
+		if rr, ok := remap[acc.Index]; ok {
+			r = rr
 		}
 		v, err := store.Vector(acc.Index)
 		if err != nil {
@@ -183,71 +260,49 @@ func (e *Engine) leafInputs(store *embedding.Store, layout Placement, plan *batc
 }
 
 // runTree evaluates every PE bottom-up and returns the root outputs. When
-// perPE is non-nil it receives each node's post-merge output count (used by
-// the timing engine).
-func (e *Engine) runTree(op tensor.ReduceOp, in rankEntries, totals *PEStats, maxOcc *int, perPE map[*PENode]PEStats) ([]Entry, error) {
-	memo := make(map[*PENode][]Entry)
-	var eval func(n *PENode) ([]Entry, error)
-	eval = func(n *PENode) ([]Entry, error) {
-		if out, ok := memo[n]; ok {
-			return out, nil
+// perPE is non-nil it must have NumPEs slots and receives each node's
+// post-merge stats indexed by PE ID (used by the timing engine).
+//
+// With Parallelism > 1 the levels evaluate on the concurrent worker pool of
+// parallel.go; either way each node's result is a pure function of its
+// children's, and all accounting folds in fixed construction order below, so
+// outputs and statistics are bit-identical at every Parallelism setting.
+func (e *Engine) runTree(op tensor.ReduceOp, in rankEntries, totals *PEStats, maxOcc *int, perPE []PEStats) ([]Entry, error) {
+	sc := e.getTreeScratch()
+	defer e.putTreeScratch(sc)
+
+	if e.parallelism() > 1 {
+		if err := e.evalLevels(op, in, sc); err != nil {
+			return nil, err
 		}
-		var inA, inB []Entry
-		if n.IsLeaf() {
-			for _, r := range n.RanksA {
-				inA = append(inA, in[r]...)
-			}
-			for _, r := range n.RanksB {
-				inB = append(inB, in[r]...)
-			}
-			// Serially merge co-query entries arriving on the same input
-			// stream (see SelfMerge); required whenever a query holds two
-			// indices on one rank.
-			var stA, stB PEStats
-			var err error
-			inA, stA, err = SelfMerge(op, inA)
-			if err != nil {
-				return nil, fmt.Errorf("fafnir: PE %d input A: %w", n.ID, err)
-			}
-			inB, stB, err = SelfMerge(op, inB)
-			if err != nil {
-				return nil, fmt.Errorf("fafnir: PE %d input B: %w", n.ID, err)
-			}
-			if totals != nil {
-				totals.Reduces += stA.Reduces + stB.Reduces
-				totals.Compares += stA.Compares + stB.Compares
-				totals.MergedDuplicates += stA.MergedDuplicates + stB.MergedDuplicates
-			}
-		} else {
-			var err error
-			inA, err = eval(n.Left)
-			if err != nil {
+	} else {
+		// tree.all is in construction order: children precede parents.
+		for _, n := range e.tree.all {
+			if err := e.evalNode(op, n, in, sc); err != nil {
 				return nil, err
 			}
-			if n.Right != nil {
-				inB, err = eval(n.Right)
-				if err != nil {
-					return nil, err
-				}
-			}
 		}
-		out, st, err := ProcessPE(op, inA, inB)
-		if err != nil {
-			return nil, fmt.Errorf("fafnir: PE %d: %w", n.ID, err)
-		}
+	}
+
+	for _, n := range e.tree.all {
+		st := sc.proc[n.ID]
 		if totals != nil {
+			if n.IsLeaf() {
+				s := sc.self[n.ID]
+				totals.Reduces += s.Reduces
+				totals.Compares += s.Compares
+				totals.MergedDuplicates += s.MergedDuplicates
+			}
 			totals.Add(st)
 		}
 		if maxOcc != nil && st.Outputs > *maxOcc {
 			*maxOcc = st.Outputs
 		}
 		if perPE != nil {
-			perPE[n] = st
+			perPE[n.ID] = st
 		}
-		memo[n] = out
-		return out, nil
 	}
-	return eval(e.tree.Root())
+	return sc.memo[e.tree.root.ID], nil
 }
 
 // checkRootConservation is the always-on cheap invariant checker run on
@@ -375,6 +430,65 @@ func (e *Engine) readFaulted(layout Placement, mem *dram.System, inj *fault.Inje
 	return rank, done, nil
 }
 
+// funcPass is the timing-independent work of one hardware batch: the
+// compiled plan, the functional tree reduction, and its accounting. In
+// pipelined mode later batches compute their pass concurrently while earlier
+// batches are being timed.
+type funcPass struct {
+	plan    *batch.Plan
+	outputs []Entry
+	perPE   []PEStats
+	totals  PEStats
+	maxOcc  int
+	err     error
+	done    chan struct{}
+}
+
+// runFuncPass compiles the batch (unless already compiled) and runs the
+// functional tree reduction, filling the pass in place.
+func (e *Engine) runFuncPass(p *funcPass, store *embedding.Store, layout Placement, b embedding.Batch, start int, dedup bool, remap map[header.Index]int) {
+	if p.plan == nil {
+		p.plan = batch.Build(e.hwBatch(b, start), dedup)
+	}
+	leafIn, err := e.leafInputs(store, layout, p.plan, remap)
+	if err != nil {
+		p.err = err
+		return
+	}
+	p.perPE = make([]PEStats, e.tree.NumPEs())
+	p.outputs, p.err = e.runTree(b.Op, leafIn, &p.totals, &p.maxOcc, p.perPE)
+}
+
+// treeTiming propagates input readiness up the tree in the PE clock domain
+// and returns per-node completion times (indexed by PE ID). leafReady holds
+// each leaf's last DRAM arrival in the memory clock domain. ready is reused
+// across batches; every node's slot is overwritten.
+func (e *Engine) treeTiming(leafReady, ready []sim.Cycle, perPE []PEStats, inj *fault.Injector, faulted bool) sim.Cycle {
+	stage := e.cfg.Latency.StageLatency()
+	// tree.all is in construction order: children precede parents.
+	for _, n := range e.tree.all {
+		var inReady sim.Cycle
+		if n.IsLeaf() {
+			inReady = e.cfg.DRAMToPE(leafReady[n.ID])
+		} else {
+			inReady = ready[n.Left.ID]
+			if n.Right != nil {
+				inReady = sim.Max(inReady, ready[n.Right.ID])
+			}
+		}
+		occ := perPE[n.ID].Outputs
+		t := inReady + stage
+		if occ > 1 {
+			t += sim.Cycle(occ - 1)
+		}
+		if faulted {
+			t += inj.PEStall(n.ID)
+		}
+		ready[n.ID] = t
+	}
+	return ready[e.tree.root.ID]
+}
+
 func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram.System, b embedding.Batch, dedup bool, inj *fault.Injector) (*TimedResult, error) {
 	res := &TimedResult{}
 	res.Outputs = make([]tensor.Vector, len(b.Queries))
@@ -385,23 +499,56 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 		res.Degraded = deg
 		mem.AttachFaults(inj)
 	}
-	var clock sim.Cycle // DRAM-domain time at which the next batch may issue
+	starts := e.hwBatchStarts(len(b.Queries))
+	res.HWBatches = len(starts)
 
-	for start := 0; start < len(b.Queries); start += e.cfg.BatchCapacity {
-		end := start + e.cfg.BatchCapacity
-		if end > len(b.Queries) {
-			end = len(b.Queries)
+	// Pipelined mode overlaps the compile + leaf-read + tree phases of
+	// successive hardware batches with the timing pass of earlier batches.
+	// Timing itself is still charged strictly per batch in program order by
+	// the loop below (the DRAM model's queues see the exact serial read
+	// sequence), so cycle counts are bit-identical to the serial engine.
+	// Fault injection threads host state through the read loop (remapped
+	// reads feed the functional pass), so faulted runs stay fully serial.
+	passes := make([]*funcPass, len(starts))
+	pipelined := !faulted && e.parallelism() > 1 && len(starts) > 1
+	if pipelined {
+		sem := make(chan struct{}, e.parallelism())
+		for k, start := range starts {
+			p := &funcPass{done: make(chan struct{})}
+			passes[k] = p
+			go func(p *funcPass, start int) {
+				defer close(p.done)
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				e.runFuncPass(p, store, layout, b, start, dedup, nil)
+			}(p, start)
 		}
-		sub := embedding.Batch{Queries: b.Queries[start:end], Op: b.Op}
-		plan := batch.Build(sub, dedup)
-		res.HWBatches++
+	}
+
+	var clock sim.Cycle // DRAM-domain time at which the next batch may issue
+	leafReady := make([]sim.Cycle, e.tree.NumPEs())
+	ready := make([]sim.Cycle, e.tree.NumPEs())
+
+	for k, start := range starts {
+		p := passes[k]
+		if pipelined {
+			<-p.done
+			if p.err != nil {
+				return nil, p.err
+			}
+		} else {
+			p = &funcPass{}
+			passes[k] = p
+			p.plan = batch.Build(e.hwBatch(b, start), dedup)
+		}
+		plan := p.plan
 		res.MemoryReads += plan.NumAccesses()
 
 		// Issue every planned read; record per-leaf-input readiness. Under
 		// fault injection the host consults the injector per access, remaps
 		// dark-rank reads, and charges retry backoff; remap records which
 		// leaf each redirected entry enters the tree through.
-		leafReady := make(map[*PENode]sim.Cycle)
+		clear(leafReady)
 		var remap map[header.Index]int
 		var memDone sim.Cycle
 		for _, acc := range plan.Accesses {
@@ -429,11 +576,11 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 			if err != nil {
 				return nil, err
 			}
-			leafReady[leaf] = sim.Max(leafReady[leaf], done)
+			leafReady[leaf.ID] = sim.Max(leafReady[leaf.ID], done)
 			memDone = sim.Max(memDone, done)
 		}
 		if len(remap) > 0 {
-			for _, q := range sub.Queries {
+			for _, q := range plan.Batch().Queries {
 				for _, idx := range q.Indices {
 					if _, ok := remap[idx]; ok {
 						deg.RemappedQueries++
@@ -443,52 +590,27 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 			}
 		}
 
-		// Functional pass to learn per-PE occupancies.
-		leafIn, err := e.leafInputs(store, layout, plan, remap)
-		if err != nil {
-			return nil, err
+		// Functional pass to learn per-PE occupancies (precomputed when
+		// pipelined; faulted runs need the read loop's remap first).
+		if !pipelined {
+			e.runFuncPass(p, store, layout, b, start, dedup, remap)
+			if p.err != nil {
+				return nil, p.err
+			}
 		}
-		perPE := make(map[*PENode]PEStats)
-		outputs, err := e.runTree(b.Op, leafIn, &res.PETotals, &res.MaxOccupancy, perPE)
-		if err != nil {
-			return nil, err
+		res.PETotals.Add(p.totals)
+		if p.maxOcc > res.MaxOccupancy {
+			res.MaxOccupancy = p.maxOcc
 		}
-		if err := e.resolve(plan, outputs, start, &res.Result); err != nil {
+		if err := e.resolve(plan, p.outputs, start, &res.Result); err != nil {
 			return nil, err
 		}
 
 		// Propagate readiness up the tree in the PE clock domain.
-		stage := e.cfg.Latency.StageLatency()
-		ready := make(map[*PENode]sim.Cycle)
-		var walk func(n *PENode) sim.Cycle
-		walk = func(n *PENode) sim.Cycle {
-			if t, ok := ready[n]; ok {
-				return t
-			}
-			var inReady sim.Cycle
-			if n.IsLeaf() {
-				inReady = e.cfg.DRAMToPE(leafReady[n])
-			} else {
-				inReady = walk(n.Left)
-				if n.Right != nil {
-					inReady = sim.Max(inReady, walk(n.Right))
-				}
-			}
-			occ := perPE[n].Outputs
-			t := inReady + stage
-			if occ > 1 {
-				t += sim.Cycle(occ - 1)
-			}
-			if faulted {
-				t += inj.PEStall(n.ID)
-			}
-			ready[n] = t
-			return t
-		}
-		rootDone := walk(e.tree.Root())
+		rootDone := e.treeTiming(leafReady, ready, p.perPE, inj, faulted)
 
 		// Root-to-host transfer of the completed outputs.
-		outBytes := len(outputs) * layout.VectorBytes()
+		outBytes := len(p.outputs) * layout.VectorBytes()
 		xfer := e.cfg.DRAMToPE(mem.Config().TransferCycles(outBytes))
 
 		memPE := e.cfg.DRAMToPE(memDone)

@@ -1,0 +1,185 @@
+package fafnir
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fafnir/internal/tensor"
+)
+
+// This file holds the concurrent execution layer of the engine: a pooled
+// dense scratch for tree evaluation and a level-synchronous worker pool that
+// evaluates PEs concurrently once their children have resolved. The layer is
+// deterministic by construction — each PE's output is a pure function of its
+// children's outputs, workers write only their own node's dense slots, and
+// all accounting (PETotals, MaxOccupancy, perPE) is folded in fixed
+// construction order after the evaluation finishes — so every Parallelism
+// setting produces bit-identical results (see docs/ARCHITECTURE.md §9).
+
+// parallelism resolves the configured worker-pool width: 0 means "use every
+// core the runtime gives us".
+func (e *Engine) parallelism() int {
+	if e.cfg.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.cfg.Parallelism
+}
+
+// treeScratch is the dense per-run working state of one tree evaluation,
+// indexed by PENode.ID (IDs are dense in [0, NumPEs)). It replaces the
+// map[*PENode][]Entry memo of the original recursive evaluator and is pooled
+// on the engine so steady-state tree passes allocate no bookkeeping.
+type treeScratch struct {
+	memo [][]Entry // node ID -> post-merge outputs
+	proc []PEStats // node ID -> ProcessPE stats
+	self []PEStats // node ID -> leaf SelfMerge stats (both inputs combined)
+	errs []error   // node ID -> evaluation error (parallel path)
+	work []*PENode // per-level dispatch list, reused across levels
+}
+
+// getTreeScratch leases a scratch sized for the engine's tree.
+func (e *Engine) getTreeScratch() *treeScratch {
+	if v := e.scratch.Get(); v != nil {
+		return v.(*treeScratch)
+	}
+	n := e.tree.NumPEs()
+	return &treeScratch{
+		memo: make([][]Entry, n),
+		proc: make([]PEStats, n),
+		self: make([]PEStats, n),
+		errs: make([]error, n),
+		work: make([]*PENode, 0, n),
+	}
+}
+
+// putTreeScratch clears and returns a scratch to the pool. Memo slots are
+// nilled so pooled scratches do not pin entry vectors across runs.
+func (e *Engine) putTreeScratch(sc *treeScratch) {
+	for i := range sc.memo {
+		sc.memo[i] = nil
+		sc.proc[i] = PEStats{}
+		sc.self[i] = PEStats{}
+		sc.errs[i] = nil
+	}
+	sc.work = sc.work[:0]
+	e.scratch.Put(sc)
+}
+
+// evalNode evaluates one PE: leaves gather and self-merge their ranks'
+// entries, internal nodes join their children's memoized outputs. The
+// node's results land in the scratch's dense slots, touching no other
+// node's state — the property that makes within-level parallelism safe.
+func (e *Engine) evalNode(op tensor.ReduceOp, n *PENode, in rankEntries, sc *treeScratch) error {
+	var inA, inB []Entry
+	if n.IsLeaf() {
+		inA = gatherRanks(in, n.RanksA)
+		inB = gatherRanks(in, n.RanksB)
+		// Serially merge co-query entries arriving on the same input
+		// stream (see SelfMerge); required whenever a query holds two
+		// indices on one rank.
+		var stA, stB PEStats
+		var err error
+		inA, stA, err = SelfMerge(op, inA)
+		if err != nil {
+			return fmt.Errorf("fafnir: PE %d input A: %w", n.ID, err)
+		}
+		inB, stB, err = SelfMerge(op, inB)
+		if err != nil {
+			return fmt.Errorf("fafnir: PE %d input B: %w", n.ID, err)
+		}
+		stA.Add(stB)
+		sc.self[n.ID] = stA
+	} else {
+		inA = sc.memo[n.Left.ID]
+		if n.Right != nil {
+			inB = sc.memo[n.Right.ID]
+		}
+	}
+	out, st, err := ProcessPE(op, inA, inB)
+	if err != nil {
+		return fmt.Errorf("fafnir: PE %d: %w", n.ID, err)
+	}
+	sc.memo[n.ID] = out
+	sc.proc[n.ID] = st
+	return nil
+}
+
+// gatherRanks collects the leaf entries of the given ranks. The single-rank
+// case (the paper's 1PE:2R geometry) aliases the per-rank slice directly —
+// entries are immutable in flight, so no copy is needed.
+func gatherRanks(in rankEntries, ranks []int) []Entry {
+	switch len(ranks) {
+	case 0:
+		return nil
+	case 1:
+		return in[ranks[0]]
+	}
+	n := 0
+	for _, r := range ranks {
+		n += len(in[r])
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, n)
+	for _, r := range ranks {
+		out = append(out, in[r]...)
+	}
+	return out
+}
+
+// evalLevels evaluates the tree level-synchronously: all PEs of one level
+// run concurrently on a bounded worker pool, then the level barrier makes
+// their outputs visible to the next level. Carried-up nodes (odd levels)
+// appear in several level lists but evaluate only once, at their own level.
+// Errors are surfaced in ID order so failure reporting is deterministic too.
+func (e *Engine) evalLevels(op tensor.ReduceOp, in rankEntries, sc *treeScratch) error {
+	par := e.parallelism()
+	for lv, nodes := range e.tree.levels {
+		work := sc.work[:0]
+		for _, n := range nodes {
+			if n.Level == lv {
+				work = append(work, n)
+			}
+		}
+		workers := par
+		if workers > len(work) {
+			workers = len(work)
+		}
+		if workers <= 1 {
+			for _, n := range work {
+				if err := e.evalNode(op, n, in, sc); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(work) {
+						return
+					}
+					n := work[i]
+					if err := e.evalNode(op, n, in, sc); err != nil {
+						sc.errs[n.ID] = err
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for _, n := range work {
+			if err := sc.errs[n.ID]; err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package fafnir
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	"fafnir/internal/tensor"
+)
+
+// parallelismLevels are the worker-pool widths every determinism test sweeps:
+// the exact legacy serial path, a fixed small pool, and whatever the host
+// offers (GOMAXPROCS via the 0 default).
+func parallelismLevels() []int {
+	levels := []int{1, 2, runtime.NumCPU()}
+	if runtime.NumCPU() == 2 {
+		levels = levels[:2]
+	}
+	return levels
+}
+
+func detWorkload(t *testing.T, queries int) (*embedding.Store, embedding.Batch) {
+	t.Helper()
+	store := embedding.MustStore(1<<14, 16, 7)
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: queries, QuerySize: 12, Rows: 1 << 14,
+		Dist: embedding.Zipf, ZipfS: 1.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, gen.Batch(tensor.OpSum)
+}
+
+func parEngine(t *testing.T, par int) *Engine {
+	t.Helper()
+	cfg := Default()
+	cfg.VectorDim = 16
+	cfg.Parallelism = par
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestLookupDeterministicAcrossParallelism runs the same seeded workload at
+// Parallelism 1, 2, and NumCPU and requires bit-identical functional results:
+// outputs, per-PE action totals, peak occupancy, and read counts. The batch
+// spans several hardware batches so the pipelined path is exercised.
+func TestLookupDeterministicAcrossParallelism(t *testing.T) {
+	store, b := detWorkload(t, 100) // 4 hardware batches at capacity 32
+	pl := modPlacement{ranks: 32, bytes: 64}
+
+	var want *Result
+	for _, par := range parallelismLevels() {
+		e := parEngine(t, par)
+		res, err := e.Lookup(store, pl, b)
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", par, err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Outputs, want.Outputs) {
+			t.Fatalf("Parallelism=%d: outputs differ from serial run", par)
+		}
+		if res.PETotals != want.PETotals {
+			t.Fatalf("Parallelism=%d: PETotals %+v != serial %+v", par, res.PETotals, want.PETotals)
+		}
+		if res.MaxOccupancy != want.MaxOccupancy {
+			t.Fatalf("Parallelism=%d: MaxOccupancy %d != serial %d", par, res.MaxOccupancy, want.MaxOccupancy)
+		}
+		if res.MemoryReads != want.MemoryReads || res.HWBatches != want.HWBatches {
+			t.Fatalf("Parallelism=%d: reads/batches (%d,%d) != serial (%d,%d)",
+				par, res.MemoryReads, res.HWBatches, want.MemoryReads, want.HWBatches)
+		}
+	}
+}
+
+// TestTimedLookupDeterministicAcrossParallelism requires the timing pass to
+// be cycle-identical at every Parallelism setting: pipelined hardware batches
+// must charge the DRAM model and the tree walk exactly as the serial engine.
+func TestTimedLookupDeterministicAcrossParallelism(t *testing.T) {
+	store, b := detWorkload(t, 96) // 3 hardware batches
+	pl := modPlacement{ranks: 32, bytes: 64}
+
+	for _, dedup := range []bool{true, false} {
+		var want *TimedResult
+		for _, par := range parallelismLevels() {
+			e := parEngine(t, par)
+			res, err := e.TimedLookup(store, pl, dram.MustSystem(dram.DDR4()), b, dedup)
+			if err != nil {
+				t.Fatalf("dedup=%v Parallelism=%d: %v", dedup, par, err)
+			}
+			if want == nil {
+				want = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Outputs, want.Outputs) {
+				t.Fatalf("dedup=%v Parallelism=%d: outputs differ from serial run", dedup, par)
+			}
+			if res.PETotals != want.PETotals || res.MaxOccupancy != want.MaxOccupancy {
+				t.Fatalf("dedup=%v Parallelism=%d: stats diverge: %+v vs %+v",
+					dedup, par, res.PETotals, want.PETotals)
+			}
+			if res.TotalCycles != want.TotalCycles || res.MemCycles != want.MemCycles ||
+				res.ComputeCycles != want.ComputeCycles || res.TransferCycles != want.TransferCycles {
+				t.Fatalf("dedup=%v Parallelism=%d: cycles (%d,%d,%d,%d) != serial (%d,%d,%d,%d)",
+					dedup, par,
+					res.TotalCycles, res.MemCycles, res.ComputeCycles, res.TransferCycles,
+					want.TotalCycles, want.MemCycles, want.ComputeCycles, want.TransferCycles)
+			}
+			if res.BytesRead != want.BytesRead || res.MemoryReads != want.MemoryReads {
+				t.Fatalf("dedup=%v Parallelism=%d: traffic diverges", dedup, par)
+			}
+		}
+	}
+}
+
+// TestParallelLookupMatchesGolden cross-checks the parallel engine against
+// the reference reduction, not just against the serial engine.
+func TestParallelLookupMatchesGolden(t *testing.T) {
+	store, b := detWorkload(t, 80)
+	pl := modPlacement{ranks: 32, bytes: 64}
+	e := parEngine(t, runtime.NumCPU())
+	res, err := e.Lookup(store, pl, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := b.MustGolden(store)
+	if i := VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
+		t.Fatalf("query %d mismatches golden", i)
+	}
+}
+
+// TestParallelAllOps sweeps every pooling operation through the parallel
+// tree; sorting-sensitive ops (min/max) catch any join-order divergence.
+func TestParallelAllOps(t *testing.T) {
+	store := embedding.MustStore(4096, 8, 3)
+	for _, op := range []tensor.ReduceOp{tensor.OpSum, tensor.OpMin, tensor.OpMax, tensor.OpMean} {
+		gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+			NumQueries: 48, QuerySize: 6, Rows: 4096, Seed: int64(op) + 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := gen.Batch(op)
+		var want []tensor.Vector
+		for _, par := range parallelismLevels() {
+			cfg := Default()
+			cfg.VectorDim = 8
+			cfg.Parallelism = par
+			e, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Lookup(store, modPlacement{ranks: 32, bytes: 32}, b)
+			if err != nil {
+				t.Fatalf("op=%v par=%d: %v", op, par, err)
+			}
+			if want == nil {
+				want = res.Outputs
+				continue
+			}
+			if !reflect.DeepEqual(res.Outputs, want) {
+				t.Fatalf("op=%v par=%d: outputs differ", op, par)
+			}
+		}
+	}
+}
+
+// TestParallelErrorDeterministic forces an evaluation error (an index mapped
+// beyond the tree's ranks) and requires the same structured error at every
+// Parallelism setting.
+func TestParallelErrorDeterministic(t *testing.T) {
+	store, b := detWorkload(t, 64)
+	bad := modPlacement{ranks: 64, bytes: 64} // ranks beyond the 32-leaf tree
+	var want string
+	for _, par := range parallelismLevels() {
+		e := parEngine(t, par)
+		_, err := e.Lookup(store, bad, b)
+		if err == nil {
+			t.Fatalf("Parallelism=%d: out-of-range rank accepted", par)
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Fatalf("Parallelism=%d: error %q != serial %q", par, err, want)
+		}
+	}
+}
+
+// TestParallelismValidation covers the new knob's configuration contract.
+func TestParallelismValidation(t *testing.T) {
+	cfg := Default()
+	cfg.Parallelism = -1
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("negative Parallelism accepted")
+	}
+	cfg.Parallelism = 0
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("parallelism() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestHWBatchStarts pins the batch-splitting helper, including the empty
+// batch (no hardware batches at all).
+func TestHWBatchStarts(t *testing.T) {
+	e := parEngine(t, 1)
+	for _, tc := range []struct {
+		n    int
+		want []int
+	}{
+		{0, []int{}},
+		{1, []int{0}},
+		{32, []int{0}},
+		{33, []int{0, 32}},
+		{100, []int{0, 32, 64, 96}},
+	} {
+		got := e.hwBatchStarts(tc.n)
+		if len(got) != len(tc.want) {
+			t.Fatalf("hwBatchStarts(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("hwBatchStarts(%d) = %v, want %v", tc.n, got, tc.want)
+			}
+		}
+	}
+}

@@ -2,7 +2,8 @@ package fafnir
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"fafnir/internal/header"
 	"fafnir/internal/tensor"
@@ -56,6 +57,115 @@ func (s *PEStats) Add(o PEStats) {
 	s.Outputs += o.Outputs
 }
 
+// mergeSlot is one merge-unit output under construction: the entry and how
+// many raw outputs were folded into it.
+type mergeSlot struct {
+	entry Entry
+	raw   int
+}
+
+// groupSlot is one SelfMerge reduction group: the full query the group's
+// members belong to and their positions in the input stream.
+type groupSlot struct {
+	full    header.IndexSet
+	members []int
+}
+
+// mergeScratch is the pooled working state of ProcessPE's and SelfMerge's
+// merge units. PEs evaluate concurrently under Config.Parallelism, so the
+// scratch lives in a sync.Pool rather than on the engine; pooling keeps the
+// steady-state hot path free of map and slice growth. Map lookups go through
+// keybuf (m[string(buf)] lookups don't allocate); a key string is only built
+// when a new slot is inserted.
+type mergeScratch struct {
+	byIdx  map[string]int // canonical indices key -> slots position
+	slots  []mergeSlot
+	keybuf []byte
+	// SelfMerge group state.
+	groups map[string]int // full-query key -> gslots position
+	gslots []groupSlot
+}
+
+var mergePool = sync.Pool{New: func() any {
+	return &mergeScratch{byIdx: make(map[string]int), groups: make(map[string]int)}
+}}
+
+// release clears the scratch and returns it to the pool. Entry and index-set
+// references are dropped so pooled scratches do not pin vectors.
+func (s *mergeScratch) release() {
+	clear(s.byIdx)
+	clear(s.groups)
+	clear(s.slots)
+	s.slots = s.slots[:0]
+	for i := range s.gslots {
+		s.gslots[i].full = nil
+		s.gslots[i].members = s.gslots[i].members[:0]
+	}
+	s.gslots = s.gslots[:0]
+	mergePool.Put(s)
+}
+
+// emit feeds one raw output into the merge unit: outputs sharing an Indices
+// set fold into one slot with concatenated Queries fields.
+func (s *mergeScratch) emit(e Entry) error {
+	s.keybuf = e.Header.Indices.AppendKey(s.keybuf[:0])
+	if i, ok := s.byIdx[string(s.keybuf)]; ok {
+		merged, err := header.MergeQueries(s.slots[i].entry.Header, e.Header)
+		if err != nil {
+			return err
+		}
+		s.slots[i].entry.Header = merged
+		s.slots[i].raw++
+		return nil
+	}
+	s.byIdx[string(s.keybuf)] = len(s.slots)
+	s.slots = append(s.slots, mergeSlot{entry: e, raw: 1})
+	return nil
+}
+
+// finalize sorts the merge unit's outputs by canonical indices key — the step
+// that makes PE evaluation deterministic regardless of input order — and
+// returns them, charging the fold count to stats. Slots carry distinct
+// Indices sets by construction, so Compare's Key order is a total order here.
+func (s *mergeScratch) finalize(stats *PEStats) []Entry {
+	slices.SortFunc(s.slots, func(a, b mergeSlot) int {
+		return a.entry.Header.Indices.Compare(b.entry.Header.Indices)
+	})
+	out := make([]Entry, len(s.slots))
+	for i, sl := range s.slots {
+		stats.MergedDuplicates += sl.raw - 1
+		out[i] = sl.entry
+	}
+	stats.Outputs = len(out)
+	return out
+}
+
+// group returns the reduction group for the given full-query set, creating
+// it (and reusing pooled member storage) on first sight. Returned pointers
+// are invalidated by the next group call and by sortGroups.
+func (s *mergeScratch) group(full header.IndexSet) *groupSlot {
+	s.keybuf = full.AppendKey(s.keybuf[:0])
+	if i, ok := s.groups[string(s.keybuf)]; ok {
+		return &s.gslots[i]
+	}
+	s.groups[string(s.keybuf)] = len(s.gslots)
+	if len(s.gslots) < cap(s.gslots) {
+		s.gslots = s.gslots[:len(s.gslots)+1]
+		g := &s.gslots[len(s.gslots)-1]
+		g.full = full
+		return g
+	}
+	s.gslots = append(s.gslots, groupSlot{full: full})
+	return &s.gslots[len(s.gslots)-1]
+}
+
+// sortGroups orders the groups by full-query key so SelfMerge reduces them
+// in canonical order. The groups map is stale afterwards; callers only
+// iterate gslots from here on.
+func (s *mergeScratch) sortGroups() {
+	slices.SortFunc(s.gslots, func(a, b groupSlot) int { return a.full.Compare(b.full) })
+}
+
 // ProcessPE runs the functional semantics of one PE over its two input
 // buffers (Section IV-B/IV-C). For every entry and every remaining-index set
 // in its Queries field, the compute units compare the set against the
@@ -82,36 +192,18 @@ func (s *PEStats) Add(o PEStats) {
 // deterministic regardless of input order.
 func ProcessPE(op tensor.ReduceOp, inA, inB []Entry) ([]Entry, PEStats, error) {
 	stats := PEStats{InA: len(inA), InB: len(inB)}
-
-	type slot struct {
-		entry Entry
-		raw   int // raw outputs folded into this slot
-	}
-	byIdx := make(map[string]*slot)
-	var order []string
-
-	emit := func(e Entry) error {
-		key := e.Header.Indices.Key()
-		if s, ok := byIdx[key]; ok {
-			merged, err := header.MergeQueries(s.entry.Header, e.Header)
-			if err != nil {
-				return err
-			}
-			s.entry.Header = merged
-			s.raw++
-			return nil
-		}
-		byIdx[key] = &slot{entry: e, raw: 1}
-		order = append(order, key)
-		return nil
-	}
+	sc := mergePool.Get().(*mergeScratch)
+	defer sc.release()
+	emit := sc.emit
 
 	process := func(side, opp []Entry) error {
 		for _, e := range side {
 			if len(e.Header.Queries) == 0 {
 				// Nothing owed by any query: pass through untouched.
+				// Headers are immutable in flight, so the output may
+				// share the input's sets.
 				stats.Forwards++
-				if err := emit(Entry{Value: e.Value, Header: e.Header.Clone()}); err != nil {
+				if err := emit(Entry{Value: e.Value, Header: e.Header}); err != nil {
 					return err
 				}
 				continue
@@ -132,7 +224,7 @@ func ProcessPE(op tensor.ReduceOp, inA, inB []Entry) ([]Entry, PEStats, error) {
 					stats.Forwards++
 					out := Entry{
 						Value:  e.Value,
-						Header: header.Header{Indices: e.Header.Indices.Clone(), Queries: []header.IndexSet{qs.Clone()}},
+						Header: header.Header{Indices: e.Header.Indices, Queries: []header.IndexSet{qs}},
 					}
 					if err := emit(out); err != nil {
 						return err
@@ -164,16 +256,7 @@ func ProcessPE(op tensor.ReduceOp, inA, inB []Entry) ([]Entry, PEStats, error) {
 	if err := process(inB, inA); err != nil {
 		return nil, stats, err
 	}
-
-	sort.Strings(order)
-	out := make([]Entry, 0, len(order))
-	for _, key := range order {
-		s := byIdx[key]
-		stats.MergedDuplicates += s.raw - 1
-		out = append(out, s.entry)
-	}
-	stats.Outputs = len(out)
-	return out, stats, nil
+	return sc.finalize(&stats), stats, nil
 }
 
 // SelfMerge reduces co-query entries that sit in the *same* input stream.
@@ -195,14 +278,10 @@ func ProcessPE(op tensor.ReduceOp, inA, inB []Entry) ([]Entry, PEStats, error) {
 // The returned stats count the reduce actions and merge-unit folds performed.
 func SelfMerge(op tensor.ReduceOp, entries []Entry) ([]Entry, PEStats, error) {
 	var total PEStats
+	sc := mergePool.Get().(*mergeScratch)
+	defer sc.release()
 
-	type group struct {
-		full    header.IndexSet
-		members []int // positions into entries
-	}
-	groups := make(map[string]*group)
-	var groupOrder []string
-	addMember := func(g *group, i int) {
+	addMember := func(g *groupSlot, i int) {
 		for _, m := range g.members {
 			if m == i {
 				return
@@ -219,49 +298,22 @@ func SelfMerge(op tensor.ReduceOp, entries []Entry) ([]Entry, PEStats, error) {
 		}
 		for _, qs := range e.Header.Queries {
 			full := e.Header.Indices.Union(qs)
-			key := full.Key()
-			g, ok := groups[key]
-			if !ok {
-				g = &group{full: full}
-				groups[key] = g
-				groupOrder = append(groupOrder, key)
-			}
-			addMember(g, i)
+			addMember(sc.group(full), i)
 		}
 	}
-	sort.Strings(groupOrder)
+	sc.sortGroups()
 
 	// Reduce each group: members combine in canonical (indices-key) order.
-	type slot struct {
-		entry Entry
-		raw   int
-	}
-	byIdx := make(map[string]*slot)
-	var outOrder []string
-	emit := func(e Entry) error {
-		key := e.Header.Indices.Key()
-		if s, ok := byIdx[key]; ok {
-			m, err := header.MergeQueries(s.entry.Header, e.Header)
-			if err != nil {
-				return err
-			}
-			s.entry.Header = m
-			s.raw++
-			return nil
-		}
-		byIdx[key] = &slot{entry: e, raw: 1}
-		outOrder = append(outOrder, key)
-		return nil
-	}
+	emit := sc.emit
 
-	for _, key := range groupOrder {
-		g := groups[key]
-		members := append([]int(nil), g.members...)
-		sort.Slice(members, func(a, b int) bool {
-			return entries[members[a]].Header.Indices.Key() < entries[members[b]].Header.Indices.Key()
+	for gi := range sc.gslots {
+		g := &sc.gslots[gi]
+		members := g.members
+		slices.SortFunc(members, func(a, b int) int {
+			return entries[a].Header.Indices.Compare(entries[b].Header.Indices)
 		})
 		first := entries[members[0]]
-		covered := first.Header.Indices.Clone()
+		covered := first.Header.Indices
 		value := first.Value
 		for _, mi := range members[1:] {
 			m := entries[mi]
@@ -292,14 +344,5 @@ func SelfMerge(op tensor.ReduceOp, entries []Entry) ([]Entry, PEStats, error) {
 			return nil, total, err
 		}
 	}
-
-	sort.Strings(outOrder)
-	final := make([]Entry, 0, len(outOrder))
-	for _, key := range outOrder {
-		s := byIdx[key]
-		total.MergedDuplicates += s.raw - 1
-		final = append(final, s.entry)
-	}
-	total.Outputs = len(final)
-	return final, total, nil
+	return sc.finalize(&total), total, nil
 }

@@ -2,7 +2,7 @@ package header
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -68,17 +68,16 @@ func (h Header) HasQuery(q IndexSet) bool {
 	return false
 }
 
-// canonicalQueries returns the Queries field sorted and deduplicated by Key,
-// so two headers that differ only in ordering compare equal.
+// canonicalQueries sorts qs in place by Key order and deduplicates, so two
+// headers that differ only in ordering compare equal. Key-order sorting via
+// IndexSet.Compare keeps this allocation-free on the PE hot path.
 func canonicalQueries(qs []IndexSet) []IndexSet {
 	if len(qs) == 0 {
 		return nil
 	}
-	sorted := make([]IndexSet, len(qs))
-	copy(sorted, qs)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key() < sorted[j].Key() })
-	out := sorted[:1]
-	for _, q := range sorted[1:] {
+	slices.SortFunc(qs, IndexSet.Compare)
+	out := qs[:1]
+	for _, q := range qs[1:] {
 		if !q.Equal(out[len(out)-1]) {
 			out = append(out, q)
 		}
@@ -97,10 +96,12 @@ func (h *Header) Normalize() *Header {
 // queries). Two headers with equal Key are redundant outputs in the merge
 // unit's first case ("the redundant outputs must be removed").
 func (h Header) Key() string {
+	qs := make([]IndexSet, len(h.Queries))
+	copy(qs, h.Queries) // Key must not reorder the caller's header
 	var b strings.Builder
 	b.WriteString(h.Indices.Key())
 	b.WriteByte('|')
-	for _, q := range canonicalQueries(h.Queries) {
+	for _, q := range canonicalQueries(qs) {
 		b.WriteString(q.Key())
 		b.WriteByte(';')
 	}
@@ -155,7 +156,7 @@ func (h Header) CanReduceInto(other IndexSet) int {
 // other side's indices, i.e. the reduction is not needed by any query.
 func Reduce(a, b Header) (Header, bool) {
 	union := a.Indices.Union(b.Indices)
-	var qs []IndexSet
+	qs := make([]IndexSet, 0, len(a.Queries)+len(b.Queries))
 	for _, q := range a.Queries {
 		if q.ContainsAll(b.Indices) {
 			qs = append(qs, q.Minus(b.Indices))
@@ -183,10 +184,10 @@ func MergeQueries(a, b Header) (Header, error) {
 	if !a.Indices.Equal(b.Indices) {
 		return Header{}, fmt.Errorf("header: MergeQueries on distinct indices %v vs %v", a.Indices, b.Indices)
 	}
-	h := Header{
-		Indices: a.Indices.Clone(),
-		Queries: append(append([]IndexSet{}, a.Queries...), b.Queries...),
-	}
+	qs := make([]IndexSet, 0, len(a.Queries)+len(b.Queries))
+	qs = append(qs, a.Queries...)
+	qs = append(qs, b.Queries...)
+	h := Header{Indices: a.Indices, Queries: qs}
 	h.Normalize()
 	return h, nil
 }

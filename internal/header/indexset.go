@@ -18,6 +18,7 @@ package header
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -183,15 +184,44 @@ func (s IndexSet) Key() string {
 	if len(s) == 0 {
 		return ""
 	}
-	var b strings.Builder
-	b.Grow(len(s) * 4)
+	return string(s.AppendKey(make([]byte, 0, len(s)*4)))
+}
+
+// AppendKey appends the Key encoding of s to dst and returns the extended
+// buffer. Hot paths reuse one scratch buffer across calls instead of
+// allocating a string per Key.
+func (s IndexSet) AppendKey(dst []byte) []byte {
 	for _, x := range s {
-		b.WriteByte(byte(x))
-		b.WriteByte(byte(x >> 8))
-		b.WriteByte(byte(x >> 16))
-		b.WriteByte(byte(x >> 24))
+		dst = append(dst, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
 	}
-	return b.String()
+	return dst
+}
+
+// Compare orders two sets exactly as comparing their Key encodings would —
+// element by element in little-endian byte order, shorter prefix first —
+// without allocating. The merge unit sorts by this order, so it must stay
+// byte-for-byte equivalent to Key for results to be reproducible across
+// engine versions.
+func (s IndexSet) Compare(t IndexSet) int {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		if s[i] != t[i] {
+			if bits.ReverseBytes32(s[i]) < bits.ReverseBytes32(t[i]) {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(s) < len(t):
+		return -1
+	case len(s) > len(t):
+		return 1
+	}
+	return 0
 }
 
 // String renders the set like "{1, 2, 5}".

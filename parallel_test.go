@@ -1,0 +1,60 @@
+package fafnir
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestSystemDeterministicAcrossParallelism runs the same seeded system-level
+// workload — fault-free and under a fault plan with a dark rank plus
+// transient ECC faults — at Parallelism 1, 2, and NumCPU, and requires
+// bit-identical outputs, identical PE totals and occupancy, identical cycle
+// counts, and an identical degradation report at every setting.
+func TestSystemDeterministicAcrossParallelism(t *testing.T) {
+	levels := []int{1, 2, runtime.NumCPU()}
+	for _, spec := range []string{"", "rank=0@0;ecc=0.02;seed=5"} {
+		var plan FaultPlan
+		if spec != "" {
+			var err error
+			plan, err = ParseFaultPlan(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var want *LookupResult
+		for _, par := range levels {
+			sys, err := NewSystem(SystemConfig{RowsPerTable: 1024, Faults: plan, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sys.GenerateBatch(80, 5) // several hardware batches
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Lookup(b)
+			if err != nil {
+				t.Fatalf("faults=%q Parallelism=%d: %v", spec, par, err)
+			}
+			if want == nil {
+				want = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Outputs, want.Outputs) {
+				t.Fatalf("faults=%q Parallelism=%d: outputs differ from serial run", spec, par)
+			}
+			if res.PETotals != want.PETotals || res.MaxOccupancy != want.MaxOccupancy {
+				t.Fatalf("faults=%q Parallelism=%d: PE accounting diverges", spec, par)
+			}
+			if res.TotalCycles != want.TotalCycles || res.MemCycles != want.MemCycles ||
+				res.ComputeCycles != want.ComputeCycles {
+				t.Fatalf("faults=%q Parallelism=%d: cycle counts diverge (%d vs %d)",
+					spec, par, res.TotalCycles, want.TotalCycles)
+			}
+			if !reflect.DeepEqual(res.Degraded, want.Degraded) {
+				t.Fatalf("faults=%q Parallelism=%d: degraded report diverges: %+v vs %+v",
+					spec, par, res.Degraded, want.Degraded)
+			}
+		}
+	}
+}

@@ -3,9 +3,13 @@
 # change lands:
 #
 #   1. go vet        — static checks
-#   2. go build      — every package compiles
-#   3. go test -race — full suite under the race detector
-#   4. fuzz corpus   — FuzzCodec's seed corpus replayed in -run mode
+#   2. staticcheck   — soft gate: runs when installed, skipped otherwise
+#   3. go build      — every package compiles
+#   4. go test -race — full suite under the race detector
+#   5. fafnir -race  — the concurrent engine package again at GOMAXPROCS=1
+#                      and at the host default, so the worker-pool paths are
+#                      exercised both fully serialized and fully interleaved
+#   6. fuzz corpus   — FuzzCodec's seed corpus replayed in -run mode
 #                      (no fuzzing; deterministic and fast)
 #
 # Long-running fuzzing is opt-in, not part of the gate:
@@ -20,11 +24,24 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "==> staticcheck ./..."
+	staticcheck ./...
+else
+	echo "==> staticcheck not installed; skipping (soft gate)"
+fi
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> go test -race ./internal/fafnir . (GOMAXPROCS=1)"
+GOMAXPROCS=1 go test -race -count=1 ./internal/fafnir .
+
+echo "==> go test -race ./internal/fafnir . (GOMAXPROCS default)"
+go test -race -count=1 ./internal/fafnir .
 
 echo "==> fuzz corpus (replay, -run mode)"
 go test -run 'Fuzz' ./internal/header/
