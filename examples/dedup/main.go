@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"fafnir/internal/batch"
 	"fafnir/internal/embedding"
@@ -17,6 +19,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Fig. 6 indices: "50" is row 5 of table 0; the table digit selects the
 	// rank.
 	queries := []embedding.Query{
@@ -28,14 +36,14 @@ func main() {
 	b := embedding.Batch{Queries: queries, Op: tensor.OpSum}
 	names := []string{"a", "b", "c", "d"}
 	for i, q := range queries {
-		fmt.Printf("query %s: %v\n", names[i], q.Indices)
+		fmt.Fprintf(w, "query %s: %v\n", names[i], q.Indices)
 	}
 
 	plan := batch.Build(b, true)
-	fmt.Printf("\nhost batch rearrangement: %d raw accesses -> %d unique (%.0f%% saved)\n",
+	fmt.Fprintf(w, "\nhost batch rearrangement: %d raw accesses -> %d unique (%.0f%% saved)\n",
 		plan.TotalAccesses(), plan.NumAccesses(), 100*plan.Savings())
 	for _, acc := range plan.Accesses {
-		fmt.Printf("  read %2d  header %s\n", acc.Index, acc.LeafHeader())
+		fmt.Fprintf(w, "  read %2d  header %s\n", acc.Index, acc.LeafHeader())
 	}
 
 	// Build an 8-rank tree (tables 0..7 -> ranks 0..7, one table per rank).
@@ -45,7 +53,7 @@ func main() {
 	cfg.VectorDim = 4
 	tree, err := core.NewTree(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	store := embedding.MustStore(100, 4, 77)
 
@@ -60,12 +68,12 @@ func main() {
 	}
 
 	// Evaluate the tree bottom-up, printing every PE's traffic.
-	fmt.Println("\ntree processing (reduce/forward decisions per PE):")
+	fmt.Fprintln(w, "\ntree processing (reduce/forward decisions per PE):")
 	outputs := map[*core.PENode][]core.Entry{}
-	var eval func(n *core.PENode) []core.Entry
-	eval = func(n *core.PENode) []core.Entry {
+	var eval func(n *core.PENode) ([]core.Entry, error)
+	eval = func(n *core.PENode) ([]core.Entry, error) {
 		if out, ok := outputs[n]; ok {
-			return out
+			return out, nil
 		}
 		var inA, inB []core.Entry
 		if n.IsLeaf() {
@@ -78,34 +86,44 @@ func main() {
 			var err error
 			inA, _, err = core.SelfMerge(b.Op, inA)
 			if err != nil {
-				log.Fatal(err)
+				return nil, err
 			}
 			inB, _, err = core.SelfMerge(b.Op, inB)
 			if err != nil {
-				log.Fatal(err)
+				return nil, err
 			}
 		} else {
-			inA = eval(n.Left)
+			var err error
+			inA, err = eval(n.Left)
+			if err != nil {
+				return nil, err
+			}
 			if n.Right != nil {
-				inB = eval(n.Right)
+				inB, err = eval(n.Right)
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 		out, st, err := core.ProcessPE(b.Op, inA, inB)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		fmt.Printf("\nPE %d (level %d): %d reduces, %d forwards, %d merged\n",
+		fmt.Fprintf(w, "\nPE %d (level %d): %d reduces, %d forwards, %d merged\n",
 			n.ID, n.Level, st.Reduces, st.Forwards, st.MergedDuplicates)
 		for _, e := range out {
-			fmt.Printf("   out %s\n", e.Header)
+			fmt.Fprintf(w, "   out %s\n", e.Header)
 		}
 		outputs[n] = out
-		return out
+		return out, nil
 	}
-	rootOut := eval(tree.Root())
+	rootOut, err := eval(tree.Root())
+	if err != nil {
+		return err
+	}
 
 	// Resolve the root outputs back to queries and verify.
-	fmt.Println("\nroot outputs resolved to queries:")
+	fmt.Fprintln(w, "\nroot outputs resolved to queries:")
 	golden := b.MustGolden(store)
 	for _, out := range rootOut {
 		if !out.Header.Complete() {
@@ -113,10 +131,11 @@ func main() {
 		}
 		for _, qi := range plan.QueriesFor(out.Header.Indices) {
 			ok := out.Value.Equal(golden[qi])
-			fmt.Printf("  query %s <- %v  (matches golden: %v)\n", names[qi], out.Header.Indices, ok)
+			fmt.Fprintf(w, "  query %s <- %v  (matches golden: %v)\n", names[qi], out.Header.Indices, ok)
 			if !ok {
-				log.Fatalf("query %s mismatch", names[qi])
+				return fmt.Errorf("query %s mismatch", names[qi])
 			}
 		}
 	}
+	return nil
 }

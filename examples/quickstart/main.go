@@ -6,35 +6,44 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"fafnir"
 )
 
 func main() {
-	sys, err := fafnir.NewSystem(fafnir.SystemConfig{})
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("system: %d embedding vectors across 32 tables, %d-PE reduction tree\n",
+}
+
+func run(w io.Writer) error {
+	sys, err := fafnir.NewSystem(fafnir.SystemConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "system: %d embedding vectors across 32 tables, %d-PE reduction tree\n",
 		sys.TotalRows(), sys.NumPEs())
 
 	batch, err := sys.GenerateBatch(32, 1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("batch: %d queries x %d indices, %.0f%% unique\n",
+	fmt.Fprintf(w, "batch: %d queries x %d indices, %.0f%% unique\n",
 		batch.NumQueries(), batch.MaxQuerySize(), 100*batch.UniqueFraction())
 
 	res, err := sys.Lookup(batch)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("lookup: %d DRAM reads (%d bytes), %d cycles = %.2f us\n",
+	fmt.Fprintf(w, "lookup: %d DRAM reads (%d bytes), %d cycles = %.2f us\n",
 		res.MemoryReads, res.BytesRead, res.TotalCycles,
 		fafnir.CyclesToSeconds(uint64(res.TotalCycles))*1e6)
-	fmt.Printf("tree:   %d reduces, %d forwards, %d merged duplicates, max PE occupancy %d\n",
+	fmt.Fprintf(w, "tree:   %d reduces, %d forwards, %d merged duplicates, max PE occupancy %d\n",
 		res.PETotals.Reduces, res.PETotals.Forwards,
 		res.PETotals.MergedDuplicates, res.MaxOccupancy)
-	fmt.Printf("query 0 output (first 4 elements): %v\n", res.Outputs[0][:4])
+	fmt.Fprintf(w, "query 0 output (first 4 elements): %v\n", res.Outputs[0][:4])
+	return nil
 }

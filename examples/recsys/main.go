@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"fafnir/internal/cpu"
 	"fafnir/internal/dram"
@@ -25,6 +27,12 @@ const queriesPerInference = 1024
 func us(c sim.Cycle) float64 { return sim.Seconds(c, 200) * 1e6 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	mcfg := dram.DDR4()
 	layout := memmap.Uniform(mcfg, 512, 32, 1<<17)
 	store := embedding.MustStore(layout.TotalRows(), 128, 7)
@@ -38,50 +46,50 @@ func main() {
 		Seed:       42,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	batch := gen.Batch(tensor.OpSum)
 	host := cpu.Default()
 
-	fmt.Printf("recommendation inference: %d pooled lookups + %.1f ms FC layers\n\n",
+	fmt.Fprintf(w, "recommendation inference: %d pooled lookups + %.1f ms FC layers\n\n",
 		queriesPerInference, host.FCSeconds*1e3)
 
 	// Baseline: every vector to the CPU.
 	base, err := cpu.NewEngine(host)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	bres, err := base.TimedLookup(store, layout, dram.MustSystem(mcfg), batch)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	report("Baseline (no NDP)", us(bres.TotalCycles), host)
+	report(w, "Baseline (no NDP)", us(bres.TotalCycles), host)
 
 	// RecNMP: in-DIMM reduction when spatial locality allows.
 	rec, err := recnmp.NewEngine(recnmp.Default())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rres, err := rec.TimedLookup(store, layout, dram.MustSystem(mcfg), batch)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	report("RecNMP", us(rres.TotalCycles), host)
-	fmt.Printf("    (NDP handled %.0f%% of pooling ops; %d vectors forwarded raw)\n",
+	report(w, "RecNMP", us(rres.TotalCycles), host)
+	fmt.Fprintf(w, "    (NDP handled %.0f%% of pooling ops; %d vectors forwarded raw)\n",
 		100*rres.NDPFraction(), rres.ForwardedRaw)
 
 	// Fafnir: full reduction in the tree, dedup on.
 	fcfg := core.Default()
 	eng, err := core.NewEngine(fcfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fres, err := eng.TimedLookup(store, layout, dram.MustSystem(mcfg), batch, true)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	report("Fafnir", us(fres.TotalCycles), host)
-	fmt.Printf("    (dedup read %d unique vectors instead of %d)\n",
+	report(w, "Fafnir", us(fres.TotalCycles), host)
+	fmt.Fprintf(w, "    (dedup read %d unique vectors instead of %d)\n",
 		fres.MemoryReads, batch.TotalAccesses())
 
 	// Cross-check: all engines agree with the golden reference.
@@ -91,22 +99,22 @@ func main() {
 	} {
 		for i := range golden {
 			if !outs[i].ApproxEqual(golden[i], 1e-3) {
-				log.Fatalf("%s: query %d mismatches golden", name, i)
+				return fmt.Errorf("%s: query %d mismatches golden", name, i)
 			}
 		}
 	}
-	fmt.Println("\nall three engines verified against the golden reference")
+	fmt.Fprintln(w, "\nall three engines verified against the golden reference")
 
 	// Feed the pooled vectors through the DLRM-style top model: each user
 	// inference consumes 4 pooled slots and yields a click probability.
 	const slots = 4
 	rec4, err := mlp.NewRecommender(128, slots, []int{256, 64}, 99)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\ntop model: %d FLOPs/inference (%.1f us on a 10 GFLOP/s host)\n",
+	fmt.Fprintf(w, "\ntop model: %d FLOPs/inference (%.1f us on a 10 GFLOP/s host)\n",
 		rec4.FLOPs(), sim.Seconds(rec4.HostLatency(10), 200)*1e6)
-	fmt.Println("sample click probabilities:")
+	fmt.Fprintln(w, "sample click probabilities:")
 	for u := 0; u < 3; u++ {
 		pooled := fres.Outputs[u*slots : (u+1)*slots]
 		// Normalize pooled sums into the model's working range.
@@ -116,13 +124,14 @@ func main() {
 		}
 		score, err := rec4.Score(scaled)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  user %d: %.4f\n", u, score)
+		fmt.Fprintf(w, "  user %d: %.4f\n", u, score)
 	}
+	return nil
 }
 
-func report(name string, lookupUS float64, host cpu.Config) {
+func report(w io.Writer, name string, lookupUS float64, host cpu.Config) {
 	total := host.InferenceSeconds(lookupUS * 1e-6)
-	fmt.Printf("%-18s lookup %8.1f us   end-to-end %.3f ms\n", name, lookupUS, total*1e3)
+	fmt.Fprintf(w, "%-18s lookup %8.1f us   end-to-end %.3f ms\n", name, lookupUS, total*1e3)
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunSmoke executes the example's whole main path twice and checks it
+// succeeds, prints something, and prints the same thing both times — the
+// examples double as deterministic end-to-end fixtures.
+func TestRunSmoke(t *testing.T) {
+	var first, second bytes.Buffer
+	if err := run(&first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Len() == 0 {
+		t.Fatal("example produced no output")
+	}
+	if err := run(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("example output is not deterministic across runs")
+	}
+}

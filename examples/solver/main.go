@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"fafnir/internal/dram"
 	"fafnir/internal/sim"
@@ -21,19 +23,25 @@ import (
 const n = 2048
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// The operator: symmetric, strictly diagonally dominant, banded.
 	a := sparse.SymmetricDiagDominant(n, 2, 13)
 	xTrue := sparse.DenseVector(n, 14)
 	b, err := a.MulVec(xTrue)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("system: %dx%d, nnz=%d (banded SPD stencil)\n", n, n, a.NNZ())
+	fmt.Fprintf(w, "system: %dx%d, nnz=%d (banded SPD stencil)\n", n, n, a.NNZ())
 
 	// Every SpMV goes through the Fafnir tree simulator.
 	eng, err := spmv.NewEngine(spmv.Default())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	onFafnir := func(m *sparse.LIL, x tensor.Vector) (tensor.Vector, sim.Cycle, error) {
 		res, err := eng.Multiply(m, x, dram.MustSystem(dram.DDR4()))
@@ -47,22 +55,23 @@ func main() {
 
 	jac, err := solver.Jacobi(a, b, onFafnir, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	report("Jacobi", jac, xTrue)
+	report(w, "Jacobi", jac, xTrue)
 
 	cg, err := solver.CG(a, b, onFafnir, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	report("CG", cg, xTrue)
+	report(w, "CG", cg, xTrue)
 
-	fmt.Printf("\nCG needed %.1fx fewer SpMVs and %.1fx fewer accelerator cycles\n",
+	fmt.Fprintf(w, "\nCG needed %.1fx fewer SpMVs and %.1fx fewer accelerator cycles\n",
 		float64(jac.SpMVCount)/float64(cg.SpMVCount),
 		float64(jac.SpMVCycles)/float64(cg.SpMVCycles))
+	return nil
 }
 
-func report(name string, r *solver.Result, xTrue tensor.Vector) {
+func report(w io.Writer, name string, r *solver.Result, xTrue tensor.Vector) {
 	maxErr := 0.0
 	for i := range xTrue {
 		d := float64(r.X[i] - xTrue[i])
@@ -73,7 +82,7 @@ func report(name string, r *solver.Result, xTrue tensor.Vector) {
 			maxErr = d
 		}
 	}
-	fmt.Printf("%-7s converged=%v iterations=%d residual=%.3g maxErr=%.3g  (%d SpMVs, %d cycles = %.1f us on Fafnir)\n",
+	fmt.Fprintf(w, "%-7s converged=%v iterations=%d residual=%.3g maxErr=%.3g  (%d SpMVs, %d cycles = %.1f us on Fafnir)\n",
 		name, r.Converged, r.Iterations, r.Residual, maxErr,
 		r.SpMVCount, r.SpMVCycles, sim.Seconds(r.SpMVCycles, 200)*1e6)
 }

@@ -8,8 +8,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"fafnir"
 )
@@ -21,12 +23,18 @@ const (
 )
 
 func main() {
-	sys, err := fafnir.NewSystem(fafnir.SystemConfig{RowsPerTable: 1024})
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(w io.Writer) error {
+	sys, err := fafnir.NewSystem(fafnir.SystemConfig{RowsPerTable: 1024})
+	if err != nil {
+		return err
+	}
 	graph := fafnir.GraphMatrix(nodes, 8, 11)
-	fmt.Printf("power-law graph: %d nodes, %d edges (density %.2e)\n",
+	fmt.Fprintf(w, "power-law graph: %d nodes, %d edges (density %.2e)\n",
 		nodes, graph.NNZ(), graph.Density())
 
 	// Column-normalize into a transition matrix (still LIL).
@@ -42,14 +50,14 @@ func main() {
 		sys.ResetMemory()
 		fres, err := sys.SpMV(graph, rank)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fafCycles += uint64(fres.TotalCycles)
 
 		sys.ResetMemory()
 		tres, err := sys.SpMVTwoStep(graph, rank)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tsCycles += uint64(tres.TotalCycles)
 
@@ -60,15 +68,16 @@ func main() {
 		}
 		delta := l1diff(rank, next)
 		rank = next
-		fmt.Printf("iteration %d: plan [%s], delta %.2e\n", it, fres.Plan, delta)
+		fmt.Fprintf(w, "iteration %d: plan [%s], delta %.2e\n", it, fres.Plan, delta)
 	}
 
 	top, val := argmax(rank)
-	fmt.Printf("\nhighest-rank node: %d (score %.5f)\n", top, val)
-	fmt.Printf("Fafnir total: %d cycles (%.1f us); Two-Step: %d cycles (%.1f us); speedup %.2fx\n",
+	fmt.Fprintf(w, "\nhighest-rank node: %d (score %.5f)\n", top, val)
+	fmt.Fprintf(w, "Fafnir total: %d cycles (%.1f us); Two-Step: %d cycles (%.1f us); speedup %.2fx\n",
 		fafCycles, fafnir.CyclesToSeconds(fafCycles)*1e6,
 		tsCycles, fafnir.CyclesToSeconds(tsCycles)*1e6,
 		float64(tsCycles)/float64(fafCycles))
+	return nil
 }
 
 // normalizeColumns scales every column of the adjacency matrix to sum to 1.

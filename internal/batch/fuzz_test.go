@@ -1,0 +1,94 @@
+package batch
+
+import (
+	"testing"
+
+	"fafnir/internal/embedding"
+	"fafnir/internal/header"
+	"fafnir/internal/tensor"
+)
+
+// decodeBatch turns a fuzzer byte stream into a batch: the first byte picks
+// the query count (1..8), then each query takes one size byte (1..8 indices)
+// followed by that many index bytes. Truncated input yields shorter queries,
+// which is fine — the property must hold for ragged batches too. Index bytes
+// repeat freely, so the fuzzer naturally produces the duplicate-heavy batches
+// deduplication exists for; NewIndexSet canonicalizes each query the way
+// every real caller does.
+func decodeBatch(data []byte) embedding.Batch {
+	b := embedding.Batch{Op: tensor.OpSum}
+	if len(data) == 0 {
+		return b
+	}
+	n := int(data[0])%8 + 1
+	data = data[1:]
+	for qi := 0; qi < n && len(data) > 0; qi++ {
+		size := int(data[0])%8 + 1
+		data = data[1:]
+		var indices []header.Index
+		for ; size > 0 && len(data) > 0; size-- {
+			indices = append(indices, header.Index(data[0]))
+			data = data[1:]
+		}
+		b.Queries = append(b.Queries, embedding.Query{Indices: header.NewIndexSet(indices...)})
+	}
+	return b
+}
+
+// FuzzBatchBuild feeds random index streams to Build and checks the compiler
+// contract for both dedup modes: never panic, the plan validates, the access
+// list preserves the batch's multiset of indices (exactly the unique set once
+// each under dedup, exactly every incidence without), and the dedup plan
+// never issues more reads than the naive one. Run with
+//
+//	go test -fuzz=FuzzBatchBuild ./internal/batch
+//
+// The seed corpus covers an empty stream, a single query, overlapping
+// queries, identical queries, and one maximal stream.
+func FuzzBatchBuild(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 2, 7, 7})
+	f.Add([]byte{1, 3, 1, 2, 3, 3, 2, 3, 4})
+	f.Add([]byte{2, 2, 5, 6, 2, 5, 6, 2, 5, 6})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := decodeBatch(data)
+		for _, dedup := range []bool{true, false} {
+			p := Build(b, dedup)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("dedup=%v: invalid plan for %v: %v", dedup, b.Queries, err)
+			}
+			if p.NumAccesses() > b.TotalAccesses() {
+				t.Fatalf("dedup=%v: %d accesses exceed the batch's %d incidences",
+					dedup, p.NumAccesses(), b.TotalAccesses())
+			}
+
+			want := make(map[header.Index]int)
+			for _, q := range b.Queries {
+				for _, idx := range q.Indices {
+					if dedup {
+						want[idx] = 1
+					} else {
+						want[idx]++
+					}
+				}
+			}
+			got := make(map[header.Index]int)
+			for _, a := range p.Accesses {
+				got[a.Index]++
+			}
+			if len(got) != len(want) {
+				t.Fatalf("dedup=%v: plan touches %d indices, batch has %d", dedup, len(got), len(want))
+			}
+			for idx, n := range want {
+				if got[idx] != n {
+					t.Fatalf("dedup=%v: index %d read %d times, want %d", dedup, idx, got[idx], n)
+				}
+			}
+		}
+		if Build(b, true).NumAccesses() > Build(b, false).NumAccesses() {
+			t.Fatalf("dedup plan reads more than naive plan for %v", b.Queries)
+		}
+	})
+}

@@ -240,6 +240,40 @@ func (c Config) MustEncode(globalRank int, slot uint64) Addr {
 	return a
 }
 
+// AccessRecord describes one top-level read request served by the system, as
+// seen by the engine that issued it: the issue cycle the caller passed in, the
+// completion cycle returned, and the request's address, size, destination, and
+// the global rank of its first interleave slot. Conformance checkers replay
+// these records to prove access-count properties (e.g. the paper's
+// read-each-unique-index-once claim) from the memory system's own evidence
+// rather than from engine-reported counters.
+type AccessRecord struct {
+	Issue sim.Cycle
+	Done  sim.Cycle
+	Addr  Addr
+	Size  int
+	Dest  Dest
+	Rank  int
+}
+
+// AccessLog collects AccessRecords in issue order. Attach one with AttachLog;
+// logging is observational only and never perturbs timing. The zero value is
+// ready to use. An AccessLog is not safe for concurrent use, matching the
+// System it observes.
+type AccessLog struct {
+	records []AccessRecord
+}
+
+// Records returns the collected records in issue order. The slice aliases the
+// log's storage; callers must not mutate it.
+func (l *AccessLog) Records() []AccessRecord { return l.records }
+
+// Len reports the number of records collected.
+func (l *AccessLog) Len() int { return len(l.records) }
+
+// Reset discards all collected records, keeping the capacity.
+func (l *AccessLog) Reset() { l.records = l.records[:0] }
+
 // bank tracks one bank's open row and availability.
 type bank struct {
 	openRow int // -1 when closed
@@ -267,6 +301,7 @@ type System struct {
 	chanBusAt []sim.Cycle // per-channel host-bus availability
 	stats     *sim.Stats
 	faults    *fault.Injector // nil when no fault plan is attached
+	log       *AccessLog      // nil when no access log is attached
 }
 
 // NewSystem builds a memory system for the configuration. It returns an
@@ -308,6 +343,15 @@ func (s *System) AttachFaults(inj *fault.Injector) { s.faults = inj }
 
 // Faults returns the attached injector (nil when none).
 func (s *System) Faults() *fault.Injector { return s.faults }
+
+// AttachLog attaches an access log: every subsequent top-level Read (including
+// the per-chunk reads of StreamRead) appends one AccessRecord. A nil log
+// detaches. Logging never perturbs timing — a system with a log attached is
+// cycle-identical to one without.
+func (s *System) AttachLog(l *AccessLog) { s.log = l }
+
+// Log returns the attached access log (nil when none).
+func (s *System) Log() *AccessLog { return s.log }
 
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -379,6 +423,18 @@ func (s *System) Read(now sim.Cycle, addr Addr, size int, dest Dest) sim.Cycle {
 	if size <= 0 {
 		return now
 	}
+	done := s.read(now, addr, size, dest)
+	if s.log != nil {
+		s.log.records = append(s.log.records, AccessRecord{
+			Issue: now, Done: done, Addr: addr, Size: size, Dest: dest,
+			Rank: s.cfg.GlobalRank(s.cfg.Decode(addr)),
+		})
+	}
+	return done
+}
+
+// read is Read without the logging wrapper.
+func (s *System) read(now sim.Cycle, addr Addr, size int, dest Dest) sim.Cycle {
 	done := now
 	// Split at interleave-slot boundaries so each piece maps to one rank/row.
 	for size > 0 {

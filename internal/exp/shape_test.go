@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// shapeSpec pins the *shape* of a timing-driven exhibit instead of its exact
+// numbers: which row wins, and roughly how far apart the rows sit. Byte
+// snapshots would go stale on every latency recalibration; the paper's
+// qualitative claims (Fafnir beats RecNMP, dedup gain grows with batch size,
+// …) should not.
+type shapeSpec struct {
+	id string
+	// labelCols are the columns concatenated into the row's identity.
+	labelCols []int
+	// valueCol is the figure-of-merit column; "%" / "x" suffixes are
+	// stripped before parsing.
+	valueCol int
+	// higherIsBetter selects the winner: the max (speedups) or min
+	// (latencies, energy) of valueCol.
+	higherIsBetter bool
+	// heavy marks exhibits skipped under -short.
+	heavy bool
+}
+
+var shapeSpecs = []shapeSpec{
+	{id: "fig11", labelCols: []int{0}, valueCol: 3},                                         // total us
+	{id: "fig12", labelCols: []int{0}, valueCol: 4, higherIsBetter: true, heavy: true},      // Fafnir speedup
+	{id: "fig13", labelCols: []int{0}, valueCol: 3, higherIsBetter: true, heavy: true},      // Fafnir +dedup
+	{id: "fig14", labelCols: []int{0}, valueCol: 5, higherIsBetter: true, heavy: true},      // speedup
+	{id: "abl-fanin", labelCols: []int{0}, valueCol: 2},                                     // latency us
+	{id: "abl-cache", labelCols: []int{0, 1}, valueCol: 4},                                  // latency us
+	{id: "abl-skew", labelCols: []int{0}, valueCol: 4, higherIsBetter: true},                // dedup gain
+	{id: "abl-interactive", labelCols: []int{0}, valueCol: 3, higherIsBetter: true},         // batch advantage
+	{id: "abl-hbm", labelCols: []int{0, 1}, valueCol: 3},                                    // total us
+	{id: "abl-energy", labelCols: []int{0}, valueCol: 4},                                    // total nJ
+	{id: "abl-scaleout", labelCols: []int{0}, valueCol: 3},                                  // total us
+	{id: "app-graph", labelCols: []int{0}, valueCol: 3, higherIsBetter: true, heavy: true},  // speedup
+	{id: "app-solver", labelCols: []int{0}, valueCol: 4, higherIsBetter: true, heavy: true}, // speedup
+}
+
+// ratioBand is how far a row's winner-relative ratio may drift from the
+// recorded shape before the test fails (x1.5 either way). Recalibrations move
+// absolute numbers freely; they rarely move *relative* standings this much.
+const ratioBand = 1.5
+
+// orderedGap: pairs whose recorded ratios differ by more than this factor
+// must keep their relative order. Closer pairs are allowed to swap — they are
+// within measurement noise of each other.
+const orderedGap = 1.2
+
+type shapeRow struct {
+	label string
+	ratio float64
+}
+
+// shapeOf reduces a report to its shape: every row's label and its value
+// relative to the winner (ratio 1.0).
+func shapeOf(rep *Report, spec shapeSpec) ([]shapeRow, error) {
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("report %s has no rows", spec.id)
+	}
+	values := make([]float64, len(rep.Rows))
+	rows := make([]shapeRow, len(rep.Rows))
+	best := 0
+	for i, row := range rep.Rows {
+		if spec.valueCol >= len(row) {
+			return nil, fmt.Errorf("row %d of %s has no column %d", i, spec.id, spec.valueCol)
+		}
+		raw := strings.TrimRight(row[spec.valueCol], "%x")
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %d of %s: column %d = %q is not numeric: %v",
+				i, spec.id, spec.valueCol, row[spec.valueCol], err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("row %d of %s: non-positive figure of merit %v", i, spec.id, v)
+		}
+		values[i] = v
+		var parts []string
+		for _, c := range spec.labelCols {
+			parts = append(parts, row[c])
+		}
+		rows[i].label = strings.Join(parts, " ")
+		if spec.higherIsBetter == (v > values[best]) && v != values[best] {
+			best = i
+		}
+	}
+	for i := range rows {
+		rows[i].ratio = values[i] / values[best]
+	}
+	return rows, nil
+}
+
+func shapePath(id string) string {
+	return filepath.Join("testdata", "shape", id+".txt")
+}
+
+func writeShape(path string, rows []shapeRow) error {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\t%.4f\n", r.label, r.ratio)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func readShape(path string) ([]shapeRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows []shapeRow
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		label, ratioStr, ok := strings.Cut(sc.Text(), "\t")
+		if !ok {
+			return nil, fmt.Errorf("%s: malformed line %q", path, sc.Text())
+		}
+		ratio, err := strconv.ParseFloat(ratioStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		rows = append(rows, shapeRow{label: label, ratio: ratio})
+	}
+	return rows, sc.Err()
+}
+
+// TestShapes locks the qualitative outcome of every timing-driven exhibit:
+// the row set, the winner, each row's winner-relative ratio within a x1.5
+// band, and the ordering of rows whose recorded ratios are more than 20%
+// apart. Regenerate after an intentional recalibration with:
+//
+//	go test ./internal/exp -run TestShapes -update-snapshots
+func TestShapes(t *testing.T) {
+	for _, spec := range shapeSpecs {
+		spec := spec
+		t.Run(spec.id, func(t *testing.T) {
+			if spec.heavy && testing.Short() {
+				t.Skip("heavy exhibit; skipped in -short mode")
+			}
+			t.Parallel()
+			rep, err := Run(spec.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := shapeOf(rep, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := shapePath(spec.id)
+			if *updateSnapshots {
+				if err := writeShape(path, got); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := readShape(path)
+			if err != nil {
+				t.Fatalf("missing shape snapshot (run with -update-snapshots): %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%d rows, snapshot has %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].label != want[i].label {
+					t.Fatalf("row %d is %q, snapshot has %q", i, got[i].label, want[i].label)
+				}
+				if got[i].ratio == 1 != (want[i].ratio == 1) {
+					t.Errorf("winner moved: row %q ratio %.3f, snapshot %.3f",
+						got[i].label, got[i].ratio, want[i].ratio)
+				}
+				if got[i].ratio > want[i].ratio*ratioBand || got[i].ratio < want[i].ratio/ratioBand {
+					t.Errorf("row %q drifted out of band: ratio %.3f, snapshot %.3f (x%.1f allowed)",
+						got[i].label, got[i].ratio, want[i].ratio, ratioBand)
+				}
+			}
+			for i := range want {
+				for j := i + 1; j < len(want); j++ {
+					wi, wj := want[i].ratio, want[j].ratio
+					if wi < wj*orderedGap && wj < wi*orderedGap {
+						continue // recorded as too close to rank reliably
+					}
+					if (wi < wj) != (got[i].ratio < got[j].ratio) {
+						t.Errorf("rows %q and %q swapped order: ratios %.3f/%.3f, snapshot %.3f/%.3f",
+							want[i].label, want[j].label, got[i].ratio, got[j].ratio, wi, wj)
+					}
+				}
+			}
+		})
+	}
+}

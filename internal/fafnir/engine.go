@@ -635,6 +635,27 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 	return res, nil
 }
 
+// LowerBoundCycles returns an analytic lower bound on the TotalCycles any
+// correct timing of batch b can report under this engine's configuration
+// against a memory with mcfg's timings: at least one column access (tCAS) and
+// one data burst in the memory clock for the first vector, the tree's
+// critical path at the Table IV stage latency, and the root-to-host transfer
+// of one output vector. The bound is deliberately loose — it ignores row
+// activations, queueing, and per-output initiation intervals — so it holds
+// for every batch, layout, and DRAM state. The conformance harness
+// (internal/oracle) asserts it for every seeded run; an engine reporting
+// fewer cycles has a broken clock-domain conversion or dropped a pipeline
+// stage. An empty batch bounds at zero.
+func (e *Engine) LowerBoundCycles(mcfg dram.Config, b embedding.Batch) sim.Cycle {
+	if b.TotalAccesses() == 0 {
+		return 0
+	}
+	mem := e.cfg.DRAMToPE(mcfg.TCAS + mcfg.TBurst)
+	compute := sim.Cycle(e.tree.Depth()) * e.cfg.Latency.StageLatency()
+	xfer := e.cfg.DRAMToPE(mcfg.TransferCycles(e.cfg.VectorBytes()))
+	return mem + compute + xfer
+}
+
 // VerifyAgainstGolden compares the engine outputs with the reference
 // implementation, returning the first mismatching query (or -1).
 func VerifyAgainstGolden(got []tensor.Vector, want []tensor.Vector, tol float64) int {

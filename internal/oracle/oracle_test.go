@@ -1,0 +1,153 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"fafnir/internal/embedding"
+	"fafnir/internal/header"
+	"fafnir/internal/tensor"
+)
+
+func testStore(t *testing.T) *embedding.Store {
+	t.Helper()
+	return embedding.MustStore(64, 4, 7)
+}
+
+func q(indices ...header.Index) embedding.Query {
+	return embedding.Query{Indices: header.NewIndexSet(indices...)}
+}
+
+func TestLookupOps(t *testing.T) {
+	s := testStore(t)
+	v0, v1, v2 := s.MustVector(0), s.MustVector(1), s.MustVector(2)
+
+	for _, tc := range []struct {
+		op   tensor.ReduceOp
+		want func(e int) float32
+	}{
+		{tensor.OpSum, func(e int) float32 { return v0[e] + v1[e] + v2[e] }},
+		{tensor.OpMean, func(e int) float32 { return (v0[e] + v1[e] + v2[e]) * (1 / float32(3)) }},
+		{tensor.OpMin, func(e int) float32 { return min(v0[e], v1[e], v2[e]) }},
+		{tensor.OpMax, func(e int) float32 { return max(v0[e], v1[e], v2[e]) }},
+	} {
+		b := embedding.Batch{Queries: []embedding.Query{q(0, 1, 2)}, Op: tc.op}
+		out, err := Lookup(s, b)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.op, err)
+		}
+		for e := range out[0] {
+			if out[0][e] != tc.want(e) {
+				t.Errorf("%v element %d = %v, want %v", tc.op, e, out[0][e], tc.want(e))
+			}
+		}
+	}
+}
+
+func TestLookupAgainstGolden(t *testing.T) {
+	s := testStore(t)
+	for _, op := range []tensor.ReduceOp{tensor.OpSum, tensor.OpMin, tensor.OpMax, tensor.OpMean} {
+		b := embedding.Batch{
+			Queries: []embedding.Query{q(3), q(5, 9, 11, 13), q(5, 9), q(63)},
+			Op:      op,
+		}
+		got, err := Lookup(s, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := b.MustGolden(s)
+		if d := Diff(got, want); d != "" {
+			t.Errorf("%v: oracle disagrees with embedding.Golden: %s", op, d)
+		}
+	}
+}
+
+func TestLookupEmptyQuery(t *testing.T) {
+	s := testStore(t)
+	for _, op := range []tensor.ReduceOp{tensor.OpSum, tensor.OpMin, tensor.OpMax, tensor.OpMean} {
+		b := embedding.Batch{Queries: []embedding.Query{{}}, Op: op}
+		out, err := Lookup(s, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 || len(out[0]) != s.Dim() {
+			t.Fatalf("%v: got %d outputs of dim %d", op, len(out), len(out[0]))
+		}
+		for e, x := range out[0] {
+			if x != 0 {
+				t.Errorf("%v: empty query element %d = %v, want 0", op, e, x)
+			}
+		}
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	s := testStore(t)
+	if _, err := Lookup(s, embedding.Batch{Queries: []embedding.Query{q(64)}, Op: tensor.OpSum}); err == nil {
+		t.Error("out-of-range index: want error")
+	}
+	if _, err := Lookup(s, embedding.Batch{Queries: []embedding.Query{q(1)}, Op: tensor.ReduceOp(99)}); err == nil {
+		t.Error("unknown op: want error")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := []tensor.Vector{{1, 2}, {3, 4}}
+	if d := Diff(a, []tensor.Vector{{1, 2}, {3, 4}}); d != "" {
+		t.Errorf("equal slices diff %q", d)
+	}
+	for name, got := range map[string][]tensor.Vector{
+		"length":  {{1, 2}},
+		"nil":     {nil, {3, 4}},
+		"dim":     {{1}, {3, 4}},
+		"element": {{1, 2}, {3, 5}},
+	} {
+		if d := Diff(got, a); d == "" {
+			t.Errorf("%s mismatch not reported", name)
+		}
+	}
+}
+
+func TestGenWorkloadDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := GenWorkload(seed), GenWorkload(seed)
+		if a != b {
+			t.Fatalf("seed %d expands differently: %v vs %v", seed, a, b)
+		}
+		if !strings.HasPrefix(a.String(), "seed=") {
+			t.Fatalf("workload string %q does not lead with the seed", a)
+		}
+	}
+	if GenWorkload(1) == GenWorkload(2) {
+		t.Error("distinct seeds produced identical workloads")
+	}
+}
+
+func TestWorkloadBuild(t *testing.T) {
+	w := GenWorkload(42)
+	env, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Mem.TotalRanks() != w.Ranks {
+		t.Errorf("built %d ranks, want %d", env.Mem.TotalRanks(), w.Ranks)
+	}
+	if env.Layout.VectorBytes() != 4*w.VectorDim {
+		t.Errorf("layout vector %d bytes, want %d", env.Layout.VectorBytes(), 4*w.VectorDim)
+	}
+	if got := env.Batch.NumQueries(); got != w.NumQueries {
+		t.Errorf("batch has %d queries, want %d", got, w.NumQueries)
+	}
+	if got := env.Batch.MaxQuerySize(); got > w.QuerySize {
+		t.Errorf("max query size %d exceeds configured %d", got, w.QuerySize)
+	}
+	again, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range env.Batch.Queries {
+		if !q.Indices.Equal(again.Batch.Queries[i].Indices) {
+			t.Fatalf("rebuild drew a different batch at query %d", i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+#!/bin/sh
+# bench_diff.sh — regression gate over the perf trajectory. Runs a fresh
+# benchmark sweep (via bench.sh, into a temp file) and compares it against the
+# latest checked-in BENCH_*.json snapshot, failing when any benchmark regressed
+# by more than BENCH_DIFF_PCT percent (default 15) in ns/op or allocs/op.
+#
+#   ./scripts/bench_diff.sh                 # compare against newest BENCH_*.json
+#   BENCH_DIFF_PCT=25 ./scripts/bench_diff.sh
+#   BENCH_BASE=BENCH_1.json ./scripts/bench_diff.sh
+#
+# Snapshots run each benchmark for very few iterations (see bench.sh), so
+# wall-clock numbers below ~1 ms are dominated by first-iteration effects and
+# timer noise. The ns/op gate therefore only applies to benchmarks whose
+# baseline is at least BENCH_DIFF_FLOOR_NS (default 1e6); allocs/op is
+# deterministic and is gated for every benchmark. This makes the script a
+# coarse tripwire for the big perf bugs (an accidental O(n^2), a lost buffer
+# pool), not a microbenchmark referee. Benchmarks present on only one side are
+# reported but do not fail the gate. Improvements never fail.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PCT=${BENCH_DIFF_PCT:-15}
+FLOOR=${BENCH_DIFF_FLOOR_NS:-1000000}
+BASE=${BENCH_BASE:-$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1)}
+if [ -z "$BASE" ] || [ ! -f "$BASE" ]; then
+	echo "bench_diff: no BENCH_*.json baseline at the repo root" >&2
+	exit 2
+fi
+
+FRESH=$(mktemp)
+trap 'rm -f "$FRESH"' EXIT
+
+echo "==> baseline: $BASE (threshold: +$PCT%)"
+BENCH_OUT="$FRESH" ./scripts/bench.sh >/dev/null
+
+# Flatten one snapshot into "pkg|name ns allocs" lines.
+flatten() {
+	tr ',' '\n' < "$1" | tr -d ' "{}[]' | awk -F: '
+	$1 == "pkg"           { pkg = $2 }
+	$1 == "name"          { name = $2 }
+	$1 == "ns_per_op"     { ns = $2 }
+	$1 == "allocs_per_op" { print pkg "|" name, ns, $2 }'
+}
+
+flatten "$BASE" > "$FRESH.base"
+flatten "$FRESH" > "$FRESH.new"
+trap 'rm -f "$FRESH" "$FRESH.base" "$FRESH.new"' EXIT
+
+awk -v pct="$PCT" -v floor="$FLOOR" '
+NR == FNR { base_ns[$1] = $2; base_al[$1] = $3; next }
+{
+    new_seen[$1] = 1
+    if (!($1 in base_ns)) { printf "  new        %-60s (no baseline)\n", $1; next }
+    ns_d = (base_ns[$1] >= floor) ? 100 * ($2 - base_ns[$1]) / base_ns[$1] : 0
+    al_d = base_al[$1] > 0 ? 100 * ($3 - base_al[$1]) / base_al[$1] : 0
+    if (ns_d > pct || al_d > pct) {
+        printf "  REGRESSED  %-60s ns/op %+.1f%% (%d -> %d)  allocs/op %+.1f%% (%d -> %d)\n", \
+            $1, ns_d, base_ns[$1], $2, al_d, base_al[$1], $3
+        bad++
+    } else if (ns_d < -pct) {
+        printf "  improved   %-60s ns/op %+.1f%%\n", $1, ns_d
+    }
+}
+END {
+    for (k in base_ns) if (!(k in new_seen)) printf "  missing    %-60s (in baseline, not in fresh run)\n", k
+    if (bad) { printf "bench_diff: %d benchmark(s) regressed beyond %s%%\n", bad, pct; exit 1 }
+    print "bench_diff: no regression beyond " pct "%"
+}' "$FRESH.base" "$FRESH.new"

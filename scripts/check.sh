@@ -5,21 +5,34 @@
 #   1. go vet        — static checks
 #   2. staticcheck   — soft gate: runs when installed, skipped otherwise
 #   3. go build      — every package compiles
-#   4. go test -race — full suite under the race detector
+#   4. go test -race — full suite under the race detector (includes the
+#                      internal/oracle conformance sweep: 50+ seeded random
+#                      workloads replayed through every engine against the
+#                      independent reference model)
 #   5. fafnir -race  — the concurrent engine package again at GOMAXPROCS=1
 #                      and at the host default, so the worker-pool paths are
 #                      exercised both fully serialized and fully interleaved
-#   6. fuzz corpus   — FuzzCodec's seed corpus replayed in -run mode
-#                      (no fuzzing; deterministic and fast)
+#   6. conformance   — the oracle sweep once more with -count=1, so the gate
+#                      never passes on a cached test result
+#   7. fuzz corpus   — FuzzCodec's and FuzzBatchBuild's seed corpora replayed
+#                      in -run mode (no fuzzing; deterministic and fast)
+#   8. coverage      — every internal/ package must keep statement coverage
+#                      at or above the floor (80%)
 #
 # Long-running fuzzing is opt-in, not part of the gate:
 #
 #   go test -fuzz=FuzzCodec -fuzztime=30s ./internal/header
+#   go test -fuzz=FuzzBatchBuild -fuzztime=30s ./internal/batch
+#
+# Perf regressions are gated separately by scripts/bench_diff.sh (benchmarks
+# are too slow for every pre-land run).
 #
 # Run from the repo root: ./scripts/check.sh
 set -eu
 
 cd "$(dirname "$0")/.."
+
+COVER_FLOOR=${COVER_FLOOR:-80}
 
 echo "==> go vet ./..."
 go vet ./...
@@ -43,7 +56,26 @@ GOMAXPROCS=1 go test -race -count=1 ./internal/fafnir .
 echo "==> go test -race ./internal/fafnir . (GOMAXPROCS default)"
 go test -race -count=1 ./internal/fafnir .
 
+echo "==> oracle conformance sweep (-race, -count=1)"
+go test -race -count=1 -run 'TestConformance' ./internal/oracle
+
 echo "==> fuzz corpus (replay, -run mode)"
-go test -run 'Fuzz' ./internal/header/
+go test -run 'Fuzz' ./internal/header/ ./internal/batch/
+
+echo "==> coverage floor (internal packages >= ${COVER_FLOOR}%)"
+go test -cover ./internal/... | awk -v floor="$COVER_FLOOR" '
+{ print }
+/coverage:/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "coverage:" && $(i + 1) ~ /%$/) {
+            pct = $(i + 1); sub(/%.*/, "", pct)
+            if (pct + 0 < floor) { bad[$2] = pct; n++ }
+        }
+    }
+}
+END {
+    for (p in bad) printf "coverage below %s%%: %s at %s%%\n", floor, p, bad[p]
+    exit n > 0
+}'
 
 echo "OK: all checks passed"
