@@ -25,7 +25,9 @@ import (
 	"fafnir/internal/embedding"
 	core "fafnir/internal/fafnir"
 	"fafnir/internal/fault"
+	"fafnir/internal/header"
 	"fafnir/internal/memmap"
+	"fafnir/internal/serve"
 	"fafnir/internal/sim"
 	"fafnir/internal/sparse"
 	"fafnir/internal/spmv"
@@ -116,6 +118,27 @@ type SystemConfig struct {
 	Parallelism int
 }
 
+// Validate reports a descriptive error naming the offending field and value
+// for an unusable configuration. Zero values are valid (they select the
+// paper's defaults); NewSystem validates automatically.
+func (c SystemConfig) Validate() error {
+	switch {
+	case c.Ranks < 0:
+		return fmt.Errorf("fafnir: SystemConfig.Ranks = %d: must be positive (or 0 for the paper default of 32)", c.Ranks)
+	case c.Ranks != 0 && c.Ranks%8 != 0 && c.Ranks%2 != 0:
+		return fmt.Errorf("fafnir: SystemConfig.Ranks = %d: not expressible as a DDR4 geometry (use a multiple of 8 for multi-channel, or an even count for a single channel)", c.Ranks)
+	case c.RowsPerTable < 0:
+		return fmt.Errorf("fafnir: SystemConfig.RowsPerTable = %d: must be positive (or 0 for the paper default of 128 Ki)", c.RowsPerTable)
+	case c.BatchCapacity < 0:
+		return fmt.Errorf("fafnir: SystemConfig.BatchCapacity = %d: must be positive (or 0 for the paper default of 32)", c.BatchCapacity)
+	case c.QuerySize < 0:
+		return fmt.Errorf("fafnir: SystemConfig.QuerySize = %d: must be positive (or 0 for the paper default of 16)", c.QuerySize)
+	case c.Parallelism < 0:
+		return fmt.Errorf("fafnir: SystemConfig.Parallelism = %d: must be non-negative (0 uses every core)", c.Parallelism)
+	}
+	return nil
+}
+
 func (c *SystemConfig) fillDefaults() {
 	if c.Ranks == 0 {
 		c.Ranks = 32
@@ -151,6 +174,9 @@ type System struct {
 
 // NewSystem builds a system; zero-value config selects the paper's setup.
 func NewSystem(cfg SystemConfig) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fillDefaults()
 	mcfg := dram.DDR4()
 	switch {
@@ -345,3 +371,56 @@ func (s *System) OfferedLoad(batches []Batch, intervalCycles uint64) (*LoadResul
 
 // TreeDOT renders the attached reduction tree in Graphviz dot format.
 func (s *System) TreeDOT() string { return s.engine.Tree().DOT() }
+
+// Config returns the system's configuration with defaults resolved; serving
+// layers use it to size their batching to the engine (BatchCapacity).
+func (s *System) Config() SystemConfig { return s.cfg }
+
+// NewQuery builds one lookup query from raw embedding-row indices
+// (deduplicated and sorted). Serving front-ends use it to translate wire
+// requests into engine queries.
+func NewQuery(indices ...uint32) Query {
+	idx := make([]header.Index, len(indices))
+	for i, v := range indices {
+		idx[i] = header.Index(v)
+	}
+	return Query{Indices: header.NewIndexSet(idx...)}
+}
+
+// NewBatch bundles queries with a pooling operation.
+func NewBatch(op ReduceOp, queries ...Query) Batch {
+	return Batch{Queries: queries, Op: op}
+}
+
+// Online serving layer (internal/serve), re-exported: an HTTP front-end
+// whose dynamic micro-batching coalescer merges concurrent lookup requests
+// into shared hardware batches, extending the engine's deduplication window
+// across users.
+type (
+	// ServeConfig parameterizes the serving layer (linger window, admission
+	// queue bound, per-request deadline).
+	ServeConfig = serve.Config
+	// Server is the HTTP lookup front-end; see NewServer.
+	Server = serve.Server
+	// ServeMetrics is the serving layer's live instrumentation.
+	ServeMetrics = serve.Metrics
+)
+
+// Serving-layer failure modes; match with errors.Is.
+var (
+	// ErrServeOverloaded reports a submission rejected by admission control.
+	ErrServeOverloaded = serve.ErrOverloaded
+	// ErrServeDraining reports a submission after graceful drain began.
+	ErrServeDraining = serve.ErrDraining
+)
+
+// NewServer builds the online serving front-end over a system: POST
+// /v1/lookup with dynamic micro-batching, GET /metrics in Prometheus text
+// format, GET /healthz. Run its Handler on an http.Server; on shutdown call
+// Drain after the listener stops.
+func NewServer(sys *System, cfg ServeConfig) (*Server, error) {
+	if cfg.BatchCapacity == 0 {
+		cfg.BatchCapacity = sys.cfg.BatchCapacity
+	}
+	return serve.New(sys, cfg)
+}

@@ -213,3 +213,38 @@ func TestLookupWithFaultPlan(t *testing.T) {
 		t.Fatalf("expected remapped reads, got %+v", d)
 	}
 }
+
+func TestSystemConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  SystemConfig
+		want string // substring naming the offending field and value
+	}{
+		{"zero config is valid", SystemConfig{}, ""},
+		{"paper config is valid", SystemConfig{Ranks: 32, RowsPerTable: 1 << 17, BatchCapacity: 32, QuerySize: 16}, ""},
+		{"negative ranks", SystemConfig{Ranks: -4}, "SystemConfig.Ranks = -4"},
+		{"odd ranks", SystemConfig{Ranks: 7}, "SystemConfig.Ranks = 7"},
+		{"negative rows", SystemConfig{RowsPerTable: -1024}, "SystemConfig.RowsPerTable = -1024"},
+		{"negative capacity", SystemConfig{BatchCapacity: -1}, "SystemConfig.BatchCapacity = -1"},
+		{"negative query size", SystemConfig{QuerySize: -16}, "SystemConfig.QuerySize = -16"},
+		{"negative parallelism", SystemConfig{Parallelism: -2}, "SystemConfig.Parallelism = -2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want an error naming %q", err, tc.want)
+			}
+			// NewSystem must refuse the same config with the same message.
+			if _, nerr := NewSystem(tc.cfg); nerr == nil || nerr.Error() != err.Error() {
+				t.Fatalf("NewSystem() = %v, want the Validate error %v", nerr, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,267 @@
+// Command fafnir-loadgen drives a fafnir-serve instance with a Zipf-skewed
+// lookup workload and reports client-side latency plus the server's measured
+// coalescing win (reads per query, scraped from /metrics).
+//
+// Two load models:
+//
+//	closed loop: -clients N        N users issue requests back to back
+//	open   loop: -qps R            requests arrive at a fixed rate R,
+//	                               independent of completions
+//
+// Examples:
+//
+//	fafnir-loadgen -url http://127.0.0.1:8080 -clients 8 -duration 5s
+//	fafnir-loadgen -url http://127.0.0.1:8080 -qps 10000 -duration 2s
+//	fafnir-loadgen -clients 4 -requests 64 -dump-metrics
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type lookupRequest struct {
+	Indices   []uint64 `json:"indices"`
+	Op        string   `json:"op,omitempty"`
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
+}
+
+type outcome struct {
+	status  int
+	latency time.Duration
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fafnir-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "fafnir-serve base URL")
+		clients  = flag.Int("clients", 4, "closed loop: concurrent users (ignored when -qps > 0)")
+		qps      = flag.Float64("qps", 0, "open loop: offered request rate (0 = closed loop)")
+		duration = flag.Duration("duration", 2*time.Second, "run length")
+		requests = flag.Int("requests", 0, "total request cap (0 = duration-bound only)")
+		q        = flag.Int("q", 16, "indices per query")
+		rows     = flag.Uint64("rows", 1<<17, "index space to draw from (must not exceed the server's row count)")
+		zipf     = flag.Float64("zipf", 1.3, "Zipf skew (<=1 draws uniformly)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		op       = flag.String("op", "sum", "pooling op: sum|min|max|mean")
+		timeout  = flag.Int("timeout-ms", 0, "per-request timeout_ms field (0 = server default)")
+		dump     = flag.Bool("dump-metrics", false, "print the raw /metrics body after the run")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var sent atomic.Int64
+	cap64 := int64(*requests)
+	admit := func() bool {
+		if cap64 <= 0 {
+			return true
+		}
+		return sent.Add(1) <= cap64
+	}
+
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+	)
+	record := func(o outcome) {
+		mu.Lock()
+		outcomes = append(outcomes, o)
+		mu.Unlock()
+	}
+
+	fire := func(rng *rand.Rand, z *rand.Zipf) {
+		start := time.Now()
+		status, err := post(client, *url, body(rng, z, *q, *rows, *op, *timeout))
+		if err != nil {
+			record(outcome{status: -1, latency: time.Since(start)})
+			return
+		}
+		record(outcome{status: status, latency: time.Since(start)})
+	}
+
+	begin := time.Now()
+	deadline := begin.Add(*duration)
+	if *qps > 0 {
+		// Open loop: arrivals at a fixed interval, bounded in-flight.
+		interval := time.Duration(float64(time.Second) / *qps)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		sem := make(chan struct{}, 4096)
+		var wg sync.WaitGroup
+		var launched int64
+		for now := time.Now(); now.Before(deadline); now = time.Now() {
+			if !admit() {
+				break
+			}
+			launched++
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int64) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				rng := rand.New(rand.NewSource(*seed + i))
+				z := newZipf(rng, *zipf, *rows)
+				fire(rng, z)
+			}(launched)
+			next := begin.Add(time.Duration(launched) * interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		wg.Wait()
+	} else {
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*seed + int64(c)*7919))
+				z := newZipf(rng, *zipf, *rows)
+				for time.Now().Before(deadline) && admit() {
+					fire(rng, z)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(begin)
+
+	report(outcomes, elapsed, *qps)
+	return scrape(client, *url, *dump)
+}
+
+func newZipf(rng *rand.Rand, s float64, rows uint64) *rand.Zipf {
+	if s <= 1 {
+		return nil
+	}
+	return rand.NewZipf(rng, s, 1, rows-1)
+}
+
+func body(rng *rand.Rand, z *rand.Zipf, q int, rows uint64, op string, timeoutMS int) []byte {
+	seen := make(map[uint64]struct{}, q)
+	idx := make([]uint64, 0, q)
+	for len(idx) < q {
+		var v uint64
+		if z != nil {
+			v = z.Uint64()
+		} else {
+			v = uint64(rng.Int63n(int64(rows)))
+		}
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		idx = append(idx, v)
+	}
+	b, _ := json.Marshal(lookupRequest{Indices: idx, Op: op, TimeoutMS: timeoutMS})
+	return b
+}
+
+func post(client *http.Client, base string, payload []byte) (int, error) {
+	resp, err := client.Post(base+"/v1/lookup", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func report(outcomes []outcome, elapsed time.Duration, qps float64) {
+	var ok, overload, deadline, errs int
+	lat := make([]time.Duration, 0, len(outcomes))
+	for _, o := range outcomes {
+		switch {
+		case o.status == http.StatusOK:
+			ok++
+			lat = append(lat, o.latency)
+		case o.status == http.StatusServiceUnavailable:
+			overload++
+		case o.status == http.StatusGatewayTimeout:
+			deadline++
+		default:
+			errs++
+		}
+	}
+	fmt.Printf("sent %d in %v: %d ok, %d overload (503), %d deadline (504), %d other\n",
+		len(outcomes), elapsed.Round(time.Millisecond), ok, overload, deadline, errs)
+	if qps > 0 {
+		fmt.Printf("offered %.0f qps, achieved %.0f qps\n", qps, float64(ok)/elapsed.Seconds())
+	} else {
+		fmt.Printf("achieved %.0f requests/sec\n", float64(ok)/elapsed.Seconds())
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
+		fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
+	}
+}
+
+// scrape pulls /metrics and prints the server-side coalescing summary.
+func scrape(client *http.Client, base string, dump bool) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("empty /metrics body")
+	}
+	vals := parseMetrics(string(raw))
+	queries := vals["fafnir_serve_queries_total"]
+	batches := vals["fafnir_serve_batches_total"]
+	reads := vals["fafnir_serve_dram_reads_total"]
+	naive := vals["fafnir_serve_naive_reads_total"]
+	if queries > 0 && batches > 0 {
+		fmt.Printf("server: %.0f queries in %.0f batches (coalesce factor %.2f), %.2f reads/query (naive %.2f, saved %.0f%%)\n",
+			queries, batches, queries/batches, reads/queries, naive/queries,
+			100*(1-reads/naive))
+	}
+	if dump {
+		os.Stdout.Write(raw)
+	}
+	return nil
+}
+
+// parseMetrics reads unlabelled sample lines of the Prometheus text format.
+func parseMetrics(body string) map[string]float64 {
+	vals := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		if f, err := strconv.ParseFloat(val, 64); err == nil {
+			vals[name] = f
+		}
+	}
+	return vals
+}

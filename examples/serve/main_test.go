@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes the example's whole main path twice and checks it
+// succeeds, prints something, and prints the same thing both times — the
+// examples double as deterministic end-to-end fixtures. run itself fails
+// unless coalescing occurred and every served output is bit-identical to a
+// direct sys.Lookup of the same queries.
+func TestRunSmoke(t *testing.T) {
+	var first, second bytes.Buffer
+	if err := run(&first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Len() == 0 {
+		t.Fatal("example produced no output")
+	}
+	if !strings.Contains(first.String(), "coalesced: 3 requests") {
+		t.Errorf("example did not report full coalescing:\n%s", first.String())
+	}
+	if !strings.Contains(first.String(), "bit-identical to direct sys.Lookup") {
+		t.Errorf("example did not verify served outputs:\n%s", first.String())
+	}
+	if err := run(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("example output is not deterministic across runs:\n--- first\n%s--- second\n%s",
+			first.String(), second.String())
+	}
+}

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"fafnir/internal/embedding"
+	"fafnir/internal/sim"
+	"fafnir/internal/tensor"
+)
+
+// BatchStats describes the hardware batch that served a request. Requests
+// coalesced into the same flush share one BatchStats value.
+type BatchStats struct {
+	// BatchQueries is the number of queries in the flushed batch.
+	BatchQueries int
+	// Requests is the number of concurrent requests coalesced into it.
+	Requests int
+	// MemoryReads is the number of DRAM vector reads the batch issued after
+	// cross-request deduplication.
+	MemoryReads int
+	// NaiveReads is what the batch would have read without deduplication
+	// (the sum of all query sizes).
+	NaiveReads int
+	// TotalCycles is the simulated end-to-end batch latency (PE clock).
+	TotalCycles sim.Cycle
+	// BytesRead is the batch's DRAM traffic.
+	BytesRead uint64
+	// Isolated marks a result recomputed alone after its shared batch
+	// failed (see the isolation retry in flush).
+	Isolated bool
+}
+
+// result is what the flusher delivers back to one waiting Submit call.
+type result struct {
+	outputs []tensor.Vector
+	stats   BatchStats
+	err     error
+}
+
+// request is one queued Submit call.
+type request struct {
+	ctx     context.Context
+	queries []embedding.Query
+	op      tensor.ReduceOp
+	enq     time.Time
+	done    chan result // buffered 1; the flusher never blocks on delivery
+}
+
+func (r *request) deliver(res result) {
+	select {
+	case r.done <- res:
+	default:
+	}
+}
+
+// Coalescer accumulates concurrent lookup requests and flushes them through
+// the backend as shared hardware batches. It is safe for concurrent use; the
+// backend itself is only ever called from the single flusher goroutine, so a
+// Backend need not be concurrency-safe (fafnir.System is not).
+//
+// Flush policy: a batch is cut as the longest queue prefix that shares one
+// pooling op, capped at BatchCapacity queries. It flushes immediately when it
+// is full or when requests with a different op wait behind it; otherwise the
+// flusher lingers up to Config.Linger past the oldest request's enqueue time
+// before flushing a partial batch.
+type Coalescer struct {
+	cfg Config
+	be  Backend
+	m   *Metrics
+
+	mu     sync.Mutex
+	queue  []*request
+	queued int // queries across queue
+	closed bool
+
+	kick    chan struct{} // buffered 1: wakes the flusher
+	drained chan struct{} // closed when the flusher exits
+}
+
+// NewCoalescer starts a coalescer over the backend. A nil Metrics allocates
+// a private one (retrievable via Metrics()).
+func NewCoalescer(cfg Config, be Backend, m *Metrics) (*Coalescer, error) {
+	if be == nil {
+		return nil, fmt.Errorf("serve: nil backend")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	if m == nil {
+		m = NewMetrics()
+	}
+	c := &Coalescer{
+		cfg:     cfg,
+		be:      be,
+		m:       m,
+		kick:    make(chan struct{}, 1),
+		drained: make(chan struct{}),
+	}
+	go c.run()
+	return c, nil
+}
+
+// Metrics returns the live metrics the coalescer reports into.
+func (c *Coalescer) Metrics() *Metrics { return c.m }
+
+// Config returns the coalescer's configuration with defaults resolved.
+func (c *Coalescer) Config() Config { return c.cfg }
+
+// Submit queues the request's queries for the next shared batch and blocks
+// until the flusher delivers the result or ctx expires. All queries of one
+// call travel in the same batch and resolve together. It fails fast with
+// ErrOverloaded when the admission queue is full and ErrDraining after Close.
+func (c *Coalescer) Submit(ctx context.Context, op tensor.ReduceOp, queries []embedding.Query) ([]tensor.Vector, BatchStats, error) {
+	if len(queries) == 0 {
+		return nil, BatchStats{}, fmt.Errorf("serve: empty request")
+	}
+	if !op.Valid() {
+		return nil, BatchStats{}, fmt.Errorf("serve: invalid reduce op %d", op)
+	}
+	req := &request{ctx: ctx, queries: queries, op: op, enq: time.Now(), done: make(chan result, 1)}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, BatchStats{}, ErrDraining
+	}
+	// Admission control: bounded queue. A request the queue could never
+	// hold is still admitted when the queue is empty, so oversized requests
+	// make progress instead of starving forever.
+	if c.queued > 0 && c.queued+len(queries) > c.cfg.MaxQueued {
+		c.mu.Unlock()
+		return nil, BatchStats{}, ErrOverloaded
+	}
+	c.queue = append(c.queue, req)
+	c.queued += len(queries)
+	depth := c.queued
+	c.mu.Unlock()
+
+	c.m.QueueDepth.Set(int64(depth))
+	c.kickFlusher()
+
+	select {
+	case res := <-req.done:
+		return res.outputs, res.stats, res.err
+	case <-ctx.Done():
+		// The flusher may still compute this request's batch; delivery into
+		// the buffered channel is dropped on the floor.
+		return nil, BatchStats{}, ctx.Err()
+	}
+}
+
+// Close stops admitting new requests, flushes everything still queued, and
+// waits for the flusher to exit (or ctx to expire). It is idempotent.
+func (c *Coalescer) Close(ctx context.Context) error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.kickFlusher()
+	select {
+	case <-c.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Coalescer) kickFlusher() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the flusher: the single goroutine that cuts batches off the queue
+// and executes them serially against the backend.
+func (c *Coalescer) run() {
+	defer close(c.drained)
+	for {
+		c.mu.Lock()
+		if len(c.queue) == 0 {
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			<-c.kick
+			continue
+		}
+
+		// Cut the candidate prefix: same op, at most BatchCapacity queries.
+		// A request is never split across batches; one request larger than
+		// the capacity forms its own batch (the engine splits it into
+		// hardware batches internally).
+		op := c.queue[0].op
+		n, nq := 0, 0
+		for _, r := range c.queue {
+			if r.op != op {
+				break
+			}
+			if n > 0 && nq+len(r.queries) > c.cfg.BatchCapacity {
+				break
+			}
+			n++
+			nq += len(r.queries)
+			if nq >= c.cfg.BatchCapacity {
+				break
+			}
+		}
+
+		// Flush now when the batch is full, when differently-shaped work
+		// waits behind the prefix, or when draining; otherwise linger.
+		ready := nq >= c.cfg.BatchCapacity || n < len(c.queue) || c.closed
+		if !ready {
+			wait := c.cfg.Linger - time.Since(c.queue[0].enq)
+			if wait > 0 {
+				c.mu.Unlock()
+				timer := time.NewTimer(wait)
+				select {
+				case <-c.kick:
+					timer.Stop()
+				case <-timer.C:
+				}
+				continue
+			}
+		}
+
+		reqs := slices.Clone(c.queue[:n])
+		c.queue = slices.Delete(c.queue, 0, n)
+		c.queued -= nq
+		depth := c.queued
+		c.mu.Unlock()
+
+		c.m.QueueDepth.Set(int64(depth))
+		c.flush(op, reqs)
+	}
+}
+
+// flush executes one shared batch and demultiplexes per-request results.
+func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
+	// Requests whose deadline expired while queued are dropped before any
+	// engine work is spent on them; their Submit already returned.
+	live := make([]*request, 0, len(reqs))
+	for _, r := range reqs {
+		if err := r.ctx.Err(); err != nil {
+			c.m.ExpiredInQueue.Add(1)
+			r.deliver(result{err: err})
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	queries := make([]embedding.Query, 0, c.cfg.BatchCapacity)
+	for _, r := range live {
+		queries = append(queries, r.queries...)
+	}
+	b := embedding.Batch{Queries: queries, Op: op}
+
+	res, err := c.be.Lookup(b)
+	if err != nil {
+		c.isolate(op, live, err)
+		return
+	}
+	stats := BatchStats{
+		BatchQueries: len(queries),
+		Requests:     len(live),
+		MemoryReads:  res.MemoryReads,
+		NaiveReads:   b.TotalAccesses(),
+		TotalCycles:  res.TotalCycles,
+		BytesRead:    res.BytesRead,
+	}
+	c.m.observeBatch(stats)
+	off := 0
+	for _, r := range live {
+		out := res.Outputs[off : off+len(r.queries)]
+		off += len(r.queries)
+		r.deliver(result{outputs: out, stats: stats})
+	}
+}
+
+// isolate handles a failed shared batch: each request is re-run alone, so a
+// structured engine error (a dark rank, exhausted retries) reaches only the
+// caller whose queries actually trip it, and innocent co-travellers still
+// get their answers.
+func (c *Coalescer) isolate(op tensor.ReduceOp, reqs []*request, batchErr error) {
+	if len(reqs) == 1 {
+		reqs[0].deliver(result{err: batchErr})
+		return
+	}
+	c.m.IsolationRetries.Add(1)
+	for _, r := range reqs {
+		if err := r.ctx.Err(); err != nil {
+			c.m.ExpiredInQueue.Add(1)
+			r.deliver(result{err: err})
+			continue
+		}
+		res, err := c.be.Lookup(embedding.Batch{Queries: r.queries, Op: op})
+		if err != nil {
+			r.deliver(result{err: err})
+			continue
+		}
+		stats := BatchStats{
+			BatchQueries: len(r.queries),
+			Requests:     1,
+			MemoryReads:  res.MemoryReads,
+			NaiveReads:   embedding.Batch{Queries: r.queries}.TotalAccesses(),
+			TotalCycles:  res.TotalCycles,
+			BytesRead:    res.BytesRead,
+			Isolated:     true,
+		}
+		c.m.observeBatch(stats)
+		r.deliver(result{outputs: res.Outputs, stats: stats})
+	}
+}

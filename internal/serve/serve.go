@@ -1,0 +1,120 @@
+// Package serve is the online serving layer: a concurrent embedding-lookup
+// front-end over a fafnir System. Its core is a dynamic micro-batching
+// coalescer — concurrent requests queue into a shared accumulator that
+// flushes a hardware batch when it fills to the engine's BatchCapacity or a
+// linger window expires. The flushed batch runs through the engine's
+// host-side batch rearrangement (package batch), so *cross-request* duplicate
+// indices are read from DRAM once: the paper's per-batch deduplication window
+// is extended across users, and measured reads per query drop as concurrency
+// rises.
+//
+// Around the coalescer: per-request deadlines honored via context.Context,
+// admission control (a bounded queue that rejects with ErrOverloaded rather
+// than queueing unboundedly), graceful drain, and live metrics in Prometheus
+// text format (stdlib only).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
+	"fafnir/internal/tensor"
+)
+
+// Structured failure modes of the serving layer; match with errors.Is.
+var (
+	// ErrOverloaded reports that the admission queue is full. HTTP callers
+	// see a 503 with Retry-After instead of unbounded queueing latency.
+	ErrOverloaded = errors.New("serve: admission queue full")
+	// ErrDraining reports a submission after drain began.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Backend runs one embedding-lookup batch with full timing. *fafnir.System
+// (the repository's public facade) implements it; tests substitute fakes.
+type Backend interface {
+	Lookup(b embedding.Batch) (*core.TimedResult, error)
+}
+
+// System is the backend surface the HTTP server needs: lookups plus the row
+// space for request validation. *fafnir.System implements it.
+type System interface {
+	Backend
+	TotalRows() uint64
+}
+
+// Config parameterizes the serving layer. The zero value of every field
+// selects a sensible default; negative values are rejected by Validate with
+// an error naming the offending field.
+type Config struct {
+	// BatchCapacity is the hardware batch size flushes aim for, in queries.
+	// It should match the engine's SystemConfig.BatchCapacity so one flush
+	// compiles into one hardware batch. Default 32.
+	BatchCapacity int
+	// Linger is how long the oldest queued query may wait for co-travellers
+	// before a partial batch is flushed anyway. Zero flushes as soon as the
+	// flusher observes a non-empty queue (lowest latency, least coalescing).
+	Linger time.Duration
+	// MaxQueued bounds the admission queue in queries; submissions beyond it
+	// fail fast with ErrOverloaded. Default 16 x BatchCapacity.
+	MaxQueued int
+	// DefaultTimeout is the per-request deadline applied to HTTP requests
+	// that do not carry their own. Default 2s.
+	DefaultTimeout time.Duration
+	// MaxQueriesPerRequest bounds one HTTP request's query count (413-style
+	// rejection as a 400). Default 4 x BatchCapacity.
+	MaxQueriesPerRequest int
+}
+
+func (c *Config) fillDefaults() {
+	if c.BatchCapacity == 0 {
+		c.BatchCapacity = 32
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 16 * c.BatchCapacity
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxQueriesPerRequest == 0 {
+		c.MaxQueriesPerRequest = 4 * c.BatchCapacity
+	}
+}
+
+// Validate reports a descriptive error naming the offending field and value
+// for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.BatchCapacity < 0:
+		return fmt.Errorf("serve: Config.BatchCapacity = %d: must be positive (or 0 for the default of 32)", c.BatchCapacity)
+	case c.Linger < 0:
+		return fmt.Errorf("serve: Config.Linger = %v: must be non-negative", c.Linger)
+	case c.MaxQueued < 0:
+		return fmt.Errorf("serve: Config.MaxQueued = %d: must be positive (or 0 for the default of 16 x BatchCapacity)", c.MaxQueued)
+	case c.DefaultTimeout < 0:
+		return fmt.Errorf("serve: Config.DefaultTimeout = %v: must be non-negative", c.DefaultTimeout)
+	case c.MaxQueriesPerRequest < 0:
+		return fmt.Errorf("serve: Config.MaxQueriesPerRequest = %d: must be positive (or 0 for the default of 4 x BatchCapacity)", c.MaxQueriesPerRequest)
+	}
+	return nil
+}
+
+// ParseOp maps a wire-format pooling-operation name to a ReduceOp. The empty
+// string selects sum, the paper's default.
+func ParseOp(s string) (tensor.ReduceOp, error) {
+	switch s {
+	case "", "sum":
+		return tensor.OpSum, nil
+	case "min":
+		return tensor.OpMin, nil
+	case "max":
+		return tensor.OpMax, nil
+	case "mean":
+		return tensor.OpMean, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown pooling op %q (want sum, min, max, or mean)", s)
+	}
+}

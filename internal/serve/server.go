@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"fafnir/internal/embedding"
+	"fafnir/internal/fault"
+	"fafnir/internal/header"
+	"fafnir/internal/sim"
+	"fafnir/internal/tensor"
+)
+
+// maxBodyBytes bounds one request body; 1 MiB holds far more queries than
+// MaxQueriesPerRequest admits.
+const maxBodyBytes = 1 << 20
+
+// LookupRequest is the wire format of POST /v1/lookup. Exactly one of
+// Indices (single-query shorthand) or Queries must be set.
+type LookupRequest struct {
+	// Indices is the single-query shorthand: one set of embedding rows to
+	// gather and reduce.
+	Indices []uint64 `json:"indices,omitempty"`
+	// Queries carries several queries that travel in the same batch.
+	Queries [][]uint64 `json:"queries,omitempty"`
+	// Op is the pooling operation: sum (default), min, max, or mean.
+	Op string `json:"op,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// BatchInfo describes the hardware batch that served a response.
+type BatchInfo struct {
+	// Queries is the flushed batch's total query count (across every
+	// coalesced request).
+	Queries int `json:"queries"`
+	// CoalescedRequests is how many concurrent requests shared the batch.
+	CoalescedRequests int `json:"coalesced_requests"`
+	// DRAMReads is the batch's deduplicated read count; NaiveReads is the
+	// count without deduplication.
+	DRAMReads  int `json:"dram_reads"`
+	NaiveReads int `json:"naive_reads"`
+	// TotalCycles is the simulated batch latency in PE-clock cycles.
+	TotalCycles sim.Cycle `json:"total_cycles"`
+	// Isolated marks a response recomputed alone after its shared batch
+	// failed.
+	Isolated bool `json:"isolated,omitempty"`
+}
+
+// LookupResponse is the wire format of a successful lookup.
+type LookupResponse struct {
+	// Outputs holds one reduced vector per request query, in request order.
+	Outputs []tensor.Vector `json:"outputs"`
+	// Batch describes the shared hardware batch that produced them.
+	Batch BatchInfo `json:"batch"`
+}
+
+// ErrorResponse is the wire format of a failed lookup.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind is a stable machine-readable classification: bad_request,
+	// overloaded, draining, deadline, rank_failed, retries_exhausted,
+	// invariant_violated, or internal.
+	Kind string `json:"kind"`
+}
+
+// Server is the HTTP front-end: a coalescer plus request validation,
+// deadline handling, overload mapping, and the metrics endpoint.
+type Server struct {
+	cfg       Config
+	sys       System
+	co        *Coalescer
+	m         *Metrics
+	mux       *http.ServeMux
+	draining  atomic.Bool
+	totalRows uint64
+}
+
+// New builds a server over sys. The zero Config selects defaults; see
+// Config. The server starts its coalescer immediately.
+func New(sys System, cfg Config) (*Server, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("serve: nil system")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	m := NewMetrics()
+	co, err := NewCoalescer(cfg, sys, m)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, sys: sys, co: co, m: m, totalRows: sys.TotalRows()}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/lookup", s.handleLookup)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the live metrics set.
+func (s *Server) Metrics() *Metrics { return s.m }
+
+// Coalescer returns the server's coalescer (tests and embedders drive it
+// directly).
+func (s *Server) Coalescer() *Coalescer { return s.co }
+
+// Drain stops admitting lookups and flushes everything queued, waiting up
+// to ctx for the in-flight work to finish. Callers should stop the HTTP
+// listener first (http.Server.Shutdown), then Drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.co.Close(ctx)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.Render(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// parseQueries validates the wire request and builds the engine queries.
+func (s *Server) parseQueries(req *LookupRequest) ([]embedding.Query, error) {
+	var raw [][]uint64
+	switch {
+	case len(req.Indices) > 0 && len(req.Queries) > 0:
+		return nil, fmt.Errorf("serve: set either indices or queries, not both")
+	case len(req.Indices) > 0:
+		raw = [][]uint64{req.Indices}
+	case len(req.Queries) > 0:
+		raw = req.Queries
+	default:
+		return nil, fmt.Errorf("serve: request carries no queries")
+	}
+	if len(raw) > s.cfg.MaxQueriesPerRequest {
+		return nil, fmt.Errorf("serve: request carries %d queries, limit is %d", len(raw), s.cfg.MaxQueriesPerRequest)
+	}
+	queries := make([]embedding.Query, len(raw))
+	for qi, idxs := range raw {
+		if len(idxs) == 0 {
+			return nil, fmt.Errorf("serve: query %d is empty", qi)
+		}
+		set := make([]header.Index, len(idxs))
+		for i, idx := range idxs {
+			if idx >= s.totalRows {
+				return nil, fmt.Errorf("serve: query %d index %d out of range [0,%d)", qi, idx, s.totalRows)
+			}
+			set[i] = header.Index(idx)
+		}
+		queries[qi] = embedding.Query{Indices: header.NewIndexSet(set...)}
+	}
+	return queries, nil
+}
+
+// classify maps a Submit error to its outcome, HTTP status, and wire kind.
+func classify(err error) (Outcome, int, string) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return OutcomeOverload, http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, ErrDraining):
+		return OutcomeDraining, http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return OutcomeDeadline, http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, fault.ErrRankFailed):
+		return OutcomeError, http.StatusInternalServerError, "rank_failed"
+	case errors.Is(err, fault.ErrRetriesExhausted):
+		return OutcomeError, http.StatusInternalServerError, "retries_exhausted"
+	case errors.Is(err, fault.ErrInvariantViolated):
+		return OutcomeError, http.StatusInternalServerError, "invariant_violated"
+	default:
+		return OutcomeError, http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	finish := func(o Outcome) { s.m.ObserveRequest(o, time.Since(start)) }
+
+	var req LookupRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		finish(OutcomeBadRequest)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "serve: bad request body: " + err.Error(), Kind: "bad_request"})
+		return
+	}
+	op, err := ParseOp(req.Op)
+	if err != nil {
+		finish(OutcomeBadRequest)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Kind: "bad_request"})
+		return
+	}
+	queries, err := s.parseQueries(&req)
+	if err != nil {
+		finish(OutcomeBadRequest)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Kind: "bad_request"})
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	outputs, stats, err := s.co.Submit(ctx, op, queries)
+	if err != nil {
+		outcome, status, kind := classify(err)
+		finish(outcome)
+		if status == http.StatusServiceUnavailable {
+			// Overload backs off briefly; a drain never comes back.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind})
+		return
+	}
+	finish(OutcomeOK)
+	writeJSON(w, http.StatusOK, LookupResponse{
+		Outputs: outputs,
+		Batch: BatchInfo{
+			Queries:           stats.BatchQueries,
+			CoalescedRequests: stats.Requests,
+			DRAMReads:         stats.MemoryReads,
+			NaiveReads:        stats.NaiveReads,
+			TotalCycles:       stats.TotalCycles,
+			Isolated:          stats.Isolated,
+		},
+	})
+}

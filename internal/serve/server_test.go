@@ -1,0 +1,362 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fafnir"
+	"fafnir/internal/embedding"
+	"fafnir/internal/serve"
+	"fafnir/internal/tensor"
+)
+
+// fakeSystem adapts fakeBackend to the serve.System interface for HTTP-level
+// tests that need a gated or failing backend.
+type fakeSystem struct {
+	*fakeBackend
+	rows uint64
+}
+
+func (f *fakeSystem) TotalRows() uint64 { return f.rows }
+
+func newTestServer(t *testing.T, sys serve.System, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := serve.New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Drain(context.Background())
+	})
+	return srv, ts
+}
+
+func postLookup(t *testing.T, base string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/lookup", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("undecodable response (status %s): %v", resp.Status, err)
+	}
+	return resp, decoded
+}
+
+// TestServerBitIdentical serves a multi-query request over HTTP, then drains
+// and runs the identical batch through sys.Lookup and the independent golden
+// oracle: all three must agree bit for bit. float32 survives a JSON round
+// trip exactly, so the comparison is legitimate.
+func TestServerBitIdentical(t *testing.T) {
+	sys := testSystem(t, fafnir.SystemConfig{})
+	srv, ts := newTestServer(t, sys, serve.Config{})
+
+	payload := `{"queries": [[1,2,3,4], [2,3,900,901], [5]], "op": "mean"}`
+	resp, _ := postLookup(t, ts.URL, payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lookup: %s", resp.Status)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/lookup", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		Outputs []tensor.Vector `json:"outputs"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if len(wire.Outputs) != 3 {
+		t.Fatalf("got %d outputs, want 3", len(wire.Outputs))
+	}
+
+	// Stop the service, then compute the same answers directly.
+	ts.Close()
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	batch := embedding.Batch{
+		Queries: []embedding.Query{query(1, 2, 3, 4), query(2, 3, 900, 901), query(5)},
+		Op:      tensor.OpMean,
+	}
+	direct, err := sys.Lookup(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := sys.Golden(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wire.Outputs {
+		if !wire.Outputs[i].Equal(direct.Outputs[i]) {
+			t.Errorf("output %d: served differs from direct sys.Lookup", i)
+		}
+		if !wire.Outputs[i].Equal(golden[i]) {
+			t.Errorf("output %d: served differs from the golden oracle", i)
+		}
+	}
+}
+
+// TestServerCoalescingWin is the acceptance check end to end: 8 concurrent
+// clients with a seeded Zipf workload served through the coalescer must
+// show strictly fewer DRAM reads per query on /metrics than the same
+// workload issued one request per batch against an identical fresh system.
+func TestServerCoalescingWin(t *testing.T) {
+	const n = 8
+	cfg := fafnir.SystemConfig{BatchCapacity: n}
+	sys := testSystem(t, cfg)
+	b, err := sys.GenerateBatch(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: identical system, one request per hardware batch.
+	base := testSystem(t, cfg)
+	baseline := 0
+	for _, q := range b.Queries {
+		res, err := base.Lookup(embedding.Batch{Queries: []embedding.Query{q}, Op: b.Op})
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline += res.MemoryReads
+	}
+
+	// Serve the same queries from n concurrent clients. Capacity n plus a
+	// long linger makes the n-th arrival trigger exactly one full flush.
+	_, ts := newTestServer(t, sys, serve.Config{BatchCapacity: n, Linger: time.Minute})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sb strings.Builder
+			sb.WriteString(`{"indices": [`)
+			for j, idx := range b.Queries[i].Indices {
+				if j > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, "%d", idx)
+			}
+			sb.WriteString(`]}`)
+			resp, err := http.Post(ts.URL+"/v1/lookup", "application/json", strings.NewReader(sb.String()))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("client %d: %s", i, resp.Status)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	var reads, queries, batches float64
+	for _, line := range strings.Split(body, "\n") {
+		fmt.Sscanf(line, "fafnir_serve_dram_reads_total %g", &reads)
+		fmt.Sscanf(line, "fafnir_serve_queries_total %g", &queries)
+		fmt.Sscanf(line, "fafnir_serve_batches_total %g", &batches)
+	}
+	if queries != n || batches != 1 {
+		t.Fatalf("metrics report %v queries in %v batches, want %d in 1\n%s", queries, batches, n, body)
+	}
+	if perQ, basePerQ := reads/queries, float64(baseline)/n; perQ >= basePerQ {
+		t.Fatalf("no coalescing win: served %.2f reads/query, baseline %.2f", perQ, basePerQ)
+	}
+}
+
+// TestServerBadRequests exercises every request-validation rejection.
+func TestServerBadRequests(t *testing.T) {
+	sys := testSystem(t, fafnir.SystemConfig{})
+	_, ts := newTestServer(t, sys, serve.Config{MaxQueriesPerRequest: 2})
+
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"both fields", `{"indices": [1], "queries": [[2]]}`, "not both"},
+		{"neither field", `{}`, "no queries"},
+		{"unknown field", `{"indices": [1], "bogus": true}`, "bogus"},
+		{"bad op", `{"indices": [1], "op": "median"}`, "median"},
+		{"out of range", fmt.Sprintf(`{"indices": [%d]}`, testRowsPerTable*512), "out of range"},
+		{"empty query", `{"queries": [[1], []]}`, "query 1 is empty"},
+		{"too many queries", `{"queries": [[1],[2],[3]]}`, "limit is 2"},
+		{"not json", `hello`, "bad request body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, decoded := postLookup(t, ts.URL, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %s, want 400", resp.Status)
+			}
+			if decoded["kind"] != "bad_request" {
+				t.Errorf("kind %v, want bad_request", decoded["kind"])
+			}
+			if msg, _ := decoded["error"].(string); !strings.Contains(msg, tc.wantErr) {
+				t.Errorf("error %q does not mention %q", msg, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestServerOverload saturates the bounded queue and checks the server
+// answers 503 with Retry-After while the backend is stuck.
+func TestServerOverload(t *testing.T) {
+	fake := &fakeSystem{fakeBackend: newFake(), rows: 1 << 16}
+	fake.gate = make(chan struct{})
+	fake.enter = make(chan struct{}, 16)
+	srv, ts := newTestServer(t, fake, serve.Config{BatchCapacity: 1, MaxQueued: 1})
+
+	release := sync.OnceFunc(func() { close(fake.gate) })
+	defer release()
+
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/lookup", "application/json", strings.NewReader(`{"indices": [1,2]}`))
+			if err != nil {
+				done <- -1
+				return
+			}
+			resp.Body.Close()
+			done <- resp.StatusCode
+		}()
+		if i == 0 {
+			<-fake.enter // first request holds the backend; queue empties again
+		} else {
+			waitFor(t, func() bool { return srv.Metrics().QueueDepth.Value() == 1 })
+		}
+	}
+
+	resp, decoded := postLookup(t, ts.URL, `{"indices": [5]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %s, want 503", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 carries no Retry-After")
+	}
+	if decoded["kind"] != "overloaded" {
+		t.Errorf("kind %v, want overloaded", decoded["kind"])
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("admitted request finished with %d", code)
+		}
+	}
+}
+
+// TestServerDeadline gives a request a deadline shorter than the stuck
+// backend and expects 504 within it.
+func TestServerDeadline(t *testing.T) {
+	fake := &fakeSystem{fakeBackend: newFake(), rows: 1 << 16}
+	fake.gate = make(chan struct{})
+	srv, ts := newTestServer(t, fake, serve.Config{BatchCapacity: 1})
+	_ = srv
+
+	start := time.Now()
+	resp, decoded := postLookup(t, ts.URL, `{"indices": [1], "timeout_ms": 30}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %s, want 504", resp.Status)
+	}
+	if decoded["kind"] != "deadline" {
+		t.Errorf("kind %v, want deadline", decoded["kind"])
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("504 took %v, want roughly the 30ms deadline", took)
+	}
+	close(fake.gate)
+}
+
+// TestServerFaultKind routes a lookup of an index whose primary and replica
+// ranks are both dark and expects a structured 500 rank_failed response.
+func TestServerFaultKind(t *testing.T) {
+	poison, dark, _ := poisonedIndexRanks(t)
+	sys := testSystem(t, fafnir.SystemConfig{
+		Faults: fafnir.FaultPlan{
+			Seed: 7,
+			RankFailures: []fafnir.RankFailure{
+				{Rank: dark[0], At: 0},
+				{Rank: dark[1], At: 0},
+			},
+		},
+	})
+	_, ts := newTestServer(t, sys, serve.Config{})
+	resp, decoded := postLookup(t, ts.URL, fmt.Sprintf(`{"indices": [%d]}`, poison))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %s, want 500", resp.Status)
+	}
+	if decoded["kind"] != "rank_failed" {
+		t.Errorf("kind %v, want rank_failed", decoded["kind"])
+	}
+}
+
+// TestServerDrain checks the shutdown path: after Drain, lookups answer 503
+// draining and healthz flips unhealthy.
+func TestServerDrain(t *testing.T) {
+	sys := testSystem(t, fafnir.SystemConfig{})
+	srv, ts := newTestServer(t, sys, serve.Config{})
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, decoded := postLookup(t, ts.URL, `{"indices": [1]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || decoded["kind"] != "draining" {
+		t.Fatalf("post-drain lookup: %s kind=%v, want 503 draining", resp.Status, decoded["kind"])
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain healthz: %s, want 503", hz.Status)
+	}
+}
+
+// TestServerNew covers constructor validation.
+func TestServerNew(t *testing.T) {
+	if _, err := serve.New(nil, serve.Config{}); err == nil {
+		t.Error("nil system accepted")
+	}
+	if _, err := serve.New(&fakeSystem{fakeBackend: newFake(), rows: 8}, serve.Config{MaxQueued: -1}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

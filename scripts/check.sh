@@ -18,6 +18,10 @@
 #                      in -run mode (no fuzzing; deterministic and fast)
 #   8. coverage      — every internal/ package must keep statement coverage
 #                      at or above the floor (80%)
+#   9. server smoke  — build fafnir-serve and fafnir-loadgen, boot the
+#                      service on a free port, fire a concurrent burst,
+#                      scrape /metrics, then SIGTERM and require a clean
+#                      drain (exit 0 with in-flight work finished)
 #
 # Long-running fuzzing is opt-in, not part of the gate:
 #
@@ -77,5 +81,43 @@ END {
     for (p in bad) printf "coverage below %s%%: %s at %s%%\n", floor, p, bad[p]
     exit n > 0
 }'
+
+echo "==> server smoke: boot fafnir-serve, drive it, drain it"
+SMOKE=$(mktemp -d)
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
+go build -o "$SMOKE/fafnir-serve" ./cmd/fafnir-serve
+go build -o "$SMOKE/fafnir-loadgen" ./cmd/fafnir-loadgen
+
+"$SMOKE/fafnir-serve" -addr 127.0.0.1:0 -rows 4096 -linger 500us \
+    > "$SMOKE/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# Startup handshake: fafnir-serve prints "listening on host:port" once the
+# listener is bound; poll for it rather than sleeping a fixed interval.
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(awk '/^listening on /{print $3; exit}' "$SMOKE/serve.log" 2>/dev/null || true)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SMOKE/serve.log"; echo "smoke: server died on startup"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { cat "$SMOKE/serve.log"; echo "smoke: server never announced its port"; exit 1; }
+
+"$SMOKE/fafnir-loadgen" -url "http://$ADDR" -clients 4 -requests 64 \
+    -duration 10s -rows 4096 -dump-metrics > "$SMOKE/loadgen.log" 2>&1 \
+    || { cat "$SMOKE/loadgen.log"; echo "smoke: loadgen failed"; exit 1; }
+grep -q '^fafnir_serve_queries_total [1-9]' "$SMOKE/loadgen.log" \
+    || { cat "$SMOKE/loadgen.log"; echo "smoke: /metrics missing served queries"; exit 1; }
+
+kill -TERM "$SERVE_PID"
+SMOKE_RC=0
+wait "$SERVE_PID" || SMOKE_RC=$?
+[ "$SMOKE_RC" -eq 0 ] || { cat "$SMOKE/serve.log"; echo "smoke: server exited $SMOKE_RC on SIGTERM"; exit 1; }
+grep -q 'drained cleanly' "$SMOKE/serve.log" \
+    || { cat "$SMOKE/serve.log"; echo "smoke: no clean drain line"; exit 1; }
+grep 'drained cleanly' "$SMOKE/serve.log"
+SERVE_PID=
 
 echo "OK: all checks passed"
