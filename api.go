@@ -31,9 +31,33 @@ import (
 	"fafnir/internal/sim"
 	"fafnir/internal/sparse"
 	"fafnir/internal/spmv"
+	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
 	"fafnir/internal/twostep"
 )
+
+// Telemetry layer (internal/telemetry), re-exported: the cycle-level event
+// tracer whose streams load directly into Perfetto, and the typed metrics
+// registry behind the serving layer's /metrics endpoint.
+type (
+	// Tracer receives trace events; attach one with System.AttachTracer.
+	Tracer = telemetry.Tracer
+	// Trace is the standard in-memory Tracer with Chrome trace-event JSON
+	// export (WriteChromeFile for Perfetto, ChromeJSON for embedding).
+	Trace = telemetry.Trace
+	// TraceEvent is one trace record.
+	TraceEvent = telemetry.Event
+	// MetricsRegistry is the typed counter/gauge/histogram registry.
+	MetricsRegistry = telemetry.Registry
+)
+
+// NewTrace returns an empty trace collector, ready to attach.
+func NewTrace() *Trace { return telemetry.NewTrace() }
+
+// ValidateTrace checks that data is well-formed, Perfetto-loadable Chrome
+// trace-event JSON with monotonic per-lane timestamps, returning the number
+// of non-metadata events.
+func ValidateTrace(data []byte) (int, error) { return telemetry.ValidateChrome(data) }
 
 // Re-exported leaf types, so callers do not need the internal import paths.
 type (
@@ -230,6 +254,23 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 
 // TotalRows reports the number of embedding vectors in the system.
 func (s *System) TotalRows() uint64 { return s.layout.TotalRows() }
+
+// AttachTracer threads a telemetry tracer through the system's engine and
+// memory model: subsequent Lookup calls emit PE stage events (one lane per
+// PE, grouped by tree level) and per-bank DRAM command spans onto the
+// tracer's timeline. A nil tracer detaches. Tracing is observational only —
+// outputs and cycle counts are bit-identical with or without it — and the
+// serving layer uses this hook for its ?debug=trace echo.
+func (s *System) AttachTracer(t Tracer) {
+	s.engine.AttachTracer(t)
+	s.mem.AttachTracer(t)
+}
+
+// MemoryCounter reads one of the memory system's cumulative statistics
+// counters by name (e.g. "dram.row_hits", "dram.row_misses",
+// "dram.row_conflicts", "dram.reads"). Unknown names read zero. The serving
+// layer uses this hook to attribute row-buffer behaviour to flushed batches.
+func (s *System) MemoryCounter(name string) uint64 { return s.mem.Stats().Counter(name) }
 
 // NumPEs reports the size of the attached Fafnir tree.
 func (s *System) NumPEs() int { return s.engine.Tree().NumPEs() }

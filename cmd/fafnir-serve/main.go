@@ -8,6 +8,7 @@
 //	fafnir-serve -addr :8080 -linger 500us
 //	fafnir-serve -addr 127.0.0.1:0 -batch 32 -queue 512 -rows 4096
 //	fafnir-serve -faults "rank=3@0;ecc=0.0005;seed=9"
+//	fafnir-serve -debug-addr 127.0.0.1:6060   # adds /debug/pprof and /debug/vars
 //
 // Endpoints:
 //
@@ -22,10 +23,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +57,7 @@ func run() error {
 		par       = flag.Int("j", 0, "simulator parallelism (0 = all cores)")
 		faults    = flag.String("faults", "", `fault plan, e.g. "rank=3@0;ecc=0.001;seed=9"`)
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
+		debugAddr = flag.String("debug-addr", "", "optional debug listener serving /debug/pprof and /debug/vars (off when empty)")
 	)
 	flag.Parse()
 
@@ -91,6 +95,25 @@ func run() error {
 	fmt.Printf("listening on %s\n", ln.Addr())
 	fmt.Printf("system: %d vectors, batch capacity %d, linger %v, queue bound %d\n",
 		sys.TotalRows(), *batch, *linger, srv.Coalescer().Config().MaxQueued)
+
+	// The debug listener is a separate socket so profiling endpoints never
+	// share the service port: keep it bound to localhost or a firewalled
+	// interface in production.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		fmt.Printf("debug listening on %s\n", dln.Addr())
+		go http.Serve(dln, dmux)
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

@@ -30,6 +30,7 @@ import (
 	"fafnir/internal/solver"
 	"fafnir/internal/sparse"
 	"fafnir/internal/spmv"
+	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
 	"fafnir/internal/tensordimm"
 	"fafnir/internal/twostep"
@@ -47,15 +48,21 @@ func main() {
 		dedup  = flag.Bool("dedup", true, "lookup (fafnir): eliminate redundant accesses")
 		seed   = flag.Int64("seed", 1, "workload seed")
 		matrix = flag.String("matrix", "banded", "spmv: banded|graph|uniform")
-		size   = flag.Int("size", 8192, "spmv: matrix dimension")
-		faults = flag.String("faults", "", `lookup (fafnir): fault plan, e.g. "rank=3@0;ecc=0.001;stall=5+200;seed=9"`)
+		size     = flag.Int("size", 8192, "spmv: matrix dimension")
+		faults   = flag.String("faults", "", `lookup (fafnir): fault plan, e.g. "rank=3@0;ecc=0.001;stall=5+200;seed=9"`)
+		traceOut = flag.String("trace-out", "", "lookup: write a Chrome trace-event JSON file of the run (load at ui.perfetto.dev)")
 	)
 	flag.Parse()
 
 	var err error
+	if *traceOut != "" && *mode != "lookup" {
+		err = fmt.Errorf("-trace-out is only supported in lookup mode, not %q", *mode)
+		fmt.Fprintln(os.Stderr, "fafnir-sim:", err)
+		os.Exit(1)
+	}
 	switch *mode {
 	case "lookup":
-		err = runLookup(*engine, *batch, *q, *rows, *zipf, *dedup, *seed, *faults)
+		err = runLookup(*engine, *batch, *q, *rows, *zipf, *dedup, *seed, *faults, *traceOut)
 	case "spmv":
 		err = runSpMV(*engine, *matrix, *size, *seed)
 	case "graph":
@@ -73,7 +80,7 @@ func main() {
 
 func usSeconds(c sim.Cycle) float64 { return sim.Seconds(c, 200) * 1e6 }
 
-func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, seed int64, faults string) error {
+func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, seed int64, faults, traceOut string) error {
 	plan, err := fault.Parse(faults)
 	if err != nil {
 		return err
@@ -85,6 +92,14 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 	layout := memmap.Uniform(mcfg, 512, 32, rowsPer)
 	store := embedding.MustStore(layout.TotalRows(), 128, uint64(seed))
 	mem := dram.MustSystem(mcfg)
+
+	// Tracing captures per-bank DRAM activity for every engine; the fafnir
+	// engine additionally emits PE pipeline lanes from its timed loop.
+	var tr *telemetry.Trace
+	if traceOut != "" {
+		tr = telemetry.NewTrace()
+		mem.AttachTracer(tr)
+	}
 
 	gcfg := embedding.GeneratorConfig{
 		NumQueries: batchN, QuerySize: q, Rows: layout.TotalRows(), Seed: seed,
@@ -123,6 +138,9 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 		e, err := fafnir.NewEngine(fcfg)
 		if err != nil {
 			return err
+		}
+		if tr != nil {
+			e.AttachTracer(tr)
 		}
 		var inj *fault.Injector
 		if !plan.Empty() {
@@ -194,6 +212,12 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 		mem.Stats().Counter("dram.row_misses"),
 		mem.Stats().Counter("dram.row_conflicts"))
 	fmt.Println("  functional result verified against golden reference")
+	if tr != nil {
+		if err := tr.WriteChromeFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("  trace: %d events written to %s (open at ui.perfetto.dev)\n", tr.Len(), traceOut)
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@
 //	fafnir-trace stats workload.json
 //	fafnir-trace run -engine fafnir workload.json
 //	fafnir-trace run -engine recnmp workload.json
+//	fafnir-trace validate run-trace.json   # checks a fafnir-sim -trace-out file
 package main
 
 import (
@@ -20,13 +21,14 @@ import (
 	"fafnir/internal/memmap"
 	"fafnir/internal/recnmp"
 	"fafnir/internal/sim"
+	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
 	"fafnir/internal/trace"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fail(fmt.Errorf("usage: fafnir-trace gen|stats|run ..."))
+		fail(fmt.Errorf("usage: fafnir-trace gen|stats|run|validate ..."))
 	}
 	var err error
 	switch os.Args[1] {
@@ -36,6 +38,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -111,6 +115,25 @@ func cmdStats(args []string) error {
 	fmt.Printf("unique indices:  %d (%.1f%%)\n", s.UniqueIndices, 100*s.UniqueFraction)
 	fmt.Printf("max query size:  %d\n", s.MaxQuerySize)
 	fmt.Printf("pooling op:      %s\n", tr.Op)
+	return nil
+}
+
+// cmdValidate checks a Chrome trace-event file (as written by
+// fafnir-sim -trace-out) for structural validity: well-formed JSON, known
+// event phases, and non-decreasing timestamps within every (pid, tid) lane.
+func cmdValidate(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: fafnir-trace validate <chrome-trace.json>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	n, err := telemetry.ValidateChrome(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[0], err)
+	}
+	fmt.Printf("%s: valid Chrome trace, %d events\n", args[0], n)
 	return nil
 }
 

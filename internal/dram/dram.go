@@ -23,6 +23,7 @@ import (
 
 	"fafnir/internal/fault"
 	"fafnir/internal/sim"
+	"fafnir/internal/telemetry"
 )
 
 // Addr is a physical byte address in the simulated memory space.
@@ -300,8 +301,13 @@ type System struct {
 	ranks     []rank
 	chanBusAt []sim.Cycle // per-channel host-bus availability
 	stats     *sim.Stats
-	faults    *fault.Injector // nil when no fault plan is attached
-	log       *AccessLog      // nil when no access log is attached
+	faults    *fault.Injector  // nil when no fault plan is attached
+	log       *AccessLog       // nil when no access log is attached
+	tracer    telemetry.Tracer // nil when no tracer is attached (see trace.go)
+	// namedRank/namedBank defer trace lane naming to first use so idle
+	// ranks and banks stay off the exported timeline.
+	namedRank []bool
+	namedBank []bool
 }
 
 // NewSystem builds a memory system for the configuration. It returns an
@@ -498,12 +504,14 @@ func (s *System) readWithinSlot(now sim.Cycle, addr Addr, size int, dest Dest) s
 	default:
 		outcome = RowConflict
 	}
+	var preAt, actAt sim.Cycle // command times for the trace emitter
 	switch outcome {
 	case RowHit:
 		rk.hits++
 		s.stats.Inc("dram.row_hits", 1)
 	case RowMiss, RowConflict:
 		if outcome == RowConflict {
+			preAt = start
 			start += s.cfg.TRP
 			rk.conflicts++
 			s.stats.Inc("dram.row_conflicts", 1)
@@ -513,7 +521,7 @@ func (s *System) readWithinSlot(now sim.Cycle, addr Addr, size int, dest Dest) s
 		}
 		// Activate throttling: honour tRRD against the previous activate
 		// and tFAW against the fourth-to-last one.
-		actAt := start
+		actAt = start
 		if rk.lastActivate > 0 || rk.activateIdx > 0 {
 			actAt = sim.Max(actAt, rk.lastActivate+s.cfg.TRRD)
 		}
@@ -554,6 +562,9 @@ func (s *System) readWithinSlot(now sim.Cycle, addr Addr, size int, dest Dest) s
 	s.stats.Inc("dram.bytes", uint64(size))
 	if dest == DestHost {
 		s.stats.Inc("dram.bytes_to_host", uint64(size))
+	}
+	if s.tracer != nil {
+		s.traceAccess(g, loc, outcome, preAt, actAt, start, dataAt, size)
 	}
 	return dataAt
 }

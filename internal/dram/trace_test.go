@@ -1,0 +1,130 @@
+package dram
+
+import (
+	"testing"
+
+	"fafnir/internal/telemetry"
+)
+
+// sameBankOtherRow finds an address decoding to addr0's channel/rank/bank but
+// a different row, so back-to-back reads force a row-buffer conflict.
+func sameBankOtherRow(t *testing.T, cfg Config, addr0 Addr) Addr {
+	t.Helper()
+	l0 := cfg.Decode(addr0)
+	for a := addr0 + 512; a < addr0+Addr(1<<30); a += 512 {
+		l := cfg.Decode(a)
+		if l.Channel == l0.Channel && l.Rank == l0.Rank && l.Bank == l0.Bank && l.Row != l0.Row {
+			return a
+		}
+	}
+	t.Fatal("no conflicting address found")
+	return 0
+}
+
+// TestTracerEmitsCommandSchedule drives a hit, a miss, and a conflict through
+// one bank and checks the emitted PRE/ACT/RD spans: RD on every access,
+// ACT only when the row was not open, PRE only on a conflict — and that
+// tracing never changes a completion cycle.
+func TestTracerEmitsCommandSchedule(t *testing.T) {
+	cfg := DDR4()
+	conflictAddr := sameBankOtherRow(t, cfg, 0)
+	addrs := []Addr{0, 0, conflictAddr} // miss, hit, conflict
+
+	ref := MustSystem(cfg)
+	var want []uint64
+	for _, a := range addrs {
+		want = append(want, uint64(ref.Read(0, a, 512, DestLocal)))
+	}
+
+	traced := MustSystem(cfg)
+	tr := telemetry.NewTrace()
+	traced.AttachTracer(tr)
+	if traced.Tracer() != tr {
+		t.Fatal("Tracer() does not return the attached tracer")
+	}
+	for i, a := range addrs {
+		if done := traced.Read(0, a, 512, DestLocal); uint64(done) != want[i] {
+			t.Fatalf("read %d: traced run returned cycle %d, bare run %d", i, done, want[i])
+		}
+	}
+
+	var pre, act, rd int
+	var outcomes []string
+	for _, ev := range tr.Events() {
+		if ev.PID < telemetry.PIDDRAMBase {
+			t.Fatalf("event %q on non-DRAM pid %d", ev.Name, ev.PID)
+		}
+		if ev.ClockMHz != cfg.ClockMHz {
+			t.Fatalf("event %q has clock %v, want %v", ev.Name, ev.ClockMHz, cfg.ClockMHz)
+		}
+		switch ev.Name {
+		case "PRE":
+			pre++
+			if ev.Dur != uint64(cfg.TRP) {
+				t.Fatalf("PRE dur %d, want tRP %d", ev.Dur, cfg.TRP)
+			}
+		case "ACT":
+			act++
+			if ev.Dur != uint64(cfg.TRCD) {
+				t.Fatalf("ACT dur %d, want tRCD %d", ev.Dur, cfg.TRCD)
+			}
+		case "RD":
+			rd++
+			if ev.NArgs < 3 || ev.Args[0].Key != "outcome" {
+				t.Fatalf("RD lacks outcome annotation: %+v", ev)
+			}
+			outcomes = append(outcomes, ev.Args[0].Str)
+		default:
+			t.Fatalf("unexpected event %q", ev.Name)
+		}
+	}
+	if rd != 3 || act != 2 || pre != 1 {
+		t.Fatalf("got %d RD, %d ACT, %d PRE; want 3/2/1", rd, act, pre)
+	}
+	wantOutcomes := []string{"miss", "hit", "conflict"}
+	for i, o := range outcomes {
+		if o != wantOutcomes[i] {
+			t.Fatalf("RD outcomes = %v, want %v", outcomes, wantOutcomes)
+		}
+	}
+
+	// The exported stream must satisfy the structural validator.
+	if _, err := telemetry.ValidateChrome(tr.ChromeJSON()); err != nil {
+		t.Fatalf("emitted trace invalid: %v", err)
+	}
+
+	// Detaching must stop emission without touching behaviour.
+	traced.AttachTracer(nil)
+	if traced.Tracer() != nil {
+		t.Fatal("Tracer() non-nil after detach")
+	}
+	n := tr.Len()
+	traced.Read(0, 0, 512, DestLocal)
+	if tr.Len() != n {
+		t.Fatal("detached system kept emitting")
+	}
+}
+
+// TestTracerNamesLanesOnce checks the lazy lane naming: one process name per
+// touched rank, one lane name per touched bank, regardless of access count.
+func TestTracerNamesLanesOnce(t *testing.T) {
+	cfg := DDR4()
+	s := MustSystem(cfg)
+	tr := telemetry.NewTrace()
+	s.AttachTracer(tr)
+	for i := 0; i < 4; i++ {
+		s.Read(0, 0, 512, DestLocal)
+	}
+	out := string(tr.ChromeJSON())
+	g := cfg.GlobalRank(cfg.Decode(0))
+	wantProc := `{"name":"process_name","ph":"M","pid":` // prefix only; count below
+	var procs int
+	for i := 0; i+len(wantProc) <= len(out); i++ {
+		if out[i:i+len(wantProc)] == wantProc {
+			procs++
+		}
+	}
+	if procs != 1 {
+		t.Fatalf("%d process_name records for one touched rank (global %d), want 1", procs, g)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fafnir/internal/batch"
 	"fafnir/internal/dram"
 	"fafnir/internal/embedding"
+	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
 )
 
@@ -138,6 +139,52 @@ func BenchmarkRunTree(b *testing.B) {
 				var totals PEStats
 				var maxOcc int
 				if _, err := e.runTree(tensor.OpSum, leafIn, &totals, &maxOcc, perPE); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTimedLookupTrace compares the timed path with tracing detached
+// (the production default: one nil check per batch) against a run collecting
+// the full PE/DRAM event stream. The "off" case is what BENCH_*.json tracks.
+func BenchmarkTimedLookupTrace(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "off"
+		if traced {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := Default()
+			cfg.VectorDim = 32
+			cfg.Parallelism = 1
+			e, err := NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+				NumQueries: 32, QuerySize: 16, Rows: 1 << 16, Dist: embedding.Zipf, ZipfS: 1.3, Seed: 3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bt := gen.Batch(tensor.OpSum)
+			store := embedding.MustStore(1<<16, 32, 3)
+			pl := modBenchPlacement{ranks: 32, bytes: 128}
+			var tr *telemetry.Trace
+			if traced {
+				tr = telemetry.NewTrace()
+				e.AttachTracer(tr)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mem := dram.MustSystem(dram.DDR4())
+				if traced {
+					tr.Reset()
+					mem.AttachTracer(tr)
+				}
+				if _, err := e.TimedLookup(store, pl, mem, bt, true); err != nil {
 					b.Fatal(err)
 				}
 			}

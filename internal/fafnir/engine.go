@@ -10,6 +10,7 @@ import (
 	"fafnir/internal/fault"
 	"fafnir/internal/header"
 	"fafnir/internal/sim"
+	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
 )
 
@@ -40,6 +41,9 @@ type ReplicatedPlacement interface {
 type Engine struct {
 	cfg  Config
 	tree *Tree
+	// tracer receives timing events when attached (see trace.go); nil — the
+	// default — costs one pointer check per hardware batch.
+	tracer telemetry.Tracer
 	// scratch pools dense treeScratch working sets (see parallel.go) so
 	// steady-state tree evaluations allocate no bookkeeping.
 	scratch sync.Pool
@@ -612,6 +616,14 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 		// Root-to-host transfer of the completed outputs.
 		outBytes := len(p.outputs) * layout.VectorBytes()
 		xfer := e.cfg.DRAMToPE(mem.Config().TransferCycles(outBytes))
+
+		// Trace emission happens here, in the serial timed loop, so the
+		// event stream is deterministic at every Parallelism setting. clock
+		// still holds this batch's issue time.
+		if e.tracer != nil {
+			e.traceBatch(k, plan.NumAccesses(), len(plan.Batch().Queries),
+				clock, leafReady, ready, p.perPE, rootDone+xfer)
+		}
 
 		memPE := e.cfg.DRAMToPE(memDone)
 		res.MemCycles = memPE

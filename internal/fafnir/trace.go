@@ -1,0 +1,133 @@
+package fafnir
+
+import (
+	"fmt"
+
+	"fafnir/internal/sim"
+	"fafnir/internal/telemetry"
+)
+
+// This file threads the telemetry tracer through the timing engine. Like
+// dram.AttachLog, attachment is observational: the engine emits events from
+// the serial timed loop of timedLookup, after treeTiming has produced the
+// batch's readiness schedule, so a traced run is cycle-identical to an
+// untraced one and the event stream is bit-identical at every Parallelism
+// setting (the concurrent functional pass never emits).
+//
+// The tracing-off hot path costs one nil check per hardware batch.
+
+// AttachTracer threads an event tracer into the engine: every subsequent
+// TimedLookup emits hardware-batch spans and per-PE stage/compare/reduce/
+// forward/merge events on the tracer's timeline, with one lane per PE
+// grouped by tree level. A nil tracer detaches. Tracing never perturbs
+// simulated timing.
+func (e *Engine) AttachTracer(t telemetry.Tracer) {
+	e.tracer = t
+	if t == nil {
+		return
+	}
+	// The topology is static, so all lanes are named eagerly at attach time
+	// and the emission path never touches the name maps.
+	t.NameProcess(telemetry.PIDEngine, "fafnir engine")
+	t.NameLane(telemetry.PIDEngine, 0, "hw batches")
+	for _, n := range e.tree.all {
+		pid := telemetry.PIDPELevelBase + n.Level
+		t.NameProcess(pid, fmt.Sprintf("PE level %d", n.Level))
+		t.NameLane(pid, n.ID, fmt.Sprintf("PE%d (%s)", n.ID, n.Kind))
+	}
+}
+
+// Tracer returns the attached tracer (nil when none).
+func (e *Engine) Tracer() telemetry.Tracer { return e.tracer }
+
+// traceBatch emits the events of one timed hardware batch: the batch-level
+// span on the engine lane and one stage span per PE, with Table IV action
+// sub-spans. issue is the batch's read-issue time in the memory clock;
+// leafReady, ready, and perPE are the schedule treeTiming just produced;
+// batchDone is the root completion plus host transfer, in PE cycles.
+//
+// The stage span of each PE runs from its input-ready time to its completion
+// in the ready slot, so occupancy initiation intervals and injected PE
+// stalls are visible as the gap after the fixed-latency action sub-spans.
+func (e *Engine) traceBatch(k, reads, queries int, issue sim.Cycle, leafReady, ready []sim.Cycle, perPE []PEStats, batchDone sim.Cycle) {
+	mhz := e.cfg.ClockMHz
+	issuePE := e.cfg.DRAMToPE(issue)
+	ev := telemetry.Event{
+		Name: "hw_batch", Cat: "engine", Phase: telemetry.PhaseSpan,
+		PID: telemetry.PIDEngine, TID: 0,
+		TS: uint64(issuePE), Dur: uint64(batchDone - issuePE), ClockMHz: mhz,
+	}
+	ev.AddArg(telemetry.Arg{Key: "batch", Int: int64(k)})
+	ev.AddArg(telemetry.Arg{Key: "reads", Int: int64(reads)})
+	ev.AddArg(telemetry.Arg{Key: "queries", Int: int64(queries)})
+	e.tracer.Emit(ev)
+
+	lat := e.cfg.Latency
+	reduceDur := sim.Max(lat.ReduceValue, lat.ReduceHeader)
+	for _, n := range e.tree.all {
+		// Recompute the node's input-ready time the way treeTiming did;
+		// children precede parents in tree.all, so the ready slots already
+		// hold this batch's values.
+		var inReady sim.Cycle
+		if n.IsLeaf() {
+			inReady = e.cfg.DRAMToPE(leafReady[n.ID])
+		} else {
+			inReady = ready[n.Left.ID]
+			if n.Right != nil {
+				inReady = sim.Max(inReady, ready[n.Right.ID])
+			}
+		}
+		st := perPE[n.ID]
+		pid := telemetry.PIDPELevelBase + n.Level
+
+		stage := telemetry.Event{
+			Name: "pe.stage", Cat: "pe", Phase: telemetry.PhaseSpan,
+			PID: pid, TID: n.ID,
+			TS: uint64(inReady), Dur: uint64(ready[n.ID] - inReady), ClockMHz: mhz,
+		}
+		stage.AddArg(telemetry.Arg{Key: "batch", Int: int64(k)})
+		stage.AddArg(telemetry.Arg{Key: "compares", Int: int64(st.Compares)})
+		stage.AddArg(telemetry.Arg{Key: "reduces", Int: int64(st.Reduces)})
+		stage.AddArg(telemetry.Arg{Key: "forwards", Int: int64(st.Forwards)})
+		stage.AddArg(telemetry.Arg{Key: "outputs", Int: int64(st.Outputs)})
+		e.tracer.Emit(stage)
+
+		if st.Compares > 0 {
+			cmp := telemetry.Event{
+				Name: "pe.compare", Cat: "pe", Phase: telemetry.PhaseSpan,
+				PID: pid, TID: n.ID,
+				TS: uint64(inReady), Dur: uint64(lat.Compare), ClockMHz: mhz,
+			}
+			cmp.AddArg(telemetry.Arg{Key: "compares", Int: int64(st.Compares)})
+			e.tracer.Emit(cmp)
+		}
+		// Reduce and forward run on parallel action paths after the compare.
+		if st.Reduces > 0 {
+			red := telemetry.Event{
+				Name: "pe.reduce", Cat: "pe", Phase: telemetry.PhaseSpan,
+				PID: pid, TID: n.ID,
+				TS: uint64(inReady + lat.Compare), Dur: uint64(reduceDur), ClockMHz: mhz,
+			}
+			red.AddArg(telemetry.Arg{Key: "reduces", Int: int64(st.Reduces)})
+			e.tracer.Emit(red)
+		}
+		if st.Forwards > 0 {
+			fwd := telemetry.Event{
+				Name: "pe.forward", Cat: "pe", Phase: telemetry.PhaseSpan,
+				PID: pid, TID: n.ID,
+				TS: uint64(inReady + lat.Compare), Dur: uint64(lat.Forward), ClockMHz: mhz,
+			}
+			fwd.AddArg(telemetry.Arg{Key: "forwards", Int: int64(st.Forwards)})
+			e.tracer.Emit(fwd)
+		}
+		if st.MergedDuplicates > 0 {
+			mrg := telemetry.Event{
+				Name: "pe.merge", Cat: "pe", Phase: telemetry.PhaseInstant,
+				PID: pid, TID: n.ID,
+				TS: uint64(ready[n.ID]), ClockMHz: mhz,
+			}
+			mrg.AddArg(telemetry.Arg{Key: "merged", Int: int64(st.MergedDuplicates)})
+			e.tracer.Emit(mrg)
+		}
+	}
+}

@@ -9,8 +9,27 @@ import (
 
 	"fafnir/internal/embedding"
 	"fafnir/internal/sim"
+	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
 )
+
+// TraceAttacher is the optional backend capability behind ?debug=trace: a
+// backend that can thread a telemetry tracer through its engines.
+// *fafnir.System implements it. The coalescer only attaches and detaches
+// from its single flusher goroutine, matching the backend's concurrency
+// contract.
+type TraceAttacher interface {
+	AttachTracer(telemetry.Tracer)
+}
+
+// MemoryStatsSource is the optional backend capability for row-buffer
+// attribution: a backend exposing its memory system's cumulative counters by
+// name ("dram.row_hits", "dram.row_misses", "dram.row_conflicts").
+// *fafnir.System implements it. The coalescer delta-folds the counters into
+// the registry after each flush, again only from the flusher goroutine.
+type MemoryStatsSource interface {
+	MemoryCounter(name string) uint64
+}
 
 // BatchStats describes the hardware batch that served a request. Requests
 // coalesced into the same flush share one BatchStats value.
@@ -29,6 +48,10 @@ type BatchStats struct {
 	TotalCycles sim.Cycle
 	// BytesRead is the batch's DRAM traffic.
 	BytesRead uint64
+	// Reduces and Compares are the batch's PE action totals across the
+	// reduction tree.
+	Reduces  int
+	Compares int
 	// Isolated marks a result recomputed alone after its shared batch
 	// failed (see the isolation retry in flush).
 	Isolated bool
@@ -38,6 +61,7 @@ type BatchStats struct {
 type result struct {
 	outputs []tensor.Vector
 	stats   BatchStats
+	trace   []byte // Chrome trace JSON of the serving batch (debug requests)
 	err     error
 }
 
@@ -47,6 +71,7 @@ type request struct {
 	queries []embedding.Query
 	op      tensor.ReduceOp
 	enq     time.Time
+	debug   bool        // caller asked for the batch's trace echo
 	done    chan result // buffered 1; the flusher never blocks on delivery
 }
 
@@ -71,6 +96,21 @@ type Coalescer struct {
 	cfg Config
 	be  Backend
 	m   *Metrics
+
+	// tracer receives request-lifecycle events (enqueue/flush/respond) on
+	// the serve timeline when Config.Tracer is set; nil costs one check.
+	// Serve events carry wall-clock nanoseconds since t0 (ClockMHz 1000).
+	tracer telemetry.Tracer
+	t0     time.Time
+
+	// attacher/memStats are the backend's optional capabilities, resolved
+	// once at construction; both are exercised only from the flusher
+	// goroutine. lastRow* hold the previously folded cumulative counters.
+	attacher      TraceAttacher
+	memStats      MemoryStatsSource
+	lastRowHits   uint64
+	lastRowMisses uint64
+	lastRowConfl  uint64
 
 	mu     sync.Mutex
 	queue  []*request
@@ -98,11 +138,38 @@ func NewCoalescer(cfg Config, be Backend, m *Metrics) (*Coalescer, error) {
 		cfg:     cfg,
 		be:      be,
 		m:       m,
+		tracer:  cfg.Tracer,
+		t0:      time.Now(),
 		kick:    make(chan struct{}, 1),
 		drained: make(chan struct{}),
 	}
+	c.attacher, _ = be.(TraceAttacher)
+	c.memStats, _ = be.(MemoryStatsSource)
+	if c.tracer != nil {
+		c.tracer.NameProcess(telemetry.PIDServe, "serve")
+		c.tracer.NameLane(telemetry.PIDServe, 0, "requests")
+		c.tracer.NameLane(telemetry.PIDServe, 1, "flusher")
+	}
 	go c.run()
 	return c, nil
+}
+
+// emit records one serve-lifecycle event at wall-clock nanoseconds since the
+// coalescer started; ClockMHz 1000 maps nanoseconds onto the microsecond
+// export timeline.
+func (c *Coalescer) emit(name string, tid int, phase byte, start time.Time, dur time.Duration, args ...telemetry.Arg) {
+	ev := telemetry.Event{
+		Name: name, Cat: "serve", Phase: phase,
+		PID: telemetry.PIDServe, TID: tid,
+		TS: uint64(start.Sub(c.t0)), ClockMHz: 1000,
+	}
+	if phase == telemetry.PhaseSpan {
+		ev.Dur = uint64(dur)
+	}
+	for _, a := range args {
+		ev.AddArg(a)
+	}
+	c.tracer.Emit(ev)
 }
 
 // Metrics returns the live metrics the coalescer reports into.
@@ -116,41 +183,60 @@ func (c *Coalescer) Config() Config { return c.cfg }
 // call travel in the same batch and resolve together. It fails fast with
 // ErrOverloaded when the admission queue is full and ErrDraining after Close.
 func (c *Coalescer) Submit(ctx context.Context, op tensor.ReduceOp, queries []embedding.Query) ([]tensor.Vector, BatchStats, error) {
+	out, stats, _, err := c.submit(ctx, op, queries, false)
+	return out, stats, err
+}
+
+// SubmitTraced is Submit with a trace echo: when the backend implements
+// TraceAttacher, the returned bytes are the Chrome trace-event JSON of the
+// flushed batch that served this request — including the engine and DRAM
+// events of any co-travelling requests coalesced into it. The trace is nil
+// when the backend cannot trace.
+func (c *Coalescer) SubmitTraced(ctx context.Context, op tensor.ReduceOp, queries []embedding.Query) ([]tensor.Vector, BatchStats, []byte, error) {
+	return c.submit(ctx, op, queries, true)
+}
+
+func (c *Coalescer) submit(ctx context.Context, op tensor.ReduceOp, queries []embedding.Query, debug bool) ([]tensor.Vector, BatchStats, []byte, error) {
 	if len(queries) == 0 {
-		return nil, BatchStats{}, fmt.Errorf("serve: empty request")
+		return nil, BatchStats{}, nil, fmt.Errorf("serve: empty request")
 	}
 	if !op.Valid() {
-		return nil, BatchStats{}, fmt.Errorf("serve: invalid reduce op %d", op)
+		return nil, BatchStats{}, nil, fmt.Errorf("serve: invalid reduce op %d", op)
 	}
-	req := &request{ctx: ctx, queries: queries, op: op, enq: time.Now(), done: make(chan result, 1)}
+	req := &request{ctx: ctx, queries: queries, op: op, enq: time.Now(), debug: debug, done: make(chan result, 1)}
 
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, BatchStats{}, ErrDraining
+		return nil, BatchStats{}, nil, ErrDraining
 	}
 	// Admission control: bounded queue. A request the queue could never
 	// hold is still admitted when the queue is empty, so oversized requests
 	// make progress instead of starving forever.
 	if c.queued > 0 && c.queued+len(queries) > c.cfg.MaxQueued {
 		c.mu.Unlock()
-		return nil, BatchStats{}, ErrOverloaded
+		return nil, BatchStats{}, nil, ErrOverloaded
 	}
 	c.queue = append(c.queue, req)
 	c.queued += len(queries)
 	depth := c.queued
 	c.mu.Unlock()
 
+	if c.tracer != nil {
+		c.emit("enqueue", 0, telemetry.PhaseInstant, req.enq, 0,
+			telemetry.Arg{Key: "queries", Int: int64(len(queries))},
+			telemetry.Arg{Key: "depth", Int: int64(depth)})
+	}
 	c.m.QueueDepth.Set(int64(depth))
 	c.kickFlusher()
 
 	select {
 	case res := <-req.done:
-		return res.outputs, res.stats, res.err
+		return res.outputs, res.stats, res.trace, res.err
 	case <-ctx.Done():
 		// The flusher may still compute this request's batch; delivery into
 		// the buffered channel is dropped on the floor.
-		return nil, BatchStats{}, ctx.Err()
+		return nil, BatchStats{}, nil, ctx.Err()
 	}
 }
 
@@ -258,12 +344,32 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 	}
 
 	queries := make([]embedding.Query, 0, c.cfg.BatchCapacity)
+	wantTrace := false
 	for _, r := range live {
 		queries = append(queries, r.queries...)
+		wantTrace = wantTrace || r.debug
 	}
 	b := embedding.Batch{Queries: queries, Op: op}
 
+	// A debug request gets the engine + DRAM trace of its whole batch: a
+	// fresh collector is attached around the lookup (flusher-only access,
+	// honouring the backend's single-goroutine contract) and the rendered
+	// JSON rides back on the result.
+	var batchTrace *telemetry.Trace
+	if wantTrace && c.attacher != nil {
+		batchTrace = telemetry.NewTrace()
+		c.attacher.AttachTracer(batchTrace)
+	}
+	flushStart := time.Now()
 	res, err := c.be.Lookup(b)
+	if batchTrace != nil {
+		c.attacher.AttachTracer(nil)
+	}
+	if c.tracer != nil {
+		c.emit("flush", 1, telemetry.PhaseSpan, flushStart, time.Since(flushStart),
+			telemetry.Arg{Key: "queries", Int: int64(len(queries))},
+			telemetry.Arg{Key: "requests", Int: int64(len(live))})
+	}
 	if err != nil {
 		c.isolate(op, live, err)
 		return
@@ -275,13 +381,50 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 		NaiveReads:   b.TotalAccesses(),
 		TotalCycles:  res.TotalCycles,
 		BytesRead:    res.BytesRead,
+		Reduces:      res.PETotals.Reduces,
+		Compares:     res.PETotals.Compares,
 	}
 	c.m.observeBatch(stats)
+	c.foldMemoryStats()
+	var traceJSON []byte
+	if batchTrace != nil {
+		traceJSON = batchTrace.ChromeJSON()
+	}
 	off := 0
 	for _, r := range live {
 		out := res.Outputs[off : off+len(r.queries)]
 		off += len(r.queries)
-		r.deliver(result{outputs: out, stats: stats})
+		rr := result{outputs: out, stats: stats}
+		if r.debug {
+			rr.trace = traceJSON
+		}
+		r.deliver(rr)
+		if c.tracer != nil {
+			c.emit("respond", 0, telemetry.PhaseInstant, time.Now(), 0,
+				telemetry.Arg{Key: "queries", Int: int64(len(r.queries))})
+		}
+	}
+}
+
+// foldMemoryStats delta-folds the backend's cumulative row-buffer counters
+// into the registry. Only the flusher goroutine calls it, so the last-seen
+// values need no synchronization and the deltas attribute exactly the reads
+// issued since the previous flush.
+func (c *Coalescer) foldMemoryStats() {
+	if c.memStats == nil {
+		return
+	}
+	if h := c.memStats.MemoryCounter("dram.row_hits"); h > c.lastRowHits {
+		c.m.RowHits.Add(h - c.lastRowHits)
+		c.lastRowHits = h
+	}
+	if ms := c.memStats.MemoryCounter("dram.row_misses"); ms > c.lastRowMisses {
+		c.m.RowMisses.Add(ms - c.lastRowMisses)
+		c.lastRowMisses = ms
+	}
+	if cf := c.memStats.MemoryCounter("dram.row_conflicts"); cf > c.lastRowConfl {
+		c.m.RowConflicts.Add(cf - c.lastRowConfl)
+		c.lastRowConfl = cf
 	}
 }
 
@@ -313,9 +456,12 @@ func (c *Coalescer) isolate(op tensor.ReduceOp, reqs []*request, batchErr error)
 			NaiveReads:   embedding.Batch{Queries: r.queries}.TotalAccesses(),
 			TotalCycles:  res.TotalCycles,
 			BytesRead:    res.BytesRead,
+			Reduces:      res.PETotals.Reduces,
+			Compares:     res.PETotals.Compares,
 			Isolated:     true,
 		}
 		c.m.observeBatch(stats)
+		c.foldMemoryStats()
 		r.deliver(result{outputs: res.Outputs, stats: stats})
 	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"fafnir/internal/embedding"
 	core "fafnir/internal/fafnir"
+	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
 )
 
@@ -67,6 +68,10 @@ type Config struct {
 	// MaxQueriesPerRequest bounds one HTTP request's query count (413-style
 	// rejection as a 400). Default 4 x BatchCapacity.
 	MaxQueriesPerRequest int
+	// Tracer, when set, receives request-lifecycle events (enqueue, flush,
+	// respond) on the serving timeline. Nil — the default — disables
+	// lifecycle tracing at the cost of one pointer check.
+	Tracer telemetry.Tracer
 }
 
 func (c *Config) fillDefaults() {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fafnir/internal/fault"
+	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
 )
 
@@ -83,12 +84,12 @@ func TestOutcomeString(t *testing.T) {
 }
 
 func TestHistogramBuckets(t *testing.T) {
-	h := newHistogram([]float64{1, 2, 4})
+	h := telemetry.NewHistogram([]float64{1, 2, 4})
 	for _, v := range []float64{0.5, 1, 1.5, 4, 100} {
 		h.Observe(v)
 	}
 	// 0.5 and 1 land in le=1; 1.5 in le=2; 4 in le=4; 100 in +Inf.
-	got := []uint64{h.counts[0].Load(), h.counts[1].Load(), h.counts[2].Load(), h.counts[3].Load()}
+	got := h.BucketCounts()
 	want := []uint64{2, 1, 1, 1}
 	for i := range want {
 		if got[i] != want[i] {
@@ -97,6 +98,41 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if h.Count() != 5 || h.Sum() != 107 {
 		t.Fatalf("count/sum = %d/%v, want 5/107", h.Count(), h.Sum())
+	}
+	// +Inf consistency: the cumulative +Inf bucket count must equal the
+	// total observation count, however the samples spread.
+	var cum uint64
+	for _, c := range got {
+		cum += c
+	}
+	if cum != h.Count() {
+		t.Fatalf("+Inf cumulative count %d != observation count %d", cum, h.Count())
+	}
+}
+
+// TestRequestBucketsCoverSubMillisecond pins the satellite fix: a coalesced
+// in-memory lookup completes in tens of microseconds, so the latency
+// histogram must resolve below one millisecond rather than lumping the
+// common case into its lowest bucket.
+func TestRequestBucketsCoverSubMillisecond(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRequest(OutcomeOK, 30*time.Microsecond)
+	m.ObserveRequest(OutcomeOK, 700*time.Microsecond)
+	var sb strings.Builder
+	m.Render(&sb)
+	out := sb.String()
+	for _, line := range []string{
+		`fafnir_serve_request_seconds_bucket{le="1e-05"} 0`,
+		`fafnir_serve_request_seconds_bucket{le="2.5e-05"} 0`,
+		`fafnir_serve_request_seconds_bucket{le="5e-05"} 1`,
+		`fafnir_serve_request_seconds_bucket{le="0.001"} 2`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("render missing %q\n%s", line, out)
+		}
+	}
+	if b := m.RequestSeconds.Bounds(); b[0] >= 0.0001 {
+		t.Fatalf("lowest latency bound %v does not resolve sub-100µs lookups", b[0])
 	}
 }
 

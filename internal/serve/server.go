@@ -58,6 +58,11 @@ type LookupResponse struct {
 	Outputs []tensor.Vector `json:"outputs"`
 	// Batch describes the shared hardware batch that produced them.
 	Batch BatchInfo `json:"batch"`
+	// Trace is the Chrome trace-event JSON of the batch that served the
+	// request, echoed when the caller asked with ?debug=trace and the
+	// backend supports tracing. Load it at ui.perfetto.dev. The trace
+	// covers the whole flushed batch, co-travelling requests included.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // ErrorResponse is the wire format of a failed lookup.
@@ -226,7 +231,14 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	outputs, stats, err := s.co.Submit(ctx, op, queries)
+	var outputs []tensor.Vector
+	var stats BatchStats
+	var trace []byte
+	if r.URL.Query().Get("debug") == "trace" {
+		outputs, stats, trace, err = s.co.SubmitTraced(ctx, op, queries)
+	} else {
+		outputs, stats, err = s.co.Submit(ctx, op, queries)
+	}
 	if err != nil {
 		outcome, status, kind := classify(err)
 		finish(outcome)
@@ -248,5 +260,6 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 			TotalCycles:       stats.TotalCycles,
 			Isolated:          stats.Isolated,
 		},
+		Trace: trace,
 	})
 }

@@ -1,0 +1,131 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"fafnir"
+	"fafnir/internal/serve"
+)
+
+// TestServerDebugTrace covers the ?debug=trace echo: a request against the
+// real system gets the Chrome trace of its flushed batch back in the
+// response, the trace validates structurally, and an ordinary request on the
+// same server carries no trace field.
+func TestServerDebugTrace(t *testing.T) {
+	sys := testSystem(t, fafnir.SystemConfig{})
+	_, ts := newTestServer(t, sys, serve.Config{})
+
+	resp, err := http.Post(ts.URL+"/v1/lookup?debug=trace", "application/json",
+		strings.NewReader(`{"queries":[[1,2,3],[4,5]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %s: %s", resp.Status, body)
+	}
+	var lr serve.LookupResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Outputs) != 2 {
+		t.Fatalf("got %d outputs, want 2", len(lr.Outputs))
+	}
+	if len(lr.Trace) == 0 {
+		t.Fatal("debug=trace response carries no trace")
+	}
+	n, err := fafnir.ValidateTrace(lr.Trace)
+	if err != nil {
+		t.Fatalf("echoed trace invalid: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("echoed trace is empty")
+	}
+	// The batch trace must span the serving layers: engine/PE lanes from the
+	// tree walk, DRAM lanes from the memory system.
+	txt := string(lr.Trace)
+	for _, want := range []string{`"pe.stage"`, `"hw_batch"`, `"RD"`} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("trace lacks %s events", want)
+		}
+	}
+
+	// An undecorated request on the same server stays trace-free.
+	resp2, decoded := postLookup(t, ts.URL, `{"indices":[7,8]}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("plain lookup status %s", resp2.Status)
+	}
+	if _, ok := decoded["trace"]; ok {
+		t.Fatal("plain lookup response carries a trace")
+	}
+}
+
+// TestServerDebugTraceUnsupportedBackend submits ?debug=trace against a
+// backend that cannot attach a tracer; the lookup must still succeed, just
+// without the echo.
+func TestServerDebugTraceUnsupportedBackend(t *testing.T) {
+	sys := &fakeSystem{fakeBackend: newFake(), rows: 1 << 16}
+	_, ts := newTestServer(t, sys, serve.Config{})
+
+	resp, err := http.Post(ts.URL+"/v1/lookup?debug=trace", "application/json",
+		strings.NewReader(`{"indices":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["trace"]; ok {
+		t.Fatal("untraceable backend produced a trace")
+	}
+}
+
+// TestServerMemoryFamilies drives real lookups and requires the registry
+// families fed by the backend's memory counters and PE statistics to appear
+// on /metrics with live values.
+func TestServerMemoryFamilies(t *testing.T) {
+	sys := testSystem(t, fafnir.SystemConfig{})
+	_, ts := newTestServer(t, sys, serve.Config{})
+	if resp, _ := postLookup(t, ts.URL, `{"queries":[[1,2,3],[4,5,6]]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("lookup status %s", resp.Status)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, fam := range []string{
+		"fafnir_serve_pe_reduces_total",
+		"fafnir_serve_pe_compares_total",
+		"fafnir_serve_row_hits_total",
+		"fafnir_serve_row_misses_total",
+		"fafnir_serve_row_conflicts_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" counter") {
+			t.Errorf("/metrics lacks family %s", fam)
+		}
+	}
+	// A real lookup always compares headers and misses at least one row.
+	if strings.Contains(out, "fafnir_serve_pe_compares_total 0\n") {
+		t.Error("pe_compares_total stayed zero after a lookup")
+	}
+	if strings.Contains(out, "fafnir_serve_row_misses_total 0\n") {
+		t.Error("row_misses_total stayed zero after a lookup")
+	}
+}

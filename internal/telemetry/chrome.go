@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// This file is the Chrome trace-event exporter and its validator. The format
+// is the JSON Array Format documented by the Trace Event Profiling Tool and
+// consumed by Perfetto (ui.perfetto.dev) and chrome://tracing: one object per
+// event with ph/pid/tid/ts fields, ts and dur in microseconds.
+//
+// The exporter hand-renders JSON instead of reflecting through encoding/json
+// so the byte stream is fully deterministic (field order, argument order,
+// float formatting), which lets tests pin golden traces and lets the check.sh
+// gate diff traced runs.
+
+// usPerCycle converts an event's cycle count to microseconds. ClockMHz is
+// cycles per microsecond; a zero clock means the TS/Dur are already in
+// microseconds.
+func usOf(cycles uint64, clockMHz float64) float64 {
+	if clockMHz == 0 {
+		return float64(cycles)
+	}
+	return float64(cycles) / clockMHz
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func appendString(b []byte, s string) []byte {
+	return strconv.AppendQuote(b, s)
+}
+
+// appendEvent renders one trace event object.
+func appendEvent(b []byte, ev *Event) []byte {
+	b = append(b, `{"name":`...)
+	b = appendString(b, ev.Name)
+	if ev.Cat != "" {
+		b = append(b, `,"cat":`...)
+		b = appendString(b, ev.Cat)
+	}
+	b = append(b, `,"ph":"`...)
+	b = append(b, ev.Phase)
+	b = append(b, `","pid":`...)
+	b = strconv.AppendInt(b, int64(ev.PID), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(ev.TID), 10)
+	b = append(b, `,"ts":`...)
+	b = appendFloat(b, usOf(ev.TS, ev.ClockMHz))
+	if ev.Phase == PhaseSpan {
+		b = append(b, `,"dur":`...)
+		b = appendFloat(b, usOf(ev.Dur, ev.ClockMHz))
+	}
+	if ev.Phase == PhaseInstant {
+		b = append(b, `,"s":"t"`...) // thread-scoped instant
+	}
+	if ev.NArgs > 0 {
+		b = append(b, `,"args":{`...)
+		for i := 0; i < ev.NArgs; i++ {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			a := &ev.Args[i]
+			b = appendString(b, a.Key)
+			b = append(b, ':')
+			if a.Str != "" {
+				b = appendString(b, a.Str)
+			} else {
+				b = strconv.AppendInt(b, a.Int, 10)
+			}
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	return b
+}
+
+// appendMeta renders one metadata ('M') event naming a process or lane.
+func appendMeta(b []byte, kind string, pid, tid int, name string) []byte {
+	b = append(b, `{"name":`...)
+	b = appendString(b, kind)
+	b = append(b, `,"ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{"name":`...)
+	b = appendString(b, name)
+	b = append(b, `}}`...)
+	return b
+}
+
+// ChromeJSON renders the collected trace as a Chrome trace-event JSON
+// document: metadata first (process and lane names in PID/TID order), then
+// the events stable-sorted by (PID, TID, TS) so timestamps are monotonic
+// within every lane.
+func (t *Trace) ChromeJSON() []byte {
+	evs := t.sortedEvents()
+
+	t.mu.Lock()
+	pids := make([]int, 0, len(t.processes))
+	for pid := range t.processes {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	keys := make([]laneKey, 0, len(t.lanes))
+	for k := range t.lanes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].tid < keys[j].tid
+	})
+	procNames := make(map[int]string, len(t.processes))
+	for pid, name := range t.processes {
+		procNames[pid] = name
+	}
+	laneNames := make(map[laneKey]string, len(t.lanes))
+	for k, name := range t.lanes {
+		laneNames[k] = name
+	}
+	t.mu.Unlock()
+
+	var b []byte
+	b = append(b, `{"traceEvents":[`...)
+	first := true
+	sep := func() {
+		if !first {
+			b = append(b, ",\n"...)
+		}
+		first = false
+	}
+	for _, pid := range pids {
+		sep()
+		b = appendMeta(b, "process_name", pid, 0, procNames[pid])
+		// process_sort_index keeps the lane groups in PID order in the UI.
+		sep()
+		b = append(b, `{"name":"process_sort_index","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"tid":0,"args":{"sort_index":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `}}`...)
+	}
+	for _, k := range keys {
+		sep()
+		b = appendMeta(b, "thread_name", k.pid, k.tid, laneNames[k])
+	}
+	for i := range evs {
+		sep()
+		b = appendEvent(b, &evs[i])
+	}
+	b = append(b, "],\n"...)
+	b = append(b, `"displayTimeUnit":"ns"}`...)
+	b = append(b, '\n')
+	return b
+}
+
+// WriteChrome writes the Chrome trace-event JSON document to w.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	_, err := w.Write(t.ChromeJSON())
+	return err
+}
+
+// WriteChromeFile writes the trace to the named file.
+func (t *Trace) WriteChromeFile(path string) error {
+	return os.WriteFile(path, t.ChromeJSON(), 0o644)
+}
+
+// chromeEvent is the decoded shape ValidateChrome checks against.
+type chromeEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	PID  *int     `json:"pid"`
+	TID  *int     `json:"tid"`
+	TS   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+}
+
+// ValidateChrome checks that data is a well-formed Chrome trace-event JSON
+// document whose events are loadable by Perfetto: every event has a name,
+// a known phase, pid/tid/ts fields, spans carry a non-negative duration,
+// and timestamps are monotonically non-decreasing within every (pid, tid)
+// lane. It returns the number of non-metadata events.
+func ValidateChrome(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("telemetry: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("telemetry: trace carries no traceEvents array")
+	}
+	lastTS := make(map[laneKey]float64)
+	n := 0
+	for i, raw := range doc.TraceEvents {
+		var ev chromeEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return 0, fmt.Errorf("telemetry: event %d undecodable: %w", i, err)
+		}
+		if ev.Ph == "M" {
+			continue // metadata: no timestamp semantics
+		}
+		switch {
+		case ev.Name == "":
+			return 0, fmt.Errorf("telemetry: event %d has no name", i)
+		case ev.Ph != "X" && ev.Ph != "i" && ev.Ph != "C" && ev.Ph != "B" && ev.Ph != "E":
+			return 0, fmt.Errorf("telemetry: event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		case ev.PID == nil || ev.TID == nil:
+			return 0, fmt.Errorf("telemetry: event %d (%s) lacks pid/tid", i, ev.Name)
+		case ev.TS == nil:
+			return 0, fmt.Errorf("telemetry: event %d (%s) lacks ts", i, ev.Name)
+		case *ev.TS < 0:
+			return 0, fmt.Errorf("telemetry: event %d (%s) has negative ts %v", i, ev.Name, *ev.TS)
+		case ev.Ph == "X" && ev.Dur == nil:
+			return 0, fmt.Errorf("telemetry: span %d (%s) lacks dur", i, ev.Name)
+		case ev.Ph == "X" && *ev.Dur < 0:
+			return 0, fmt.Errorf("telemetry: span %d (%s) has negative dur %v", i, ev.Name, *ev.Dur)
+		}
+		k := laneKey{*ev.PID, *ev.TID}
+		if prev, ok := lastTS[k]; ok && *ev.TS < prev {
+			return 0, fmt.Errorf("telemetry: event %d (%s) breaks lane %d/%d monotonicity: ts %v after %v",
+				i, ev.Name, k.pid, k.tid, *ev.TS, prev)
+		}
+		lastTS[k] = *ev.TS
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,83 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
+	"fafnir/internal/memmap"
+	"fafnir/internal/telemetry"
+	"fafnir/internal/tensor"
+)
+
+// goldenTrace runs the fixed small workload the snapshot pins: one hardware
+// batch of 4 queries on the default 31-PE tree, traced end to end (engine,
+// PEs, DRAM banks).
+func goldenTrace(t *testing.T) *telemetry.Trace {
+	t.Helper()
+	cfg := core.Default() // VectorDim 128 matches the DDR4 512 B interleave
+	cfg.BatchCapacity = 4
+	cfg.Parallelism = 1
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := dram.DDR4()
+	layout := memmap.Uniform(mcfg, cfg.VectorBytes(), 32, 64)
+	store := embedding.MustStore(layout.TotalRows(), cfg.VectorDim, 11)
+	mem := dram.MustSystem(mcfg)
+
+	tr := telemetry.NewTrace()
+	e.AttachTracer(tr)
+	mem.AttachTracer(tr)
+
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: 4, QuerySize: 6, Rows: layout.TotalRows(),
+		Dist: embedding.Zipf, ZipfS: 1.3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.TimedLookup(store, layout, mem, gen.Batch(tensor.OpSum), true); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestGoldenChromeTrace pins the exported byte stream of a small traced
+// lookup against testdata/small_lookup.trace.json. The snapshot guards both
+// the emitters (event names, lanes, cycle placement) and the exporter (field
+// order, float formatting). Regenerate after an intentional change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/telemetry -run TestGoldenChromeTrace
+func TestGoldenChromeTrace(t *testing.T) {
+	got := goldenTrace(t).ChromeJSON()
+	path := filepath.Join("testdata", "small_lookup.trace.json")
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace diverges from golden %s (got %d bytes, want %d); regenerate with UPDATE_GOLDEN=1 if intentional",
+			path, len(got), len(want))
+	}
+	if n, err := telemetry.ValidateChrome(want); err != nil || n == 0 {
+		t.Fatalf("golden trace invalid: %d events, %v", n, err)
+	}
+}

@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the unified metrics registry: typed counters, gauges, and
+// histograms that engines and the serving layer publish into, rendered in
+// the Prometheus text exposition format. The hot path (Add/Set/Observe) is
+// lock-free — plain atomics, no maps, no label parsing — because label sets
+// are fixed at registration time. The registry mutex guards registration and
+// the render walk only.
+//
+// Rendering is byte-compatible with the hand-rolled renderer it replaced
+// (internal/serve/metrics.go before PR 5): families appear in registration
+// order, floats format with strconv 'g', histograms emit cumulative buckets
+// with an explicit +Inf bound followed by _sum and _count.
+
+// Counter is a monotone atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous integer value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat accumulates a float64 with compare-and-swap.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket Prometheus histogram.
+type Histogram struct {
+	bounds []float64 // upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count reports the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum reports the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns the raw (non-cumulative) per-bucket counts; the last
+// element is the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// CounterVec is a counter family with one label dimension whose values are
+// fixed at registration, keeping With lookups allocation-free and the
+// render order stable.
+type CounterVec struct {
+	name, help, label string
+	values            []string
+	counters          []*Counter
+}
+
+// With returns the counter for the given label value. Unknown values return
+// a detached counter (never rendered) rather than panicking, so a miscounted
+// label cannot take down a serving path.
+func (v *CounterVec) With(value string) *Counter {
+	for i, val := range v.values {
+		if val == value {
+			return v.counters[i]
+		}
+	}
+	return &Counter{}
+}
+
+// At returns the counter at the registration index of its label value;
+// callers with dense label enums index directly instead of string-matching.
+func (v *CounterVec) At(i int) *Counter { return v.counters[i] }
+
+// renderable is one registered family.
+type renderable interface {
+	famName() string
+	render(w io.Writer)
+}
+
+// Registry holds metric families and renders them in registration order.
+type Registry struct {
+	mu   sync.Mutex
+	fams []renderable
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// register appends a family, rejecting duplicate names loudly: duplicate
+// registration is a wiring bug reachable only from static setup code, so it
+// panics like sim.Schedule's causality check rather than limping along with
+// an invalid exposition.
+func (r *Registry) register(f renderable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range r.fams {
+		if g.famName() == f.famName() {
+			panic(fmt.Sprintf("telemetry: metric %q registered twice", f.famName()))
+		}
+	}
+	r.fams = append(r.fams, f)
+}
+
+// Counter registers and returns a counter family.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&counterFam{name: name, help: help, c: c})
+	return c
+}
+
+// CounterVec registers a labelled counter family with the given fixed label
+// values, rendered one line per value in the given order.
+func (r *Registry) CounterVec(name, help, label string, values ...string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label, values: values}
+	v.counters = make([]*Counter, len(values))
+	for i := range values {
+		v.counters[i] = &Counter{}
+	}
+	r.register(v)
+	return v
+}
+
+// Gauge registers and returns an integer gauge family.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&gaugeFam{name: name, help: help, g: g})
+	return g
+}
+
+// GaugeFunc registers a computed gauge: fn is evaluated at render time and
+// must be safe to call concurrently with the hot path.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&gaugeFuncFam{name: name, help: help, fn: fn})
+}
+
+// Histogram registers and returns a histogram family over the bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(&histogramFam{name: name, help: help, h: h})
+	return h
+}
+
+// Render writes every family in Prometheus text exposition format, in
+// registration order.
+func (r *Registry) Render(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]renderable, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.render(w)
+	}
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+type counterFam struct {
+	name, help string
+	c          *Counter
+}
+
+func (f *counterFam) famName() string { return f.name }
+func (f *counterFam) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", f.name, f.help, f.name, f.name, f.c.Value())
+}
+
+func (v *CounterVec) famName() string { return v.name }
+func (v *CounterVec) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.name, v.help, v.name)
+	for i, val := range v.values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, v.counters[i].Value())
+	}
+}
+
+type gaugeFam struct {
+	name, help string
+	g          *Gauge
+}
+
+func (f *gaugeFam) famName() string { return f.name }
+func (f *gaugeFam) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		f.name, f.help, f.name, f.name, strconv.FormatInt(f.g.Value(), 10))
+}
+
+type gaugeFuncFam struct {
+	name, help string
+	fn         func() float64
+}
+
+func (f *gaugeFuncFam) famName() string { return f.name }
+func (f *gaugeFuncFam) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		f.name, f.help, f.name, f.name, fmtFloat(f.fn()))
+}
+
+type histogramFam struct {
+	name, help string
+	h          *Histogram
+}
+
+func (f *histogramFam) famName() string { return f.name }
+func (f *histogramFam) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", f.name, f.help, f.name)
+	var cum uint64
+	for i, b := range f.h.bounds {
+		cum += f.h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, fmtFloat(b), cum)
+	}
+	cum += f.h.counts[len(f.h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", f.name, fmtFloat(f.h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", f.name, f.h.Count())
+}

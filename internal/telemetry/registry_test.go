@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRenderOrderAndFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_total", "Things done.")
+	v := r.CounterVec("app_outcomes_total", "By outcome.", "outcome", "ok", "error")
+	g := r.Gauge("app_depth", "Queue depth.")
+	r.GaugeFunc("app_ratio", "A computed ratio.", func() float64 { return 2.5 })
+	h := r.Histogram("app_seconds", "Latency.", []float64{0.1, 1})
+
+	c.Add(3)
+	v.With("ok").Add(2)
+	v.With("error").Add(1)
+	g.Set(-4)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(7)
+
+	var sb strings.Builder
+	r.Render(&sb)
+	want := `# HELP app_total Things done.
+# TYPE app_total counter
+app_total 3
+# HELP app_outcomes_total By outcome.
+# TYPE app_outcomes_total counter
+app_outcomes_total{outcome="ok"} 2
+app_outcomes_total{outcome="error"} 1
+# HELP app_depth Queue depth.
+# TYPE app_depth gauge
+app_depth -4
+# HELP app_ratio A computed ratio.
+# TYPE app_ratio gauge
+app_ratio 2.5
+# HELP app_seconds Latency.
+# TYPE app_seconds histogram
+app_seconds_bucket{le="0.1"} 1
+app_seconds_bucket{le="1"} 2
+app_seconds_bucket{le="+Inf"} 3
+app_seconds_sum 7.55
+app_seconds_count 3
+`
+	if sb.String() != want {
+		t.Fatalf("render mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "First.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "Second.")
+}
+
+func TestCounterVecUnknownLabelDetached(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("v_total", "h", "k", "a")
+	v.With("nope").Add(100)
+	if v.With("a").Value() != 0 || v.At(0).Value() != 0 {
+		t.Fatal("unknown label leaked into a registered counter")
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if strings.Contains(sb.String(), "100") {
+		t.Fatalf("detached counter rendered:\n%s", sb.String())
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive, Prometheus semantics
+	h.Observe(2)
+	got := h.BucketCounts()
+	if got[0] != 1 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("BucketCounts = %v, want [1 1 0]", got)
+	}
+}
+
+func TestRegistryConcurrentHotPath(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "h")
+	h := r.Histogram("hot_seconds", "h", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || h.Sum() != 4000 {
+		t.Fatalf("lost updates: counter %d, count %d, sum %v", c.Value(), h.Count(), h.Sum())
+	}
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func span(pid, tid int, ts, dur uint64) Event {
+	return Event{Name: "work", Cat: "test", Phase: PhaseSpan, PID: pid, TID: tid, TS: ts, Dur: dur, ClockMHz: 1}
+}
+
+func TestTraceCollects(t *testing.T) {
+	tr := NewTrace()
+	if tr.Len() != 0 {
+		t.Fatal("fresh trace not empty")
+	}
+	tr.Emit(span(1, 0, 10, 5))
+	tr.Emit(span(1, 0, 20, 5))
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].TS != 10 || evs[1].TS != 20 {
+		t.Fatalf("Events() = %+v", evs)
+	}
+	// Events returns a copy: mutating it must not reach the collector.
+	evs[0].TS = 999
+	if tr.Events()[0].TS != 10 {
+		t.Fatal("Events() aliases internal storage")
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset left events behind")
+	}
+}
+
+func TestAddArgCapsAtFixedCapacity(t *testing.T) {
+	var ev Event
+	for i := 0; i < maxArgs+3; i++ {
+		ev.AddArg(Arg{Key: "k", Int: int64(i)})
+	}
+	if ev.NArgs != maxArgs {
+		t.Fatalf("NArgs = %d, want cap %d", ev.NArgs, maxArgs)
+	}
+}
+
+func TestChromeJSONDeterministicAndSorted(t *testing.T) {
+	build := func() *Trace {
+		tr := NewTrace()
+		tr.NameProcess(2, "beta")
+		tr.NameProcess(1, "alpha")
+		tr.NameLane(1, 1, "lane-b")
+		tr.NameLane(1, 0, "lane-a")
+		// Emit out of lane order: the exporter must sort by (pid, tid, ts).
+		tr.Emit(span(2, 0, 5, 1))
+		tr.Emit(span(1, 1, 30, 2))
+		tr.Emit(span(1, 0, 20, 2))
+		tr.Emit(span(1, 0, 10, 2))
+		return tr
+	}
+	a, b := build().ChromeJSON(), build().ChromeJSON()
+	if !bytes.Equal(a, b) {
+		t.Fatal("ChromeJSON is not deterministic for identical traces")
+	}
+	n, err := ValidateChrome(a)
+	if err != nil {
+		t.Fatalf("exporter emits invalid trace: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("validated %d events, want 4", n)
+	}
+	out := string(a)
+	if !strings.Contains(out, `"args":{"name":"alpha"}`) || !strings.Contains(out, `"args":{"name":"lane-b"}`) {
+		t.Fatalf("metadata names missing:\n%s", out)
+	}
+	// pid 1 lane 0 events must appear in ts order even though emitted reversed.
+	i10 := strings.Index(out, `"ts":10`)
+	i20 := strings.Index(out, `"ts":20`)
+	if i10 < 0 || i20 < 0 || i10 > i20 {
+		t.Fatalf("lane events not ts-sorted:\n%s", out)
+	}
+}
+
+func TestChromeJSONClockConversion(t *testing.T) {
+	tr := NewTrace()
+	// 400 cycles at 200 MHz = 2 µs; dur 100 cycles = 0.5 µs.
+	tr.Emit(Event{Name: "pe", Phase: PhaseSpan, PID: 1, TS: 400, Dur: 100, ClockMHz: 200})
+	// ClockMHz 0 means TS already in µs.
+	tr.Emit(Event{Name: "raw", Phase: PhaseInstant, PID: 1, TS: 7})
+	out := string(tr.ChromeJSON())
+	for _, want := range []string{`"ts":2,"dur":0.5`, `"ts":7`, `"s":"t"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeJSONArgs(t *testing.T) {
+	tr := NewTrace()
+	ev := span(1, 0, 0, 1)
+	ev.AddArg(Arg{Key: "outcome", Str: "hit"})
+	ev.AddArg(Arg{Key: "row", Int: 42})
+	tr.Emit(ev)
+	out := string(tr.ChromeJSON())
+	if !strings.Contains(out, `"args":{"outcome":"hit","row":42}`) {
+		t.Fatalf("args mis-rendered:\n%s", out)
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"not json", `{`, "not valid JSON"},
+		{"no traceEvents", `{"other":1}`, "no traceEvents"},
+		{"unnamed", `{"traceEvents":[{"ph":"X","pid":1,"tid":0,"ts":0,"dur":1}]}`, "no name"},
+		{"bad phase", `{"traceEvents":[{"name":"e","ph":"Z","pid":1,"tid":0,"ts":0}]}`, "unknown phase"},
+		{"missing pid", `{"traceEvents":[{"name":"e","ph":"i","ts":0}]}`, "lacks pid"},
+		{"missing ts", `{"traceEvents":[{"name":"e","ph":"i","pid":1,"tid":0}]}`, "lacks ts"},
+		{"negative ts", `{"traceEvents":[{"name":"e","ph":"i","pid":1,"tid":0,"ts":-1}]}`, "negative ts"},
+		{"span without dur", `{"traceEvents":[{"name":"e","ph":"X","pid":1,"tid":0,"ts":0}]}`, "lacks dur"},
+		{"negative dur", `{"traceEvents":[{"name":"e","ph":"X","pid":1,"tid":0,"ts":0,"dur":-2}]}`, "negative dur"},
+		{"lane regression", `{"traceEvents":[
+			{"name":"a","ph":"i","pid":1,"tid":0,"ts":5},
+			{"name":"b","ph":"i","pid":1,"tid":0,"ts":3}]}`, "monotonicity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ValidateChrome([]byte(tc.doc)); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ValidateChrome = %v, want error naming %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateChromeAccepts(t *testing.T) {
+	doc := `{"traceEvents":[
+		{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"p"}},
+		{"name":"a","ph":"i","pid":1,"tid":0,"ts":5},
+		{"name":"b","ph":"i","pid":1,"tid":1,"ts":1},
+		{"name":"c","ph":"X","pid":1,"tid":0,"ts":5,"dur":0}]}`
+	n, err := ValidateChrome([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("counted %d events, want 3 (metadata excluded)", n)
+	}
+}

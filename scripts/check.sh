@@ -18,10 +18,16 @@
 #                      in -run mode (no fuzzing; deterministic and fast)
 #   8. coverage      — every internal/ package must keep statement coverage
 #                      at or above the floor (80%)
-#   9. server smoke  — build fafnir-serve and fafnir-loadgen, boot the
+#   9. telemetry     — run fafnir-sim with -trace-out and validate the
+#                      emitted Chrome trace with fafnir-trace validate
+#                      (well-formed JSON, known phases, monotonic timestamps
+#                      per lane)
+#  10. server smoke  — build fafnir-serve and fafnir-loadgen, boot the
 #                      service on a free port, fire a concurrent burst,
-#                      scrape /metrics, then SIGTERM and require a clean
-#                      drain (exit 0 with in-flight work finished)
+#                      scrape /metrics (including the registry's telemetry
+#                      families and sub-millisecond latency buckets), then
+#                      SIGTERM and require a clean drain (exit 0 with
+#                      in-flight work finished)
 #
 # Long-running fuzzing is opt-in, not part of the gate:
 #
@@ -82,9 +88,18 @@ END {
     exit n > 0
 }'
 
-echo "==> server smoke: boot fafnir-serve, drive it, drain it"
+echo "==> telemetry: traced fafnir-sim run validates as Chrome trace JSON"
 SMOKE=$(mktemp -d)
 trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
+go build -o "$SMOKE/fafnir-sim" ./cmd/fafnir-sim
+go build -o "$SMOKE/fafnir-trace" ./cmd/fafnir-trace
+"$SMOKE/fafnir-sim" -mode lookup -engine fafnir -batch 8 -q 8 -rows 4096 \
+    -trace-out "$SMOKE/run-trace.json" > "$SMOKE/sim.log" 2>&1 \
+    || { cat "$SMOKE/sim.log"; echo "telemetry: traced sim run failed"; exit 1; }
+"$SMOKE/fafnir-trace" validate "$SMOKE/run-trace.json" \
+    || { echo "telemetry: emitted trace failed validation"; exit 1; }
+
+echo "==> server smoke: boot fafnir-serve, drive it, drain it"
 go build -o "$SMOKE/fafnir-serve" ./cmd/fafnir-serve
 go build -o "$SMOKE/fafnir-loadgen" ./cmd/fafnir-loadgen
 
@@ -110,6 +125,14 @@ done
     || { cat "$SMOKE/loadgen.log"; echo "smoke: loadgen failed"; exit 1; }
 grep -q '^fafnir_serve_queries_total [1-9]' "$SMOKE/loadgen.log" \
     || { cat "$SMOKE/loadgen.log"; echo "smoke: /metrics missing served queries"; exit 1; }
+# The registry-backed families PR 5 added: memory-system counters folded from
+# the backend, and latency buckets that resolve sub-millisecond lookups.
+grep -q '^fafnir_serve_row_misses_total ' "$SMOKE/loadgen.log" \
+    || { cat "$SMOKE/loadgen.log"; echo "smoke: /metrics missing telemetry registry families"; exit 1; }
+grep -q '^fafnir_serve_pe_reduces_total ' "$SMOKE/loadgen.log" \
+    || { cat "$SMOKE/loadgen.log"; echo "smoke: /metrics missing PE action counters"; exit 1; }
+grep -q 'fafnir_serve_request_seconds_bucket{le="2.5e-05"}' "$SMOKE/loadgen.log" \
+    || { cat "$SMOKE/loadgen.log"; echo "smoke: latency histogram lacks sub-millisecond buckets"; exit 1; }
 
 kill -TERM "$SERVE_PID"
 SMOKE_RC=0
