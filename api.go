@@ -27,6 +27,7 @@ import (
 	"fafnir/internal/fault"
 	"fafnir/internal/header"
 	"fafnir/internal/memmap"
+	"fafnir/internal/router"
 	"fafnir/internal/serve"
 	"fafnir/internal/sim"
 	"fafnir/internal/sparse"
@@ -464,4 +465,66 @@ func NewServer(sys *System, cfg ServeConfig) (*Server, error) {
 		cfg.BatchCapacity = sys.cfg.BatchCapacity
 	}
 	return serve.New(sys, cfg)
+}
+
+// Fault-tolerant sharded serving (internal/router), re-exported: a fleet
+// front-end that owns N independent System shards, scatters each batch's
+// indices to their owning shards, and reduces the partial pools host-side.
+// Shard health is tracked by a per-shard three-state breaker fed by
+// structured sub-lookup errors; dark shards fail over to the peer holding
+// their replica rows, and when both copies are unreachable the batch
+// degrades gracefully — partial outputs plus a DegradedReport — instead of
+// failing.
+type (
+	// FleetConfig parameterizes a sharded fleet (shard count, replica
+	// placement, breaker thresholds, probe backoff, retry deadline).
+	FleetConfig = router.Config
+	// Fleet is the shard router; it implements the same Lookup surface as
+	// System, so NewFleetServer serves it over HTTP unchanged.
+	Fleet = router.Fleet
+	// ShardState is one shard's breaker health: healthy, suspect, or dark.
+	ShardState = router.State
+	// FleetFaultPlan schedules fleet-level faults: whole-shard loss,
+	// flapping shards, and correlated rank storms, plus a per-shard base
+	// FaultPlan. The zero value injects nothing.
+	FleetFaultPlan = fault.FleetPlan
+	// ShardFailure schedules one shard going permanently dark.
+	ShardFailure = fault.ShardFailure
+	// ShardFlap schedules one shard dropping out and coming back.
+	ShardFlap = fault.ShardFlap
+	// ShardDegradedReport is one shard's entry in a fleet-level
+	// DegradedReport (DegradedReport.Shards).
+	ShardDegradedReport = core.ShardDegraded
+)
+
+// The breaker states, re-exported for health introspection (Fleet.Health).
+const (
+	ShardHealthy = router.Healthy
+	ShardSuspect = router.Suspect
+	ShardDark    = router.Dark
+)
+
+// ErrShardDown reports a sub-lookup dispatched to a shard the fleet fault
+// plan had taken down, or one skipped because its breaker is dark; match
+// with errors.Is.
+var ErrShardDown = fault.ErrShardDown
+
+// NewFleet builds a sharded fleet; the zero config selects a 4-shard fleet
+// with 8 ranks per shard and the paper's batch capacity.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return router.New(cfg) }
+
+// ParseFleetFaultPlan builds a FleetFaultPlan from the compact spec format
+// of fafnir-serve's -fault-storm flag, e.g.
+// "shard=1@40000;flap=2@1-300000;storm=6@20000;ecc=0.001;seed=7".
+func ParseFleetFaultPlan(spec string) (FleetFaultPlan, error) { return fault.ParseFleet(spec) }
+
+// NewFleetServer builds the online serving front-end over a sharded fleet:
+// the same HTTP surface as NewServer, with degraded results surfaced in
+// lookup responses and the router's shard-health metric families registered
+// onto /metrics.
+func NewFleetServer(f *Fleet, cfg ServeConfig) (*Server, error) {
+	if cfg.BatchCapacity == 0 {
+		cfg.BatchCapacity = f.Config().BatchCapacity
+	}
+	return serve.New(f, cfg)
 }

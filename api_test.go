@@ -214,6 +214,85 @@ func TestLookupWithFaultPlan(t *testing.T) {
 	}
 }
 
+func TestFleetFacade(t *testing.T) {
+	f, err := NewFleet(FleetConfig{Rows: 4096, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Shards() != 4 {
+		t.Fatalf("Shards = %d, want the default 4", f.Shards())
+	}
+	b, err := f.GenerateBatch(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Lookup(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 8 || res.TotalCycles == 0 {
+		t.Fatalf("implausible fleet result %+v", res)
+	}
+	if !res.Degraded.Empty() {
+		t.Fatalf("clean fleet lookup reports degradation: %+v", res.Degraded)
+	}
+	for s := 0; s < f.Shards(); s++ {
+		if st := f.Health(s); st != ShardHealthy {
+			t.Fatalf("shard %d health %v after a clean run, want healthy", s, st)
+		}
+	}
+}
+
+func TestFleetFacadeDegrades(t *testing.T) {
+	plan, err := ParseFleetFaultPlan("shard=1@0;seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.ShardFailures) != 1 || plan.ShardFailures[0] != (ShardFailure{Shard: 1, At: 0}) {
+		t.Fatalf("parsed plan %+v, want shard 1 down at 0", plan)
+	}
+	f, err := NewFleet(FleetConfig{Rows: 4096, Parallelism: 1, Fleet: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.GenerateBatch(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Lookup(b)
+	if err != nil {
+		t.Fatalf("shard loss must degrade, not fail: %v", err)
+	}
+	if res.Degraded.Empty() || len(res.Degraded.Shards) == 0 {
+		t.Fatalf("lookup through a dead shard reports no degradation: %+v", res.Degraded)
+	}
+	var entry *ShardDegradedReport
+	for i := range res.Degraded.Shards {
+		if res.Degraded.Shards[i].Shard == 1 {
+			entry = &res.Degraded.Shards[i]
+		}
+	}
+	if entry == nil || !entry.FailedOver {
+		t.Fatalf("shard 1 did not fail over to its replica: %+v", res.Degraded.Shards)
+	}
+}
+
+func TestFleetServerFacade(t *testing.T) {
+	f, err := NewFleet(FleetConfig{Rows: 4096, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewFleetServer(f, ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	srv.Metrics().Render(&sb)
+	if !strings.Contains(sb.String(), "fafnir_router_shard_state") {
+		t.Fatal("fleet server /metrics missing the router's shard-health family")
+	}
+}
+
 func TestSystemConfigValidation(t *testing.T) {
 	cases := []struct {
 		name string

@@ -41,6 +41,12 @@ type lookupRequest struct {
 type outcome struct {
 	status  int
 	latency time.Duration
+	// degraded marks a 200 whose body carried a degraded report (the batch
+	// absorbed faults; outputs may be partial).
+	degraded bool
+	// retries is how many 503 rejections this request retried through before
+	// its terminal status.
+	retries int
 }
 
 func main() {
@@ -63,6 +69,8 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		op       = flag.String("op", "sum", "pooling op: sum|min|max|mean")
 		timeout  = flag.Int("timeout-ms", 0, "per-request timeout_ms field (0 = server default)")
+		retries  = flag.Int("retries", 0, "max retries per request after a 503, honoring its Retry-After")
+		retryU   = flag.Duration("retry-unit", time.Second, "how long one Retry-After second sleeps (compress for tests)")
 		dump     = flag.Bool("dump-metrics", false, "print the raw /metrics body after the run")
 	)
 	flag.Parse()
@@ -89,12 +97,22 @@ func run() error {
 
 	fire := func(rng *rand.Rand, z *rand.Zipf) {
 		start := time.Now()
-		status, err := post(client, *url, body(rng, z, *q, *rows, *op, *timeout))
-		if err != nil {
-			record(outcome{status: -1, latency: time.Since(start)})
+		payload := body(rng, z, *q, *rows, *op, *timeout)
+		var retried int
+		for {
+			status, degraded, retryAfter, err := post(client, *url, payload)
+			if err != nil {
+				record(outcome{status: -1, latency: time.Since(start), retries: retried})
+				return
+			}
+			if status == http.StatusServiceUnavailable && retried < *retries {
+				retried++
+				time.Sleep(time.Duration(retryAfter) * *retryU)
+				continue
+			}
+			record(outcome{status: status, latency: time.Since(start), degraded: degraded, retries: retried})
 			return
 		}
-		record(outcome{status: status, latency: time.Since(start)})
 	}
 
 	begin := time.Now()
@@ -176,23 +194,43 @@ func body(rng *rand.Rand, z *rand.Zipf, q int, rows uint64, op string, timeoutMS
 	return b
 }
 
-func post(client *http.Client, base string, payload []byte) (int, error) {
+// post issues one lookup and reports (status, degraded, retryAfterSeconds).
+// A 200 body is scanned for the degraded report; a 503's Retry-After header
+// is parsed for the backoff hint (1 when absent or unparsable).
+func post(client *http.Client, base string, payload []byte) (int, bool, int, error) {
 	resp, err := client.Post(base+"/v1/lookup", "application/json", bytes.NewReader(payload))
 	if err != nil {
-		return 0, err
+		return 0, false, 0, err
 	}
 	defer resp.Body.Close()
+	retryAfter := 1
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			retryAfter = v
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, false, retryAfter, nil
+	}
+	var wire struct {
+		Degraded json.RawMessage `json:"degraded"`
+	}
+	degraded := json.NewDecoder(resp.Body).Decode(&wire) == nil && len(wire.Degraded) > 0
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, degraded, retryAfter, nil
 }
 
 func report(outcomes []outcome, elapsed time.Duration, qps float64) {
-	var ok, overload, deadline, errs int
+	var ok, degraded, overload, deadline, errs, retried, retries int
 	lat := make([]time.Duration, 0, len(outcomes))
 	for _, o := range outcomes {
 		switch {
 		case o.status == http.StatusOK:
 			ok++
+			if o.degraded {
+				degraded++
+			}
 			lat = append(lat, o.latency)
 		case o.status == http.StatusServiceUnavailable:
 			overload++
@@ -201,9 +239,17 @@ func report(outcomes []outcome, elapsed time.Duration, qps float64) {
 		default:
 			errs++
 		}
+		if o.retries > 0 {
+			retried++
+			retries += o.retries
+		}
 	}
 	fmt.Printf("sent %d in %v: %d ok, %d overload (503), %d deadline (504), %d other\n",
 		len(outcomes), elapsed.Round(time.Millisecond), ok, overload, deadline, errs)
+	if degraded > 0 || retried > 0 {
+		fmt.Printf("robustness: %d degraded (200 with partial or failed-over results), %d requests retried %d 503s\n",
+			degraded, retried, retries)
+	}
 	if qps > 0 {
 		fmt.Printf("offered %.0f qps, achieved %.0f qps\n", qps, float64(ok)/elapsed.Seconds())
 	} else {
@@ -241,6 +287,10 @@ func scrape(client *http.Client, base string, dump bool) error {
 		fmt.Printf("server: %.0f queries in %.0f batches (coalesce factor %.2f), %.2f reads/query (naive %.2f, saved %.0f%%)\n",
 			queries, batches, queries/batches, reads/queries, naive/queries,
 			100*(1-reads/naive))
+	}
+	if d := vals["fafnir_serve_degraded_total"]; d > 0 {
+		fmt.Printf("server: %.0f degraded responses from %.0f degraded batches\n",
+			d, vals["fafnir_serve_degraded_batches_total"])
 	}
 	if dump {
 		os.Stdout.Write(raw)

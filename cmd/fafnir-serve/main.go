@@ -8,6 +8,8 @@
 //	fafnir-serve -addr :8080 -linger 500us
 //	fafnir-serve -addr 127.0.0.1:0 -batch 32 -queue 512 -rows 4096
 //	fafnir-serve -faults "rank=3@0;ecc=0.0005;seed=9"
+//	fafnir-serve -shards 4                                    # fault-tolerant fleet router
+//	fafnir-serve -shards 4 -fault-storm "shard=1@40000;seed=7"
 //	fafnir-serve -debug-addr 127.0.0.1:6060   # adds /debug/pprof and /debug/vars
 //
 // Endpoints:
@@ -56,34 +58,79 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "table-content seed")
 		par       = flag.Int("j", 0, "simulator parallelism (0 = all cores)")
 		faults    = flag.String("faults", "", `fault plan, e.g. "rank=3@0;ecc=0.001;seed=9"`)
+		shards    = flag.Int("shards", 1, "shard count; >1 serves through the fault-tolerant fleet router")
+		storm     = flag.String("fault-storm", "", `fleet fault plan, e.g. "shard=1@40000;flap=2@1-300000;storm=6@20000;seed=7" (implies the fleet router)`)
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
 		debugAddr = flag.String("debug-addr", "", "optional debug listener serving /debug/pprof and /debug/vars (off when empty)")
 	)
 	flag.Parse()
 
-	plan, err := fafnir.ParseFaultPlan(*faults)
-	if err != nil {
-		return err
-	}
-	sys, err := fafnir.NewSystem(fafnir.SystemConfig{
-		Ranks:         *ranks,
-		RowsPerTable:  *rows,
-		BatchCapacity: *batch,
-		Seed:          *seed,
-		Parallelism:   *par,
-		Faults:        plan,
-	})
-	if err != nil {
-		return err
-	}
-	srv, err := fafnir.NewServer(sys, fafnir.ServeConfig{
+	scfg := fafnir.ServeConfig{
 		BatchCapacity:  *batch,
 		Linger:         *linger,
 		MaxQueued:      *queue,
 		DefaultTimeout: *timeout,
-	})
-	if err != nil {
-		return err
+	}
+
+	var (
+		srv       *fafnir.Server
+		totalRows uint64
+		topology  string
+	)
+	if *shards > 1 || *storm != "" {
+		// Fleet mode: N shards behind the health-checked router. Per-shard
+		// rank/ecc clauses ride inside the fleet plan, so the single-system
+		// -faults flag is rejected to keep one source of truth.
+		if *faults != "" {
+			return fmt.Errorf("-faults is single-system only; in fleet mode put rank/ecc clauses in -fault-storm")
+		}
+		if *ranks%*shards != 0 {
+			return fmt.Errorf("-ranks %d not divisible by -shards %d", *ranks, *shards)
+		}
+		fplan, err := fafnir.ParseFleetFaultPlan(*storm)
+		if err != nil {
+			return err
+		}
+		fleet, err := fafnir.NewFleet(fafnir.FleetConfig{
+			Shards:        *shards,
+			RanksPerShard: *ranks / *shards,
+			BatchCapacity: *batch,
+			Rows:          uint64(*rows) * 32, // mirror the 32-table single-system index space
+			Seed:          *seed,
+			Parallelism:   *par,
+			Fleet:         fplan,
+		})
+		if err != nil {
+			return err
+		}
+		srv, err = fafnir.NewFleetServer(fleet, scfg)
+		if err != nil {
+			return err
+		}
+		totalRows = fleet.TotalRows()
+		topology = fmt.Sprintf("fleet: %d shards x %d ranks", *shards, *ranks / *shards)
+	} else {
+		plan, err := fafnir.ParseFaultPlan(*faults)
+		if err != nil {
+			return err
+		}
+		sys, err := fafnir.NewSystem(fafnir.SystemConfig{
+			Ranks:         *ranks,
+			RowsPerTable:  *rows,
+			BatchCapacity: *batch,
+			Seed:          *seed,
+			Parallelism:   *par,
+			Faults:        plan,
+		})
+		if err != nil {
+			return err
+		}
+		srv, err = fafnir.NewServer(sys, scfg)
+		if err != nil {
+			return err
+		}
+		totalRows = sys.TotalRows()
+		topology = fmt.Sprintf("system: %d ranks", *ranks)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -93,8 +140,8 @@ func run() error {
 	// The literal "listening on host:port" line is the startup handshake:
 	// scripts (check.sh's smoke gate) parse the chosen port from it.
 	fmt.Printf("listening on %s\n", ln.Addr())
-	fmt.Printf("system: %d vectors, batch capacity %d, linger %v, queue bound %d\n",
-		sys.TotalRows(), *batch, *linger, srv.Coalescer().Config().MaxQueued)
+	fmt.Printf("%s, %d vectors, batch capacity %d, linger %v, queue bound %d\n",
+		topology, totalRows, *batch, *linger, srv.Coalescer().Config().MaxQueued)
 
 	// The debug listener is a separate socket so profiling endpoints never
 	// share the service port: keep it bound to localhost or a firewalled

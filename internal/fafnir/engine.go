@@ -114,6 +114,48 @@ type DegradedReport struct {
 	// RetryCycles is the memory-clock time spent in backoff and re-reads,
 	// summed over all retried accesses.
 	RetryCycles sim.Cycle
+
+	// Fleet-level fields, filled by the shard router (internal/router) when
+	// a batch crossed a sharded deployment; empty for single-system runs.
+
+	// Shards carries one entry per shard whose sub-lookup needed robustness
+	// work (failover, probe recovery, or data loss), in shard order.
+	Shards []ShardDegraded
+	// LostQueries lists the batch-order query indices whose outputs are
+	// partial: at least one index's shard and its replica were both
+	// unreachable, so the pooled vector omits those contributions.
+	LostQueries []int
+}
+
+// ShardDegraded describes one shard's contribution to a fleet-level degraded
+// result: how its sub-lookup failed, whether the replica shard answered in
+// its place, and how much data the batch lost when it did not.
+type ShardDegraded struct {
+	// Shard is the fleet-level shard identifier.
+	Shard int
+	// State is the shard's breaker state after the batch: "healthy",
+	// "suspect", or "dark".
+	State string
+	// FailedOver reports that the replica shard served this shard's
+	// sub-lookup, so no data was lost.
+	FailedOver bool
+	// LostQueries and LostIndices count the queries and index reads dropped
+	// when neither the shard nor its replica could answer.
+	LostQueries int
+	LostIndices int
+	// FailedRanks lists the shard-local ranks dark by the end of its last
+	// successful sub-lookup.
+	FailedRanks []int
+	// Err is the structured error that triggered failover, rendered.
+	Err string
+}
+
+// Empty reports whether the report records no degradation work at all — a
+// fault plan was attached but nothing fired. The serving layer uses it to
+// flag only genuinely degraded responses.
+func (d *DegradedReport) Empty() bool {
+	return d == nil || (len(d.FailedRanks) == 0 && d.RemappedReads == 0 &&
+		d.Retries == 0 && len(d.Shards) == 0 && len(d.LostQueries) == 0)
 }
 
 // Seconds converts the total latency to seconds at the PE clock.

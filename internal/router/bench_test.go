@@ -1,0 +1,101 @@
+package router
+
+import (
+	"testing"
+
+	core "fafnir/internal/fafnir"
+	"fafnir/internal/fault"
+	"fafnir/internal/tensor"
+)
+
+// The router-overhead pair: the same workload through a direct single
+// System and through a 1-shard fleet. The fleet adds scatter bookkeeping,
+// one (empty) combine pass, and the breaker checks; BENCH_6.json tracks
+// that the wall-clock delta stays within noise.
+
+func benchBatchSize() int { return 32 }
+
+func BenchmarkDirectSystem(b *testing.B) {
+	f, err := New(Config{Shards: 1, RanksPerShard: 8, Rows: 1 << 17, Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Drive the shard's engine directly, bypassing the router: the same
+	// store, placement, and memory the 1-shard fleet uses.
+	batch, err := f.GenerateBatch(benchBatchSize(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch.Op = tensor.OpSum
+	sh := f.shards[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sh.engine.TimedLookupFaulted(f.store, sh.primary, sh.mem, batch, true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouterOverhead(b *testing.B) {
+	f, err := New(Config{Shards: 1, RanksPerShard: 8, Rows: 1 << 17, Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch, err := f.GenerateBatch(benchBatchSize(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch.Op = tensor.OpSum
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Lookup(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleetLookup4Shards(b *testing.B) {
+	f, err := New(Config{Shards: 4, RanksPerShard: 8, Rows: 1 << 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch, err := f.GenerateBatch(benchBatchSize(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch.Op = tensor.OpSum
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Lookup(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink *core.TimedResult
+
+func BenchmarkFleetFailover(b *testing.B) {
+	cfg := Config{Shards: 4, RanksPerShard: 8, Rows: 1 << 17, Parallelism: 1}
+	cfg.Fleet.ShardFailures = []fault.ShardFailure{{Shard: 1, At: 0}}
+	f, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch, err := f.GenerateBatch(benchBatchSize(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch.Op = tensor.OpSum
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := f.Lookup(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+	}
+}

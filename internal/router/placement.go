@@ -1,0 +1,88 @@
+package router
+
+import (
+	"fafnir/internal/dram"
+	"fafnir/internal/header"
+)
+
+// Index ownership: global index i belongs to shard i mod N and occupies
+// primary slot i div N on that shard, striped across the shard's ranks at
+// vector granularity — the same modulo sharding internal/scale uses, so a
+// fleet's read spread matches the single-tree paper layout per shard.
+//
+// Each shard's vector address space has three regions, all timed by the same
+// DRAM model (values always come from the content-seeded store, so regions
+// only steer addresses and ranks):
+//
+//	[0, P)           primary rows        slot = i/N
+//	[B, B+P')        in-shard replicas   rank-rotated copies of the shard's
+//	                                     own rows (dark-rank remap inside a
+//	                                     surviving shard)
+//	[2B, 2B+P')      peer replicas       copies of the replica peer's rows,
+//	                                     read only during shard failover
+//
+// where B is the primary row count rounded up to a full rank rotation, so
+// slot residues line up with ranks in every region (cf. memmap.Replica).
+
+// primaryView places shard-owned rows and implements the engine's
+// ReplicatedPlacement so single dark ranks degrade inside the shard before
+// any fleet-level failover is needed.
+type primaryView struct {
+	shards int    // fleet width N
+	ranks  int    // this shard's rank count
+	bytes  int    // vector size
+	slots  uint64 // primary rows on this shard
+}
+
+func (v primaryView) slot(idx header.Index) uint64 {
+	return uint64(idx) / uint64(v.shards)
+}
+
+func (v primaryView) Rank(idx header.Index) int {
+	return int(v.slot(idx) % uint64(v.ranks))
+}
+
+func (v primaryView) Addr(idx header.Index) dram.Addr {
+	return dram.Addr(v.slot(idx) * uint64(v.bytes))
+}
+
+func (v primaryView) VectorBytes() int { return v.bytes }
+
+// regionSlots is the rank-aligned size of one replica region.
+func (v primaryView) regionSlots() uint64 {
+	r := uint64(v.ranks)
+	return (v.slots + r - 1) / r * r
+}
+
+// Replica places the in-shard copy: the diagonally opposite rank, in the
+// reserved region past the primary rows (memmap.Replica lifted to shard-local
+// coordinates).
+func (v primaryView) Replica(idx header.Index) (int, dram.Addr, error) {
+	replica := (v.Rank(idx) + v.ranks/2) % v.ranks
+	group := v.slot(idx) / uint64(v.ranks) * uint64(v.ranks)
+	slot := v.regionSlots() + group + uint64(replica)
+	return replica, dram.Addr(slot * uint64(v.bytes)), nil
+}
+
+// replicaView places a peer shard's rows as stored on the hosting shard, for
+// failover reads. It deliberately does not implement ReplicatedPlacement: a
+// dark rank hit during failover surfaces as ErrRankFailed and the router
+// degrades that portion of the batch instead of chasing a third copy.
+type replicaView struct {
+	host primaryView // geometry of the hosting shard
+	peer primaryView // slot math of the peer whose rows are replicated
+}
+
+func (v replicaView) slot(idx header.Index) uint64 {
+	return 2*v.host.regionSlots() + v.peer.slot(idx)
+}
+
+func (v replicaView) Rank(idx header.Index) int {
+	return int(v.slot(idx) % uint64(v.host.ranks))
+}
+
+func (v replicaView) Addr(idx header.Index) dram.Addr {
+	return dram.Addr(v.slot(idx) * uint64(v.host.bytes))
+}
+
+func (v replicaView) VectorBytes() int { return v.host.bytes }

@@ -1,0 +1,746 @@
+// Package router is the fleet front-end for sharded serving: it owns N
+// simulated Fafnir systems (one reduction tree + memory node each), scatters
+// every batch's indices to the shards that store them, reduces the per-shard
+// partial pools host-side, and wraps each sub-lookup in a robustness
+// envelope so the fleet survives the faults internal/fault knows how to
+// inject.
+//
+// The envelope has four layers:
+//
+//   - per-shard health: a three-state breaker (healthy → suspect → dark)
+//     driven by structured sub-lookup errors (ErrRankFailed,
+//     ErrRetriesExhausted, ErrShardDown), with seeded-deterministic capped
+//     backoff before a dark shard is probed again — all charged on the
+//     router's simulated fleet clock, never wall time;
+//   - probe lookups: a dark shard whose reopen backoff has elapsed receives
+//     a one-query canary lookup before the batch scatters; success reopens
+//     the shard, failure doubles the backoff;
+//   - deadline-aware failover: a failed sub-lookup retries against the
+//     shard's replica peer (each shard stores a full copy of one peer's
+//     rows, extending memmap's diagonal rank replicas to shard
+//     granularity), unless the configured retry deadline is already spent;
+//   - graceful degradation: when a shard and its replica are both
+//     unreachable, the batch returns the partial reduction of the surviving
+//     shards with a per-shard DegradedReport instead of an error — the
+//     paper's reduction-tree argument extended across nodes, where a late
+//     (here: lost) partial never blocks the combine.
+//
+// Everything is deterministic: replaying a seeded fleet fault plan at any
+// Parallelism produces bit-identical outputs, cycle counts, degraded
+// reports, and failover decisions, because shard sub-lookups fold in shard
+// order and every health transition is a pure function of prior structured
+// results and the fleet clock.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fafnir/internal/cpu"
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
+	"fafnir/internal/fault"
+	"fafnir/internal/header"
+	"fafnir/internal/sim"
+	"fafnir/internal/telemetry"
+	"fafnir/internal/tensor"
+)
+
+// Config shapes a fleet. Zero values select the defaults noted per field;
+// Validate names the offending field otherwise.
+type Config struct {
+	// Shards is the fleet width: independent tree + memory nodes. Default 4.
+	Shards int
+	// RanksPerShard is each shard's memory width (multiple of 8 for
+	// multi-channel DDR4, or any even count for a single channel). Default 8.
+	RanksPerShard int
+	// BatchCapacity is each shard tree's hardware batch size. Default 32.
+	BatchCapacity int
+	// Rows is the global embedding-vector count sharded across the fleet.
+	// Default 1 Mi. Must be at least Shards so every shard owns a canary row.
+	Rows uint64
+	// Seed fixes table contents and the breaker's backoff jitter. Default 1.
+	Seed int64
+	// Parallelism bounds concurrent shard sub-lookups (and each shard
+	// engine's internal worker pool). It changes wall-clock speed only:
+	// outputs, cycles, health transitions, and degraded reports are
+	// bit-identical at every setting. 0 uses every core; 1 is fully serial.
+	Parallelism int
+	// Fleet attaches a fleet-level fault schedule: whole-shard losses,
+	// flapping shards, correlated rank storms, and a base per-shard plan.
+	// The zero plan injects nothing.
+	Fleet fault.FleetPlan
+	// FailureThreshold is how many consecutive structured failures trip a
+	// shard dark (the first failure always marks it suspect). Default 2.
+	FailureThreshold int
+	// ProbeBackoff is the fleet-clock delay before a freshly dark shard is
+	// probed; successive failed probes double it. Default 50 000 cycles.
+	ProbeBackoff sim.Cycle
+	// MaxProbeBackoff caps the doubling. Default 8 x ProbeBackoff.
+	MaxProbeBackoff sim.Cycle
+	// RetryDeadline bounds the simulated cycles one batch may spend on
+	// failover retries: once the batch's shard phase has consumed the
+	// budget, remaining failed sub-lookups degrade instead of retrying.
+	// 0 never abandons a retry.
+	RetryDeadline sim.Cycle
+	// Host models the partial-pool combine (zero value: cpu.Default()).
+	Host cpu.Config
+}
+
+func (c *Config) fillDefaults() {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.RanksPerShard == 0 {
+		c.RanksPerShard = 8
+	}
+	if c.BatchCapacity == 0 {
+		c.BatchCapacity = 32
+	}
+	if c.Rows == 0 {
+		c.Rows = 1 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 2
+	}
+	if c.ProbeBackoff == 0 {
+		c.ProbeBackoff = 50_000
+	}
+	if c.MaxProbeBackoff == 0 {
+		c.MaxProbeBackoff = 8 * c.ProbeBackoff
+	}
+	if c.Host == (cpu.Config{}) {
+		c.Host = cpu.Default()
+	}
+}
+
+// Validate reports a descriptive error naming the offending field and value
+// for an unusable configuration. Zero values are valid defaults.
+func (c Config) Validate() error {
+	switch {
+	case c.Shards < 0:
+		return fmt.Errorf("router: Config.Shards = %d: must be positive (or 0 for the default of 4)", c.Shards)
+	case c.RanksPerShard < 0 || c.RanksPerShard == 1 || c.RanksPerShard%2 != 0 && c.RanksPerShard != 0:
+		return fmt.Errorf("router: Config.RanksPerShard = %d: must be an even positive count (or 0 for the default of 8)", c.RanksPerShard)
+	case c.BatchCapacity < 0:
+		return fmt.Errorf("router: Config.BatchCapacity = %d: must be positive (or 0 for the default of 32)", c.BatchCapacity)
+	case c.FailureThreshold < 0:
+		return fmt.Errorf("router: Config.FailureThreshold = %d: must be positive (or 0 for the default of 2)", c.FailureThreshold)
+	case c.Parallelism < 0:
+		return fmt.Errorf("router: Config.Parallelism = %d: must be non-negative (0 uses every core)", c.Parallelism)
+	}
+	if c.Rows != 0 && c.Shards != 0 && c.Rows < uint64(c.Shards) {
+		return fmt.Errorf("router: Config.Rows = %d: must be at least Shards (%d) so every shard owns a canary row", c.Rows, c.Shards)
+	}
+	if err := c.Fleet.Validate(); err != nil {
+		return err
+	}
+	if c.Host != (cpu.Config{}) {
+		return c.Host.Validate()
+	}
+	return nil
+}
+
+// shardNode is one member of the fleet: a tree, its memory, its fault
+// injector, and the placement views of its three address regions.
+type shardNode struct {
+	engine  *core.Engine
+	mem     *dram.System
+	inj     *fault.Injector
+	primary primaryView
+	// peerView places the rows of the peer shard this node holds replicas
+	// for (peer = the shard whose replicaHolder is this node).
+	peerView replicaView
+}
+
+// Fleet is a sharded deployment behind one Lookup front-end. Like the
+// single System it is not safe for concurrent use — the serving layer's
+// single flusher goroutine is its intended caller.
+type Fleet struct {
+	cfg      Config
+	store    *embedding.Store
+	shards   []*shardNode
+	breakers []*breaker
+	host     *cpu.Engine
+	mcfg     dram.Config
+	clock    sim.Cycle
+	tracer   telemetry.Tracer
+	m        *Metrics
+}
+
+// New builds the fleet: Shards independent systems over one content-seeded
+// global store, with per-shard fault plans compiled from the fleet plan.
+func New(cfg Config) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	if err := cfg.Fleet.ValidateFor(cfg.Shards); err != nil {
+		return nil, err
+	}
+
+	mcfg := dram.DDR4()
+	switch {
+	case cfg.RanksPerShard%8 == 0:
+		mcfg.Channels = cfg.RanksPerShard / 8
+	default: // even, validated above
+		mcfg.Channels = 1
+		mcfg.DIMMsPerChannel = cfg.RanksPerShard / 2
+	}
+
+	store, err := embedding.NewStore(cfg.Rows, 128, uint64(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	host, err := cpu.NewEngine(cfg.Host)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{cfg: cfg, store: store, host: host, mcfg: mcfg}
+	for s := 0; s < cfg.Shards; s++ {
+		ecfg := core.Default()
+		ecfg.NumRanks = cfg.RanksPerShard
+		ecfg.BatchCapacity = cfg.BatchCapacity
+		ecfg.Parallelism = cfg.Parallelism
+		engine, err := core.NewEngine(ecfg)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := dram.NewSystem(mcfg)
+		if err != nil {
+			return nil, err
+		}
+		node := &shardNode{
+			engine:  engine,
+			mem:     mem,
+			primary: f.viewOf(s),
+		}
+		peer := f.replicaPeer(s)
+		node.peerView = replicaView{host: node.primary, peer: f.viewOf(peer)}
+		plan := cfg.Fleet.ShardPlan(s, cfg.Shards, cfg.RanksPerShard)
+		if !plan.Empty() {
+			inj, err := fault.NewInjector(plan, cfg.RanksPerShard)
+			if err != nil {
+				return nil, err
+			}
+			node.inj = inj
+			mem.AttachFaults(inj)
+		}
+		f.shards = append(f.shards, node)
+		f.breakers = append(f.breakers, &breaker{
+			threshold: cfg.FailureThreshold,
+			base:      cfg.ProbeBackoff,
+			cap:       cfg.MaxProbeBackoff,
+			seed:      splitmix64(uint64(cfg.Seed) ^ uint64(s)<<20),
+		})
+	}
+	return f, nil
+}
+
+// viewOf builds shard s's primary placement view.
+func (f *Fleet) viewOf(s int) primaryView {
+	n := uint64(f.cfg.Shards)
+	owned := (f.cfg.Rows - uint64(s) + n - 1) / n
+	return primaryView{shards: f.cfg.Shards, ranks: f.cfg.RanksPerShard, bytes: 512, slots: owned}
+}
+
+// ownerOf returns the shard storing the primary copy of idx.
+func (f *Fleet) ownerOf(idx header.Index) int {
+	return int(uint64(idx) % uint64(f.cfg.Shards))
+}
+
+// replicaHolder returns the shard storing the replica copy of shard s's
+// rows: s + max(1, N/2) mod N, so a single shard loss never takes out both
+// copies (for N >= 2) and paired losses degrade evenly — memmap's diagonal
+// rank replica lifted to shard granularity. A one-shard fleet keeps no
+// replicas.
+func (f *Fleet) replicaHolder(s int) int {
+	n := f.cfg.Shards
+	step := n / 2
+	if step == 0 {
+		step = 1
+	}
+	return (s + step) % n
+}
+
+// replicaPeer inverts replicaHolder: the shard whose rows s holds replicas
+// for.
+func (f *Fleet) replicaPeer(s int) int {
+	n := f.cfg.Shards
+	step := n / 2
+	if step == 0 {
+		step = 1
+	}
+	return (s - step + n) % n
+}
+
+// Store exposes the global embedding store (for golden comparisons).
+func (f *Fleet) Store() *embedding.Store { return f.store }
+
+// TotalRows reports the global embedding-vector count; the serving layer
+// validates wire indices against it.
+func (f *Fleet) TotalRows() uint64 { return f.cfg.Rows }
+
+// Shards reports the fleet width.
+func (f *Fleet) Shards() int { return f.cfg.Shards }
+
+// Config returns the fleet's configuration with defaults resolved.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Clock reports the fleet's simulated cycle clock, advanced by every batch.
+func (f *Fleet) Clock() sim.Cycle { return f.clock }
+
+// Health reports shard s's current breaker state.
+func (f *Fleet) Health(s int) State { return f.breakers[s].state }
+
+// AttachTracer threads a telemetry tracer through the router: subsequent
+// batches emit per-shard scatter windows, failover retries, probes, and the
+// host combine as spans on the PIDRouter timeline (one lane per shard, all
+// in fleet-clock cycles). Per-shard engine/DRAM traces stay detached in
+// fleet mode — their rank-keyed lanes would collide across shards. A nil
+// tracer detaches. Tracing is observational only.
+func (f *Fleet) AttachTracer(t telemetry.Tracer) {
+	f.tracer = t
+	if t == nil {
+		return
+	}
+	t.NameProcess(telemetry.PIDRouter, "router")
+	for s := range f.shards {
+		t.NameLane(telemetry.PIDRouter, s, fmt.Sprintf("shard %d", s))
+	}
+	t.NameLane(telemetry.PIDRouter, len(f.shards), "combine")
+}
+
+// MemoryCounter sums one cumulative memory-system counter across the fleet
+// (e.g. "dram.row_hits"); the serving layer's per-flush attribution works
+// unchanged over a fleet backend.
+func (f *Fleet) MemoryCounter(name string) uint64 {
+	var total uint64
+	for _, sh := range f.shards {
+		total += sh.mem.Stats().Counter(name)
+	}
+	return total
+}
+
+// emit records one router span on the fleet timeline (200 MHz PE clock).
+func (f *Fleet) emit(name string, lane int, phase byte, ts, dur sim.Cycle, args ...telemetry.Arg) {
+	if f.tracer == nil {
+		return
+	}
+	ev := telemetry.Event{
+		Name: name, Cat: "router", Phase: phase,
+		PID: telemetry.PIDRouter, TID: lane,
+		TS: uint64(ts), ClockMHz: 200,
+	}
+	if phase == telemetry.PhaseSpan {
+		ev.Dur = uint64(dur)
+	}
+	for _, a := range args {
+		ev.AddArg(a)
+	}
+	f.tracer.Emit(ev)
+}
+
+// structuredFault reports whether err is a fault the robustness envelope
+// absorbs (as opposed to a programming error, which must surface).
+func structuredFault(err error) bool {
+	return errors.Is(err, fault.ErrRankFailed) ||
+		errors.Is(err, fault.ErrRetriesExhausted) ||
+		errors.Is(err, fault.ErrShardDown)
+}
+
+// lookupShard runs one sub-batch on shard s through the given placement
+// view. The fleet-plan down check runs first so a dead node fails fast
+// without touching its engine or memory state — determinism across replays
+// depends on dead shards staying untouched.
+func (f *Fleet) lookupShard(s int, view core.Placement, b embedding.Batch, at sim.Cycle) (*core.TimedResult, error) {
+	if f.cfg.Fleet.Down(s, at) {
+		return nil, fmt.Errorf("router: shard %d is down at fleet cycle %d: %w", s, at, fault.ErrShardDown)
+	}
+	sh := f.shards[s]
+	return sh.engine.TimedLookupFaulted(f.store, view, sh.mem, b, true, sh.inj)
+}
+
+// subref ties one shard sub-query back to its batch query.
+type subref struct {
+	query   int // batch query index
+	indices int // index count contributed by this shard
+}
+
+// GenerateBatch draws n deterministic Zipf-skewed queries over the global
+// row space (16 indices each, sum pooling), for benchmarks and smoke tests.
+func (f *Fleet) GenerateBatch(n int, seed int64) (embedding.Batch, error) {
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: n,
+		QuerySize:  16,
+		Rows:       f.cfg.Rows,
+		Seed:       f.cfg.Seed*1_000_003 + seed,
+		Dist:       embedding.Zipf,
+		ZipfS:      1.3,
+	})
+	if err != nil {
+		return embedding.Batch{}, err
+	}
+	return gen.Batch(tensor.OpSum), nil
+}
+
+// Lookup scatters the batch across the fleet, runs every owning shard's
+// sub-batch (concurrently up to Parallelism; folded in shard order), retries
+// failed sub-lookups on replica shards within the retry deadline, reduces
+// the partial pools host-side, and returns the combined result. A batch that
+// lost data to unreachable shard pairs still succeeds: the outputs are the
+// partial reduction of every surviving shard and res.Degraded itemizes the
+// loss per shard and per query. Only programming errors (invariant
+// violations, bad ops) return a non-nil error.
+func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
+	if len(b.Queries) == 0 {
+		return nil, fmt.Errorf("router: empty batch")
+	}
+	if !b.Op.Valid() {
+		return nil, fmt.Errorf("router: invalid reduce op %d", b.Op)
+	}
+	start := f.clock
+	n := f.cfg.Shards
+	dim := f.store.Dim()
+	res := &core.TimedResult{}
+	res.Outputs = make([]tensor.Vector, len(b.Queries))
+	deg := &core.DegradedReport{}
+	entries := make([]*core.ShardDegraded, n)
+	entry := func(s int) *core.ShardDegraded {
+		if entries[s] == nil {
+			entries[s] = &core.ShardDegraded{Shard: s}
+		}
+		return entries[s]
+	}
+
+	// Probe phase: dark shards whose backoff elapsed get a canary lookup
+	// before the batch scatters. Probe time overlaps across shards (the
+	// slowest one gates the scatter).
+	var probeCycles sim.Cycle
+	for s := 0; s < n; s++ {
+		br := f.breakers[s]
+		if !br.probeDue(start) {
+			continue
+		}
+		f.countProbe(s)
+		canary := embedding.Batch{Op: tensor.OpSum, Queries: []embedding.Query{
+			{Indices: header.NewIndexSet(header.Index(s))},
+		}}
+		r, err := f.lookupShard(s, f.shards[s].primary, canary, start)
+		switch {
+		case err == nil:
+			br.onSuccess()
+			f.setShardState(s, Healthy)
+			probeCycles = sim.Max(probeCycles, r.TotalCycles)
+			f.countReopen(s)
+			f.emit("probe.ok", s, telemetry.PhaseInstant, start, 0)
+		case structuredFault(err):
+			br.onProbeFailure(start)
+			f.emit("probe.fail", s, telemetry.PhaseInstant, start, 0)
+		default:
+			return nil, err
+		}
+	}
+
+	// Scatter: split every query's indices by owning shard, preserving
+	// index order within each sub-query.
+	op := b.Op
+	subOp := op
+	if op == tensor.OpMean {
+		// Shard trees accumulate raw sums; the router finalizes the mean
+		// once, over the surviving operand count, exactly as a single tree's
+		// root would.
+		subOp = tensor.OpSum
+	}
+	subs := make([]embedding.Batch, n)
+	refs := make([][]subref, n)
+	survivors := make([]int, len(b.Queries))
+	for qi, q := range b.Queries {
+		survivors[qi] = q.Indices.Len()
+		if q.Indices.Len() == 0 {
+			res.Outputs[qi] = tensor.New(dim)
+			continue
+		}
+		per := make(map[int][]header.Index)
+		for _, idx := range q.Indices {
+			s := f.ownerOf(idx)
+			per[s] = append(per[s], idx)
+		}
+		for s := 0; s < n; s++ {
+			indices, ok := per[s]
+			if !ok {
+				continue
+			}
+			subs[s].Op = subOp
+			subs[s].Queries = append(subs[s].Queries, embedding.Query{Indices: header.NewIndexSet(indices...)})
+			refs[s] = append(refs[s], subref{query: qi, indices: len(indices)})
+		}
+	}
+
+	// Dispatch: dark shards are skipped (their traffic goes straight to
+	// failover); everything else attempts its primary, concurrently up to
+	// Parallelism. Results fold in shard order below, so execution order
+	// never leaks into outputs, cycles, or health transitions.
+	type attempt struct {
+		res *core.TimedResult
+		err error
+	}
+	attempts := make([]attempt, n)
+	var run []int
+	for s := 0; s < n; s++ {
+		if len(subs[s].Queries) == 0 {
+			continue
+		}
+		if f.breakers[s].state == Dark {
+			attempts[s] = attempt{err: fmt.Errorf("router: shard %d is dark (breaker open): %w", s, fault.ErrShardDown)}
+			continue
+		}
+		run = append(run, s)
+	}
+	if par := f.parallelism(); par > 1 && len(run) > 1 {
+		// Shards are fully independent (own engine, memory, injector), so
+		// concurrent sub-lookups share no mutable state; only the fold below
+		// touches fleet-level state, in shard order.
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for _, s := range run {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				r, err := f.lookupShard(s, f.shards[s].primary, subs[s], start)
+				attempts[s] = attempt{res: r, err: err}
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for _, s := range run {
+			r, err := f.lookupShard(s, f.shards[s].primary, subs[s], start)
+			attempts[s] = attempt{res: r, err: err}
+		}
+	}
+
+	// Fold phase, strictly in shard order: combine successful partials,
+	// drive the breakers, and queue failovers.
+	type failover struct {
+		shard int
+		cause error
+	}
+	var shardCycles sim.Cycle
+	var failovers []failover
+	delivered := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if len(subs[s].Queries) == 0 {
+			continue
+		}
+		a := attempts[s]
+		wasDark := f.breakers[s].state == Dark
+		switch {
+		case a.err == nil:
+			f.breakers[s].onSuccess()
+			f.setShardState(s, Healthy)
+			if err := f.fold(res, deg, entry, s, a.res, refs[s], op); err != nil {
+				return nil, err
+			}
+			delivered[s] = true
+			shardCycles = sim.Max(shardCycles, a.res.TotalCycles)
+			f.emit("shard.lookup", s, telemetry.PhaseSpan, start+probeCycles, a.res.TotalCycles,
+				telemetry.Arg{Key: "queries", Int: int64(len(subs[s].Queries))})
+		case structuredFault(a.err):
+			if !wasDark {
+				f.countFailure(s)
+				if f.breakers[s].onFailure(start) {
+					f.countDark(s)
+				}
+				f.setShardState(s, f.breakers[s].state)
+			}
+			e := entry(s)
+			e.State = f.breakers[s].state.String()
+			e.Err = a.err.Error()
+			failovers = append(failovers, failover{shard: s, cause: a.err})
+			f.emit("shard.fail", s, telemetry.PhaseInstant, start+probeCycles, 0)
+		default:
+			return nil, a.err
+		}
+	}
+
+	// Failover phase, serial in shard order: each failed sub-batch retries
+	// once against its replica holder, unless the retry deadline is spent or
+	// the replica is itself unreachable — then the sub-batch's contribution
+	// is dropped and the loss recorded.
+	var failoverCycles sim.Cycle
+	for _, fo := range failovers {
+		s := fo.shard
+		target := f.replicaHolder(s)
+		e := entry(s)
+		spent := probeCycles + shardCycles + failoverCycles
+		switch {
+		case f.cfg.RetryDeadline > 0 && spent >= f.cfg.RetryDeadline:
+			f.countAbandoned(s)
+			f.lose(res, deg, e, refs[s], survivors)
+		case target == s || f.breakers[target].state == Dark || f.cfg.Fleet.Down(target, start):
+			f.lose(res, deg, e, refs[s], survivors)
+		default:
+			f.countRetry(s)
+			r, err := f.lookupShard(target, f.shards[target].peerView, subs[s], start)
+			switch {
+			case err == nil:
+				f.countFailover(s)
+				e.FailedOver = true
+				if err := f.fold(res, deg, entry, target, r, refs[s], op); err != nil {
+					return nil, err
+				}
+				delivered[s] = true
+				failoverCycles += r.TotalCycles
+				f.emit("shard.failover", target, telemetry.PhaseSpan, start+probeCycles+shardCycles, r.TotalCycles,
+					telemetry.Arg{Key: "for_shard", Int: int64(s)})
+			case structuredFault(err):
+				f.countFailure(target)
+				if f.breakers[target].onFailure(start) {
+					f.countDark(target)
+				}
+				f.setShardState(target, f.breakers[target].state)
+				te := entry(target)
+				te.State = f.breakers[target].state.String()
+				te.Err = err.Error()
+				f.lose(res, deg, e, refs[s], survivors)
+			default:
+				return nil, err
+			}
+		}
+	}
+
+	// Finalize outputs: queries that lost everything (or arrived empty)
+	// produce zero vectors like the engines; mean scales by the surviving
+	// operand count, the single-tree root's exact finalize operation.
+	for qi := range res.Outputs {
+		if res.Outputs[qi] == nil {
+			res.Outputs[qi] = tensor.New(dim)
+			continue
+		}
+		if op == tensor.OpMean {
+			op.FinalizeMean(res.Outputs[qi], survivors[qi])
+		}
+	}
+
+	// Host combine: one handled vector per delivered partial beyond each
+	// query's first, plus channel transfer of every partial pool. Lost
+	// sub-batches delivered nothing, so they cost (and contribute) nothing.
+	partials := 0
+	combines := 0
+	partialsPer := make(map[int]int, len(b.Queries))
+	for s := 0; s < n; s++ {
+		if !delivered[s] {
+			continue
+		}
+		for _, ref := range refs[s] {
+			partialsPer[ref.query]++
+		}
+	}
+	for _, p := range partialsPer {
+		partials += p
+		if p > 1 {
+			combines += p - 1
+		}
+	}
+	combineCycles := f.host.HandleVectors(combines)
+	xfer := f.cfg.Host.DRAMToHost(f.mcfg.TransferCycles(partials * 512))
+
+	res.TransferCycles = xfer
+	res.TotalCycles = probeCycles + shardCycles + failoverCycles + combineCycles + xfer
+	res.ComputeCycles = res.TotalCycles - res.MemCycles - xfer
+	f.emit("combine", n, telemetry.PhaseSpan, start+probeCycles+shardCycles+failoverCycles, combineCycles+xfer,
+		telemetry.Arg{Key: "partials", Int: int64(partials)})
+	f.clock = start + res.TotalCycles
+
+	for _, e := range entries {
+		if e != nil {
+			if e.State == "" {
+				e.State = f.breakers[e.Shard].state.String()
+			}
+			deg.Shards = append(deg.Shards, *e)
+		}
+	}
+	if !deg.Empty() {
+		res.Degraded = deg
+		f.countDegraded(len(deg.LostQueries))
+	}
+	return res, nil
+}
+
+// fold merges one successful sub-lookup into the batch result, in shard
+// order: partial vectors combine per query, statistics accumulate, and the
+// sub-lookup's own degraded work (in-shard rank remaps, ECC retries) lands
+// on the shard's report entry.
+func (f *Fleet) fold(res *core.TimedResult, deg *core.DegradedReport, entry func(int) *core.ShardDegraded,
+	s int, r *core.TimedResult, refs []subref, op tensor.ReduceOp) error {
+	for i, out := range r.Outputs {
+		qi := refs[i].query
+		if res.Outputs[qi] == nil {
+			res.Outputs[qi] = out.Clone()
+		} else if err := op.Apply(res.Outputs[qi], out); err != nil {
+			return err
+		}
+	}
+	res.MemoryReads += r.MemoryReads
+	res.BytesRead += r.BytesRead
+	res.PETotals.Add(r.PETotals)
+	res.HWBatches += r.HWBatches
+	if r.MaxOccupancy > res.MaxOccupancy {
+		res.MaxOccupancy = r.MaxOccupancy
+	}
+	res.MemCycles = sim.Max(res.MemCycles, r.MemCycles)
+	if !r.Degraded.Empty() {
+		deg.RemappedReads += r.Degraded.RemappedReads
+		deg.RemappedQueries += r.Degraded.RemappedQueries
+		deg.Retries += r.Degraded.Retries
+		deg.RetryCycles += r.Degraded.RetryCycles
+		e := entry(s)
+		e.FailedRanks = append([]int(nil), r.Degraded.FailedRanks...)
+	}
+	return nil
+}
+
+// lose records a sub-batch whose shard and replica were both unreachable:
+// its queries keep whatever partials other shards contributed, the loss is
+// itemized per query, and the per-shard entry carries the totals.
+func (f *Fleet) lose(res *core.TimedResult, deg *core.DegradedReport, e *core.ShardDegraded,
+	refs []subref, survivors []int) {
+	for _, ref := range refs {
+		survivors[ref.query] -= ref.indices
+		e.LostQueries++
+		e.LostIndices += ref.indices
+		deg.LostQueries = appendUnique(deg.LostQueries, ref.query)
+	}
+	f.countLostShard(e.Shard)
+}
+
+// appendUnique inserts q into the sorted slice if absent.
+func appendUnique(s []int, q int) []int {
+	for i, v := range s {
+		if v == q {
+			return s
+		}
+		if v > q {
+			s = append(s, 0)
+			copy(s[i+1:], s[i:])
+			s[i] = q
+			return s
+		}
+	}
+	return append(s, q)
+}
+
+func (f *Fleet) parallelism() int {
+	if f.cfg.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return f.cfg.Parallelism
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
 	"fafnir/internal/sim"
 	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
@@ -55,6 +56,16 @@ type BatchStats struct {
 	// Isolated marks a result recomputed alone after its shared batch
 	// failed (see the isolation retry in flush).
 	Isolated bool
+	// QueryOffset is this request's first query's index within the flushed
+	// batch; the HTTP layer uses it to map the batch-level degraded report's
+	// query indices back into request coordinates.
+	QueryOffset int
+	// Degraded carries the batch's degraded report when the backend absorbed
+	// faults while serving it (rank remaps, shard failover, lost data); nil
+	// for a clean batch. Requests coalesced into the same flush share one
+	// report — degradation anywhere in the batch flags every rider, and the
+	// per-request response filters the query-level detail by QueryOffset.
+	Degraded *core.DegradedReport
 }
 
 // result is what the flusher delivers back to one waiting Submit call.
@@ -384,6 +395,9 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 		Reduces:      res.PETotals.Reduces,
 		Compares:     res.PETotals.Compares,
 	}
+	if !res.Degraded.Empty() {
+		stats.Degraded = res.Degraded
+	}
 	c.m.observeBatch(stats)
 	c.foldMemoryStats()
 	var traceJSON []byte
@@ -393,8 +407,9 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 	off := 0
 	for _, r := range live {
 		out := res.Outputs[off : off+len(r.queries)]
-		off += len(r.queries)
 		rr := result{outputs: out, stats: stats}
+		rr.stats.QueryOffset = off
+		off += len(r.queries)
 		if r.debug {
 			rr.trace = traceJSON
 		}
@@ -459,6 +474,9 @@ func (c *Coalescer) isolate(op tensor.ReduceOp, reqs []*request, batchErr error)
 			Reduces:      res.PETotals.Reduces,
 			Compares:     res.PETotals.Compares,
 			Isolated:     true,
+		}
+		if !res.Degraded.Empty() {
+			stats.Degraded = res.Degraded
 		}
 		c.m.observeBatch(stats)
 		c.foldMemoryStats()

@@ -20,6 +20,10 @@ const (
 	OutcomeDraining
 	OutcomeDeadline
 	OutcomeError
+	// OutcomeDegraded is a 200 response whose batch absorbed faults: the
+	// outputs are valid but possibly partial, and the response body carries
+	// a degraded report itemizing what was lost or failed over.
+	OutcomeDegraded
 	numOutcomes
 )
 
@@ -38,6 +42,8 @@ func (o Outcome) String() string {
 		return "deadline"
 	case OutcomeError:
 		return "error"
+	case OutcomeDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -64,6 +70,10 @@ type Metrics struct {
 	// IsolationRetries counts shared batches that failed and were re-run
 	// per request to confine the error to the offending caller.
 	IsolationRetries *telemetry.Counter
+	// DegradedResponses counts 200 responses that rode a degraded batch;
+	// DegradedBatches counts the flushed batches themselves.
+	DegradedResponses *telemetry.Counter
+	DegradedBatches   *telemetry.Counter
 	// ExpiredInQueue counts requests whose deadline passed while queued or
 	// mid-flush, before a result could be delivered.
 	ExpiredInQueue *telemetry.Counter
@@ -118,6 +128,8 @@ func NewMetrics() *Metrics {
 	m.Batches = reg.Counter("fafnir_serve_batches_total", "Hardware batches flushed through the engine.")
 	m.CoalescedRequests = reg.Counter("fafnir_serve_coalesced_requests_total", "Requests that shared their batch with another request.")
 	m.IsolationRetries = reg.Counter("fafnir_serve_isolation_retries_total", "Failed shared batches re-run per request to confine the error.")
+	m.DegradedResponses = reg.Counter("fafnir_serve_degraded_total", "Successful responses served from a degraded (fault-absorbing) batch.")
+	m.DegradedBatches = reg.Counter("fafnir_serve_degraded_batches_total", "Flushed batches whose backend absorbed faults while serving them.")
 	m.ExpiredInQueue = reg.Counter("fafnir_serve_expired_in_queue_total", "Requests whose deadline passed before delivery.")
 	m.DRAMReads = reg.Counter("fafnir_serve_dram_reads_total", "Simulated DRAM vector reads after cross-request deduplication.")
 	m.NaiveReads = reg.Counter("fafnir_serve_naive_reads_total", "DRAM vector reads the same traffic would issue without deduplication.")
@@ -152,6 +164,9 @@ func (m *Metrics) ObserveRequest(o Outcome, d time.Duration) {
 // observeBatch folds one flushed batch into the aggregate counters.
 func (m *Metrics) observeBatch(st BatchStats) {
 	m.Batches.Add(1)
+	if st.Degraded != nil {
+		m.DegradedBatches.Add(1)
+	}
 	m.Queries.Add(uint64(st.BatchQueries))
 	if st.Requests >= 2 {
 		m.CoalescedRequests.Add(uint64(st.Requests))

@@ -47,6 +47,14 @@ type System interface {
 	TotalRows() uint64
 }
 
+// MetricsRegistrar is the optional backend capability for publishing its own
+// metric families onto the server's /metrics page. The fleet router
+// implements it (shard health, failover, and retry families); New resolves
+// it by type assertion and passes the server's registry through once.
+type MetricsRegistrar interface {
+	RegisterMetrics(*telemetry.Registry)
+}
+
 // Config parameterizes the serving layer. The zero value of every field
 // selects a sensible default; negative values are rejected by Validate with
 // an error naming the offending field.
@@ -72,6 +80,11 @@ type Config struct {
 	// respond) on the serving timeline. Nil — the default — disables
 	// lifecycle tracing at the cost of one pointer check.
 	Tracer telemetry.Tracer
+	// RetryJitterSeed seeds the deterministic jitter applied to the 503
+	// Retry-After header under overload, spreading client retries over a
+	// small window instead of synchronizing them into a thundering herd.
+	// Equal seeds give equal jitter sequences; zero selects seed 1.
+	RetryJitterSeed uint64
 }
 
 func (c *Config) fillDefaults() {
@@ -86,6 +99,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxQueriesPerRequest == 0 {
 		c.MaxQueriesPerRequest = 4 * c.BatchCapacity
+	}
+	if c.RetryJitterSeed == 0 {
+		c.RetryJitterSeed = 1
 	}
 }
 

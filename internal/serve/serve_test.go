@@ -72,7 +72,7 @@ func TestParseOp(t *testing.T) {
 }
 
 func TestOutcomeString(t *testing.T) {
-	want := []string{"ok", "bad_request", "overload", "draining", "deadline", "error"}
+	want := []string{"ok", "bad_request", "overload", "draining", "deadline", "error", "degraded"}
 	for o := Outcome(0); o < numOutcomes; o++ {
 		if o.String() != want[o] {
 			t.Errorf("Outcome(%d).String() = %q, want %q", int(o), o.String(), want[o])

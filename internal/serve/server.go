@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -58,11 +59,85 @@ type LookupResponse struct {
 	Outputs []tensor.Vector `json:"outputs"`
 	// Batch describes the shared hardware batch that produced them.
 	Batch BatchInfo `json:"batch"`
+	// Degraded is set when the batch absorbed faults while serving this
+	// request: the outputs are valid but may omit contributions from shards
+	// that were unreachable along with their replicas. Absent on clean
+	// responses.
+	Degraded *DegradedInfo `json:"degraded,omitempty"`
 	// Trace is the Chrome trace-event JSON of the batch that served the
 	// request, echoed when the caller asked with ?debug=trace and the
 	// backend supports tracing. Load it at ui.perfetto.dev. The trace
 	// covers the whole flushed batch, co-travelling requests included.
 	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// DegradedInfo is the wire rendering of a degraded batch, scoped to one
+// request: which of the caller's own queries are partial, plus the
+// batch-level fault work (rank remaps, ECC retries, per-shard failover).
+type DegradedInfo struct {
+	// PartialQueries lists this request's query indices (request-relative,
+	// sorted) whose pooled outputs are missing at least one contribution.
+	// Empty means every output is complete — the batch degraded without
+	// losing this caller's data (e.g. a clean replica failover).
+	PartialQueries []int `json:"partial_queries,omitempty"`
+	// FailedRanks lists dark memory ranks observed during the batch.
+	FailedRanks []int `json:"failed_ranks,omitempty"`
+	// RemappedReads and Retries count in-shard replica reads and ECC retry
+	// attempts absorbed during the batch.
+	RemappedReads int `json:"remapped_reads,omitempty"`
+	Retries       int `json:"retries,omitempty"`
+	// Shards itemizes fleet-level robustness work per shard, in shard order.
+	Shards []ShardDegradedInfo `json:"shards,omitempty"`
+}
+
+// ShardDegradedInfo is one shard's entry in a degraded response.
+type ShardDegradedInfo struct {
+	Shard int `json:"shard"`
+	// State is the shard's breaker state after the batch: healthy, suspect,
+	// or dark.
+	State string `json:"state"`
+	// FailedOver reports the replica shard answered in this shard's place.
+	FailedOver bool `json:"failed_over,omitempty"`
+	// LostQueries and LostIndices count batch-level data dropped when both
+	// the shard and its replica were unreachable.
+	LostQueries int `json:"lost_queries,omitempty"`
+	LostIndices int `json:"lost_indices,omitempty"`
+	// FailedRanks lists the shard's dark local ranks.
+	FailedRanks []int `json:"failed_ranks,omitempty"`
+	// Err is the structured error that triggered the robustness path.
+	Err string `json:"error,omitempty"`
+}
+
+// degradedInfo scopes a batch-level degraded report to one request: the
+// report's batch-relative lost-query indices are intersected with the
+// request's query window [off, off+n) and rebased to request coordinates.
+func degradedInfo(st BatchStats, n int) *DegradedInfo {
+	d := st.Degraded
+	if d == nil {
+		return nil
+	}
+	info := &DegradedInfo{
+		FailedRanks:   d.FailedRanks,
+		RemappedReads: d.RemappedReads,
+		Retries:       d.Retries,
+	}
+	for _, qi := range d.LostQueries {
+		if qi >= st.QueryOffset && qi < st.QueryOffset+n {
+			info.PartialQueries = append(info.PartialQueries, qi-st.QueryOffset)
+		}
+	}
+	for _, sd := range d.Shards {
+		info.Shards = append(info.Shards, ShardDegradedInfo{
+			Shard:       sd.Shard,
+			State:       sd.State,
+			FailedOver:  sd.FailedOver,
+			LostQueries: sd.LostQueries,
+			LostIndices: sd.LostIndices,
+			FailedRanks: sd.FailedRanks,
+			Err:         sd.Err,
+		})
+	}
+	return info
 }
 
 // ErrorResponse is the wire format of a failed lookup.
@@ -84,6 +159,10 @@ type Server struct {
 	mux       *http.ServeMux
 	draining  atomic.Bool
 	totalRows uint64
+	// retrySeq drives the seeded Retry-After jitter: each overload rejection
+	// advances the sequence, and (seed, seq) hashes to a small deterministic
+	// delay so synchronized clients spread their retries.
+	retrySeq atomic.Uint64
 }
 
 // New builds a server over sys. The zero Config selects defaults; see
@@ -102,6 +181,9 @@ func New(sys System, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, sys: sys, co: co, m: m, totalRows: sys.TotalRows()}
+	if reg, ok := sys.(MetricsRegistrar); ok {
+		reg.RegisterMetrics(m.Registry())
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/lookup", s.handleLookup)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -186,6 +268,10 @@ func classify(err error) (Outcome, int, string) {
 		return OutcomeError, http.StatusInternalServerError, "rank_failed"
 	case errors.Is(err, fault.ErrRetriesExhausted):
 		return OutcomeError, http.StatusInternalServerError, "retries_exhausted"
+	case errors.Is(err, fault.ErrShardDown):
+		// A replicated fleet absorbs shard loss into degraded 200s; this
+		// kind only surfaces from unreplicated deployments.
+		return OutcomeError, http.StatusInternalServerError, "shard_down"
 	case errors.Is(err, fault.ErrInvariantViolated):
 		return OutcomeError, http.StatusInternalServerError, "invariant_violated"
 	default:
@@ -243,13 +329,21 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		outcome, status, kind := classify(err)
 		finish(outcome)
 		if status == http.StatusServiceUnavailable {
-			// Overload backs off briefly; a drain never comes back.
-			w.Header().Set("Retry-After", "1")
+			// Overload backs off with seeded jitter so synchronized clients
+			// spread their retries; a drain never comes back, so the fixed
+			// minimum is honest there.
+			w.Header().Set("Retry-After", s.retryAfter(outcome))
 		}
 		writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind})
 		return
 	}
-	finish(OutcomeOK)
+	degraded := degradedInfo(stats, len(queries))
+	if degraded != nil {
+		finish(OutcomeDegraded)
+		s.m.DegradedResponses.Add(1)
+	} else {
+		finish(OutcomeOK)
+	}
 	writeJSON(w, http.StatusOK, LookupResponse{
 		Outputs: outputs,
 		Batch: BatchInfo{
@@ -260,6 +354,28 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 			TotalCycles:       stats.TotalCycles,
 			Isolated:          stats.Isolated,
 		},
-		Trace: trace,
+		Degraded: degraded,
+		Trace:    trace,
 	})
+}
+
+// splitmix64 is the jitter hash (Vigna's SplitMix64 finalizer), shared with
+// the fault injector and the router's breaker.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// retryAfter renders the 503 backoff hint: overload rejections jitter
+// deterministically over {1, 2, 3} seconds from (RetryJitterSeed, sequence),
+// so a burst of synchronized clients spreads its retry wave; drain keeps the
+// fixed minimum — the listener is going away, the hint only needs to exist.
+func (s *Server) retryAfter(o Outcome) string {
+	if o != OutcomeOverload {
+		return "1"
+	}
+	seq := s.retrySeq.Add(1)
+	return strconv.FormatUint(1+splitmix64(s.cfg.RetryJitterSeed^seq)%3, 10)
 }

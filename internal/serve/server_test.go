@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 
 	"fafnir"
 	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
 	"fafnir/internal/serve"
 	"fafnir/internal/tensor"
 )
@@ -348,6 +350,278 @@ func TestServerDrain(t *testing.T) {
 	hz.Body.Close()
 	if hz.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain healthz: %s, want 503", hz.Status)
+	}
+}
+
+// degradedSystem wraps fakeSystem and stamps every result with a canned
+// degraded report, standing in for a fleet router that absorbed faults.
+type degradedSystem struct {
+	*fakeSystem
+	report core.DegradedReport
+}
+
+func (d *degradedSystem) Lookup(b embedding.Batch) (*core.TimedResult, error) {
+	res, err := d.fakeSystem.Lookup(b)
+	if err != nil {
+		return nil, err
+	}
+	r := d.report
+	res.Degraded = &r
+	return res, nil
+}
+
+// TestServerDegradedResponse drives a backend that degrades every batch and
+// checks the wire contract: 200 with a populated degraded field, the request
+// classified under the degraded outcome, and the degraded metric families
+// advancing on /metrics.
+func TestServerDegradedResponse(t *testing.T) {
+	sys := &degradedSystem{
+		fakeSystem: &fakeSystem{fakeBackend: newFake(), rows: 1 << 16},
+		report: core.DegradedReport{
+			FailedRanks: []int{5},
+			LostQueries: []int{1},
+			Shards: []core.ShardDegraded{
+				{Shard: 2, State: "dark", LostQueries: 1, LostIndices: 3, Err: "fault: shard down"},
+			},
+		},
+	}
+	_, ts := newTestServer(t, sys, serve.Config{})
+
+	resp, decoded := postLookup(t, ts.URL, `{"queries": [[1,2],[3,4],[5]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded lookup: %s, want 200", resp.Status)
+	}
+	deg, ok := decoded["degraded"].(map[string]any)
+	if !ok {
+		t.Fatalf("response carries no degraded object: %v", decoded)
+	}
+	if pq, _ := deg["partial_queries"].([]any); len(pq) != 1 || pq[0] != float64(1) {
+		t.Errorf("partial_queries = %v, want [1]", deg["partial_queries"])
+	}
+	if fr, _ := deg["failed_ranks"].([]any); len(fr) != 1 || fr[0] != float64(5) {
+		t.Errorf("failed_ranks = %v, want [5]", deg["failed_ranks"])
+	}
+	shards, _ := deg["shards"].([]any)
+	if len(shards) != 1 {
+		t.Fatalf("shards = %v, want one entry", deg["shards"])
+	}
+	sh := shards[0].(map[string]any)
+	if sh["shard"] != float64(2) || sh["state"] != "dark" || sh["lost_indices"] != float64(3) {
+		t.Errorf("shard entry = %v, want shard 2 dark with 3 lost indices", sh)
+	}
+	if msg, _ := sh["error"].(string); !strings.Contains(msg, "shard down") {
+		t.Errorf("shard error %q does not name the fault", msg)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	for _, line := range []string{
+		`fafnir_serve_requests_total{outcome="degraded"} 1`,
+		"fafnir_serve_degraded_total 1",
+		"fafnir_serve_degraded_batches_total 1",
+	} {
+		if !strings.Contains(buf.String(), line) {
+			t.Errorf("metrics missing %q\n%s", line, buf.String())
+		}
+	}
+}
+
+// TestServerDegradedRebasesLostQueries coalesces two single-query requests
+// into one shared batch whose report loses batch-relative query 1, and checks
+// each rider sees the loss in its own request coordinates: exactly one of the
+// two responses reports partial query 0, the other reports none.
+func TestServerDegradedRebasesLostQueries(t *testing.T) {
+	sys := &degradedSystem{
+		fakeSystem: &fakeSystem{fakeBackend: newFake(), rows: 1 << 16},
+		report:     core.DegradedReport{LostQueries: []int{1}},
+	}
+	_, ts := newTestServer(t, sys, serve.Config{BatchCapacity: 2, Linger: time.Minute})
+
+	var wg sync.WaitGroup
+	bodies := make([]map[string]any, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/lookup", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"indices": [%d]}`, i+1)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("client %d: %s", i, resp.Status)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&bodies[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	partial := 0
+	for i, body := range bodies {
+		batch := body["batch"].(map[string]any)
+		if batch["coalesced_requests"] != float64(2) {
+			t.Fatalf("client %d rode a batch with %v requests, want 2", i, batch["coalesced_requests"])
+		}
+		deg, ok := body["degraded"].(map[string]any)
+		if !ok {
+			t.Fatalf("client %d got no degraded object: %v", i, body)
+		}
+		if pq, present := deg["partial_queries"].([]any); present {
+			if len(pq) != 1 || pq[0] != float64(0) {
+				t.Errorf("client %d partial_queries = %v, want [0]", i, pq)
+			}
+			partial++
+		}
+	}
+	if partial != 1 {
+		t.Fatalf("%d clients reported a partial query, want exactly the one at batch offset 1", partial)
+	}
+}
+
+// testSplitmix64 mirrors the server's jitter hash so the test can pin the
+// exact Retry-After sequence a seed produces.
+func testSplitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TestServerRetryAfterJitter saturates the queue and checks overload 503s
+// carry deterministic seeded Retry-After jitter in {1, 2, 3} seconds: the
+// exact sequence (seed, rejection number) predicts.
+func TestServerRetryAfterJitter(t *testing.T) {
+	const seed = 7
+	fake := &fakeSystem{fakeBackend: newFake(), rows: 1 << 16}
+	fake.gate = make(chan struct{})
+	fake.enter = make(chan struct{}, 16)
+	srv, ts := newTestServer(t, fake, serve.Config{BatchCapacity: 1, MaxQueued: 1, RetryJitterSeed: seed})
+
+	release := sync.OnceFunc(func() { close(fake.gate) })
+	defer release()
+
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/lookup", "application/json", strings.NewReader(`{"indices": [1,2]}`))
+			if err != nil {
+				done <- -1
+				return
+			}
+			resp.Body.Close()
+			done <- resp.StatusCode
+		}()
+		if i == 0 {
+			<-fake.enter
+		} else {
+			waitFor(t, func() bool { return srv.Metrics().QueueDepth.Value() == 1 })
+		}
+	}
+
+	for seq := uint64(1); seq <= 5; seq++ {
+		resp, _ := postLookup(t, ts.URL, `{"indices": [5]}`)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("rejection %d: status %s, want 503", seq, resp.Status)
+		}
+		got := resp.Header.Get("Retry-After")
+		want := strconv.FormatUint(1+testSplitmix64(seed^seq)%3, 10)
+		if got != want {
+			t.Errorf("rejection %d: Retry-After %q, want %q", seq, got, want)
+		}
+		if got != "1" && got != "2" && got != "3" {
+			t.Errorf("rejection %d: Retry-After %q outside the jitter window {1,2,3}", seq, got)
+		}
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("admitted request finished with %d", code)
+		}
+	}
+}
+
+// TestServerHealthzDuringDrain pins the shutdown ordering contract: the
+// moment Drain begins, /healthz answers 503 so load balancers stop routing —
+// yet requests already admitted to the queue still flush to completion, and
+// the post-drain lookup rejection carries the fixed drain Retry-After.
+func TestServerHealthzDuringDrain(t *testing.T) {
+	fake := &fakeSystem{fakeBackend: newFake(), rows: 1 << 16}
+	fake.gate = make(chan struct{})
+	fake.enter = make(chan struct{}, 16)
+	srv, ts := newTestServer(t, fake, serve.Config{BatchCapacity: 1})
+
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/lookup", "application/json", strings.NewReader(`{"indices": [3]}`))
+			if err != nil {
+				done <- -1
+				return
+			}
+			resp.Body.Close()
+			done <- resp.StatusCode
+		}()
+		if i == 0 {
+			<-fake.enter // first request holds the backend at the gate
+		} else {
+			waitFor(t, func() bool { return srv.Metrics().QueueDepth.Value() == 1 })
+		}
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+
+	// Health flips unhealthy while the queued request is still unanswered.
+	waitFor(t, func() bool {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	select {
+	case code := <-done:
+		t.Fatalf("a request finished with %d before the backend gate opened", code)
+	default:
+	}
+
+	// Open the gate: both admitted requests must still complete with 200.
+	close(fake.gate)
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("queued request finished with %d after drain, want 200", code)
+		}
+	}
+
+	resp, decoded := postLookup(t, ts.URL, `{"indices": [1]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || decoded["kind"] != "draining" {
+		t.Fatalf("post-drain lookup: %s kind=%v, want 503 draining", resp.Status, decoded["kind"])
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("draining Retry-After = %q, want the fixed \"1\" (no jitter: the listener is going away)", ra)
 	}
 }
 

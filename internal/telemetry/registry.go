@@ -122,6 +122,29 @@ func (v *CounterVec) With(value string) *Counter {
 // callers with dense label enums index directly instead of string-matching.
 func (v *CounterVec) At(i int) *Counter { return v.counters[i] }
 
+// GaugeVec is a gauge family with one label dimension whose values are fixed
+// at registration — the gauge counterpart of CounterVec. The fleet router
+// publishes per-shard health through it.
+type GaugeVec struct {
+	name, help, label string
+	values            []string
+	gauges            []*Gauge
+}
+
+// With returns the gauge for the given label value; unknown values return a
+// detached gauge (never rendered) rather than panicking.
+func (v *GaugeVec) With(value string) *Gauge {
+	for i, val := range v.values {
+		if val == value {
+			return v.gauges[i]
+		}
+	}
+	return &Gauge{}
+}
+
+// At returns the gauge at the registration index of its label value.
+func (v *GaugeVec) At(i int) *Gauge { return v.gauges[i] }
+
 // renderable is one registered family.
 type renderable interface {
 	famName() string
@@ -166,6 +189,18 @@ func (r *Registry) CounterVec(name, help, label string, values ...string) *Count
 	v.counters = make([]*Counter, len(values))
 	for i := range values {
 		v.counters[i] = &Counter{}
+	}
+	r.register(v)
+	return v
+}
+
+// GaugeVec registers a labelled gauge family with the given fixed label
+// values, rendered one line per value in the given order.
+func (r *Registry) GaugeVec(name, help, label string, values ...string) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, label: label, values: values}
+	v.gauges = make([]*Gauge, len(values))
+	for i := range values {
+		v.gauges[i] = &Gauge{}
 	}
 	r.register(v)
 	return v
@@ -220,6 +255,14 @@ func (v *CounterVec) render(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.name, v.help, v.name)
 	for i, val := range v.values {
 		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, v.counters[i].Value())
+	}
+}
+
+func (v *GaugeVec) famName() string { return v.name }
+func (v *GaugeVec) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", v.name, v.help, v.name)
+	for i, val := range v.values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, v.gauges[i].Value())
 	}
 }
 

@@ -39,6 +39,9 @@ const (
 	PIDEngine = 1
 	// PIDServe groups serving-layer lanes (request lifecycle).
 	PIDServe = 2
+	// PIDRouter groups fleet-router lanes (per-shard scatter windows,
+	// failover retries, probes, and the host-side combine).
+	PIDRouter = 3
 	// PIDPELevelBase + level groups the PE lanes of one tree level.
 	PIDPELevelBase = 10
 	// PIDDRAMBase + globalRank groups one rank's per-bank lanes.

@@ -28,6 +28,12 @@
 #                      families and sub-millisecond latency buckets), then
 #                      SIGTERM and require a clean drain (exit 0 with
 #                      in-flight work finished)
+#  11. chaos gate    — boot a 4-shard fleet with shard 1 killed by
+#                      -fault-storm, fire a burst through the router, and
+#                      require zero 5xx (every request rides replica
+#                      failover), degraded responses surfaced to clients,
+#                      the shard_dark metric tripped on /metrics, and a
+#                      clean SIGTERM drain
 #
 # Long-running fuzzing is opt-in, not part of the gate:
 #
@@ -90,7 +96,9 @@ END {
 
 echo "==> telemetry: traced fafnir-sim run validates as Chrome trace JSON"
 SMOKE=$(mktemp -d)
-trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
+SERVE_PID=
+FLEET_PID=
+trap 'kill "$SERVE_PID" "$FLEET_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
 go build -o "$SMOKE/fafnir-sim" ./cmd/fafnir-sim
 go build -o "$SMOKE/fafnir-trace" ./cmd/fafnir-trace
 "$SMOKE/fafnir-sim" -mode lookup -engine fafnir -batch 8 -q 8 -rows 4096 \
@@ -142,5 +150,45 @@ grep -q 'drained cleanly' "$SMOKE/serve.log" \
     || { cat "$SMOKE/serve.log"; echo "smoke: no clean drain line"; exit 1; }
 grep 'drained cleanly' "$SMOKE/serve.log"
 SERVE_PID=
+
+echo "==> chaos gate: 4-shard fleet survives losing shard 1 mid-burst"
+"$SMOKE/fafnir-serve" -addr 127.0.0.1:0 -shards 4 -rows 4096 -linger 500us \
+    -fault-storm "shard=1@1;seed=7" > "$SMOKE/fleet.log" 2>&1 &
+FLEET_PID=$!
+
+FADDR=
+i=0
+while [ $i -lt 100 ]; do
+    FADDR=$(awk '/^listening on /{print $3; exit}' "$SMOKE/fleet.log" 2>/dev/null || true)
+    [ -n "$FADDR" ] && break
+    kill -0 "$FLEET_PID" 2>/dev/null || { cat "$SMOKE/fleet.log"; echo "chaos: fleet died on startup"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$FADDR" ] || { cat "$SMOKE/fleet.log"; echo "chaos: fleet never announced its port"; exit 1; }
+
+# -rows matches the fleet's index space (4096 rows x 32 tables).
+"$SMOKE/fafnir-loadgen" -url "http://$FADDR" -clients 4 -requests 64 \
+    -duration 10s -rows 131072 -dump-metrics > "$SMOKE/chaos.log" 2>&1 \
+    || { cat "$SMOKE/chaos.log"; echo "chaos: loadgen failed"; exit 1; }
+# Every request must succeed: the dead shard's traffic fails over to its
+# replica shard instead of surfacing as 5xx.
+grep -q ' 64 ok, 0 overload (503), 0 deadline (504), 0 other$' "$SMOKE/chaos.log" \
+    || { cat "$SMOKE/chaos.log"; echo "chaos: requests failed through the dead shard"; exit 1; }
+grep -q '^robustness: [1-9][0-9]* degraded' "$SMOKE/chaos.log" \
+    || { cat "$SMOKE/chaos.log"; echo "chaos: no degraded responses surfaced to clients"; exit 1; }
+grep -q 'fafnir_router_shard_dark_total{shard="1"} [1-9]' "$SMOKE/chaos.log" \
+    || { cat "$SMOKE/chaos.log"; echo "chaos: breaker never tripped shard 1 dark"; exit 1; }
+grep -q 'fafnir_router_failovers_total{shard="1"} [1-9]' "$SMOKE/chaos.log" \
+    || { cat "$SMOKE/chaos.log"; echo "chaos: no failovers recorded for shard 1"; exit 1; }
+
+kill -TERM "$FLEET_PID"
+CHAOS_RC=0
+wait "$FLEET_PID" || CHAOS_RC=$?
+[ "$CHAOS_RC" -eq 0 ] || { cat "$SMOKE/fleet.log"; echo "chaos: fleet exited $CHAOS_RC on SIGTERM"; exit 1; }
+grep -q 'drained cleanly' "$SMOKE/fleet.log" \
+    || { cat "$SMOKE/fleet.log"; echo "chaos: no clean drain line"; exit 1; }
+grep 'drained cleanly' "$SMOKE/fleet.log"
+FLEET_PID=
 
 echo "OK: all checks passed"
