@@ -8,6 +8,7 @@
 //	fafnir-bench -format md           # Markdown tables instead of text
 //	fafnir-bench -out results/        # one file per experiment
 //	fafnir-bench -list                # list experiment IDs
+//	fafnir-bench -exp fig12 -cpuprofile cpu.pprof   # profile one experiment
 package main
 
 import (
@@ -16,19 +17,51 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	"fafnir/internal/exp"
 )
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "experiment ID to run (default: all)")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		format = flag.String("format", "text", "output format: text or md")
-		outDir = flag.String("out", "", "write one file per experiment into this directory")
-		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment runners (1 = serial)")
+		expID      = flag.String("exp", "", "experiment ID to run (default: all)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		format     = flag.String("format", "text", "output format: text or md")
+		outDir     = flag.String("out", "", "write one file per experiment into this directory")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment runners (1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // flush recently-freed objects out of the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	render := func(rep *exp.Report) string {
 		if *format == "md" {

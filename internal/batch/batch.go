@@ -10,7 +10,6 @@ package batch
 import (
 	"fmt"
 	"slices"
-	"sort"
 
 	"fafnir/internal/embedding"
 	"fafnir/internal/header"
@@ -37,46 +36,88 @@ type Plan struct {
 	queryByKey map[string][]int
 }
 
+// pair is one (query, index) membership during compilation: the index and
+// the owning query's remaining set (the query minus the index).
+type pair struct {
+	idx header.Index
+	rem header.IndexSet
+}
+
 // Build compiles a batch. With dedup true, every distinct index produces one
 // access whose Remaining carries one set per using query; with dedup false
 // (the paper's "neither eliminates redundant accesses" ablation of Fig. 13),
 // every (query, index) pair produces its own access.
+//
+// Compilation is sort-based: the (index, remaining-set) pairs are collected
+// in query order with every remaining set carved out of one backing array,
+// stably sorted by index, and grouped — the same plan the per-index map of
+// earlier versions produced, without an allocation per pair. Build runs once
+// per hardware batch on the timed path, so its constant factors matter.
 func Build(b embedding.Batch, dedup bool) *Plan {
 	p := &Plan{Dedup: dedup, batch: b, queryByKey: make(map[string][]int, len(b.Queries))}
 	total := b.TotalAccesses()
+	remLen := 0
 	for qi, q := range b.Queries {
 		p.queryByKey[q.Indices.Key()] = append(p.queryByKey[q.Indices.Key()], qi)
+		remLen += q.Indices.Len() * (q.Indices.Len() - 1)
+	}
+
+	backing := make(header.IndexSet, 0, remLen)
+	pairs := make([]pair, 0, total)
+	for _, q := range b.Queries {
+		for _, idx := range q.Indices {
+			start := len(backing)
+			for _, x := range q.Indices {
+				if x != idx {
+					backing = append(backing, x)
+				}
+			}
+			var rem header.IndexSet
+			if len(backing) > start {
+				rem = backing[start:len(backing):len(backing)]
+			}
+			pairs = append(pairs, pair{idx: idx, rem: rem})
+		}
+	}
+	// Sort a position permutation with a position tiebreak: same order as a
+	// stable sort of the pairs, without moving the pair structs.
+	ord := make([]int32, len(pairs))
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	slices.SortFunc(ord, func(a, b int32) int {
+		pa, pb := pairs[a].idx, pairs[b].idx
+		switch {
+		case pa < pb:
+			return -1
+		case pa > pb:
+			return 1
+		}
+		return int(a) - int(b)
+	})
+	sets := make([]header.IndexSet, len(pairs))
+	for i, o := range ord {
+		sets[i] = pairs[o].rem
 	}
 
 	if dedup {
-		remaining := make(map[header.Index][]header.IndexSet, total)
-		for _, q := range b.Queries {
-			for _, idx := range q.Indices {
-				remaining[idx] = append(remaining[idx], q.Indices.Minus(header.NewIndexSet(idx)))
+		p.Accesses = make([]Access, 0, len(pairs))
+		for i := 0; i < len(ord); {
+			idx := pairs[ord[i]].idx
+			j := i + 1
+			for j < len(ord) && pairs[ord[j]].idx == idx {
+				j++
 			}
-		}
-		indices := make([]header.Index, 0, len(remaining))
-		for idx := range remaining {
-			indices = append(indices, idx)
-		}
-		sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
-		p.Accesses = make([]Access, 0, len(indices))
-		for _, idx := range indices {
-			p.Accesses = append(p.Accesses, Access{Index: idx, Remaining: dedupSets(remaining[idx])})
+			p.Accesses = append(p.Accesses, Access{Index: idx, Remaining: dedupSets(sets[i:j:j])})
+			i = j
 		}
 		return p
 	}
 
-	p.Accesses = make([]Access, 0, total)
-	for _, q := range b.Queries {
-		for _, idx := range q.Indices {
-			p.Accesses = append(p.Accesses, Access{
-				Index:     idx,
-				Remaining: []header.IndexSet{q.Indices.Minus(header.NewIndexSet(idx))},
-			})
-		}
+	p.Accesses = make([]Access, len(ord))
+	for i, o := range ord {
+		p.Accesses[i] = Access{Index: pairs[o].idx, Remaining: sets[i : i+1 : i+1]}
 	}
-	sort.SliceStable(p.Accesses, func(i, j int) bool { return p.Accesses[i].Index < p.Accesses[j].Index })
 	return p
 }
 

@@ -12,6 +12,7 @@ package embedding
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"fafnir/internal/header"
 	"fafnir/internal/tensor"
@@ -68,6 +69,16 @@ func (s *Store) Element(idx header.Index, e int) float32 {
 	return float32(int64(h%17)) - 8
 }
 
+// fill materializes the vector at idx into dst, hoisting the per-row hash
+// base out of the element loop (bit-identical to Element per element).
+func (s *Store) fill(idx header.Index, dst tensor.Vector) {
+	base := s.seed ^ uint64(idx)*0x100000001b3
+	for e := range dst {
+		h := splitmix64(base ^ uint64(e))
+		dst[e] = float32(int64(h%17)) - 8
+	}
+}
+
 // Vector materializes the embedding vector at global row idx. It returns an
 // error for an out-of-range index.
 func (s *Store) Vector(idx header.Index) (tensor.Vector, error) {
@@ -75,10 +86,23 @@ func (s *Store) Vector(idx header.Index) (tensor.Vector, error) {
 		return nil, fmt.Errorf("embedding: index %d out of range [0,%d)", idx, s.totalRows)
 	}
 	v := tensor.New(s.dim)
-	for e := range v {
-		v[e] = s.Element(idx, e)
-	}
+	s.fill(idx, v)
 	return v, nil
+}
+
+// VectorInto materializes the embedding vector at global row idx into dst,
+// which must have the store's dimension. It is Vector without the
+// allocation, for callers that manage their own buffers (the engines' leaf
+// staging arenas).
+func (s *Store) VectorInto(idx header.Index, dst tensor.Vector) error {
+	if uint64(idx) >= s.totalRows {
+		return fmt.Errorf("embedding: index %d out of range [0,%d)", idx, s.totalRows)
+	}
+	if len(dst) != s.dim {
+		return fmt.Errorf("embedding: VectorInto buffer has %d elements, store dimension is %d", len(dst), s.dim)
+	}
+	s.fill(idx, dst)
+	return nil
 }
 
 // MustVector is Vector for callers with statically valid indices (tests,
@@ -153,17 +177,39 @@ func (b Batch) UniqueFraction() float64 {
 // index outside the store or the pooling operation is unusable.
 func (b Batch) Golden(s *Store) ([]tensor.Vector, error) {
 	out := make([]tensor.Vector, len(b.Queries))
+	// Batches share indices heavily (that sharing is the whole premise of the
+	// paper), so each unique index is materialized once into a flat backing
+	// and reused; only the per-query accumulators escape. Values are
+	// deterministic, so memoization cannot change any result.
+	dim := s.Dim()
+	var backing []float32
+	memo := make(map[header.Index]int, b.TotalAccesses())
+	vecOf := func(idx header.Index) (tensor.Vector, error) {
+		if uint64(idx) >= s.totalRows {
+			return nil, fmt.Errorf("embedding: index %d out of range [0,%d)", idx, s.totalRows)
+		}
+		off, ok := memo[idx]
+		if !ok {
+			off = len(backing)
+			backing = append(backing, make([]float32, dim)...)
+			s.fill(idx, backing[off:off+dim])
+			memo[idx] = off
+		}
+		return backing[off : off+dim], nil
+	}
 	for i, q := range b.Queries {
 		if q.Indices.Len() == 0 {
-			out[i] = tensor.New(s.Dim())
+			out[i] = tensor.New(dim)
 			continue
 		}
-		acc, err := s.Vector(q.Indices[0])
+		v, err := vecOf(q.Indices[0])
 		if err != nil {
 			return nil, fmt.Errorf("embedding: golden of query %d: %w", i, err)
 		}
+		acc := tensor.New(dim)
+		copy(acc, v)
 		for _, idx := range q.Indices[1:] {
-			v, err := s.Vector(idx)
+			v, err := vecOf(idx)
 			if err != nil {
 				return nil, fmt.Errorf("embedding: golden of query %d: %w", i, err)
 			}
@@ -302,17 +348,22 @@ func (g *Generator) Query() Query {
 		tables := g.cfg.Rows / g.cfg.PerTableRows
 		base = uint64(g.rng.Int63n(int64(tables))) * g.cfg.PerTableRows
 	}
-	seen := make(map[header.Index]struct{}, g.cfg.QuerySize)
-	idx := make([]header.Index, 0, g.cfg.QuerySize)
+	// Queries are small (q <= 16 in the paper), so a linear duplicate scan
+	// beats a per-query map; the draw sequence — and hence the generated
+	// batch — is unchanged.
+	idx := make(header.IndexSet, 0, g.cfg.QuerySize)
+draw:
 	for len(idx) < g.cfg.QuerySize {
 		r := header.Index(base) + g.drawRow(space)
-		if _, dup := seen[r]; dup {
-			continue
+		for _, x := range idx {
+			if x == r {
+				continue draw
+			}
 		}
-		seen[r] = struct{}{}
 		idx = append(idx, r)
 	}
-	return Query{Indices: header.NewIndexSet(idx...)}
+	slices.Sort(idx)
+	return Query{Indices: idx}
 }
 
 // Batch draws a full batch with the given pooling operation.

@@ -1,0 +1,121 @@
+package fafnir
+
+import (
+	"testing"
+
+	"fafnir/internal/batch"
+	"fafnir/internal/embedding"
+	"fafnir/internal/tensor"
+)
+
+// Allocation budgets for the hot path. The async scheduler PR flattened the
+// tree into an arena and moved every per-action allocation (vector clones,
+// index-set unions, Queries slices) into per-worker bump allocators, so the
+// steady-state costs below are structural invariants, not tuning targets: a
+// budget breach means an arena was lost, a scratch stopped being pooled, or a
+// slice started escaping again.
+//
+// Budgets are set with headroom above the measured steady state (noted per
+// test) so noise — a map resize, a pool miss after a GC — does not flake, but
+// a real regression (hundreds or thousands of allocs/op) trips immediately.
+
+// allocsPerRun reports the steady-state allocations of f, warming once first
+// so lazily-grown pools and arenas reach their peak before measurement.
+func allocsPerRun(t *testing.T, f func()) float64 {
+	t.Helper()
+	f() // warm pools and arena chunks
+	return testing.AllocsPerRun(10, f)
+}
+
+// TestRunTreeAllocBudget pins the full tree reduction of one batch-32
+// hardware batch, including the scratch lease/release. Measured steady
+// state: 0 allocs/op (acceptance bound for this PR: <= 100).
+func TestRunTreeAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budgets are not short-mode material")
+	}
+	e, plan, store, pl := allocTreeSetup(t, 1)
+	leafSc := e.getTreeScratch() // holds leaf entries across runs; never released
+	leafIn, err := e.leafInputs(leafSc, store, pl, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := allocsPerRun(t, func() {
+		var totals PEStats
+		var maxOcc int
+		sc := e.getTreeScratch()
+		if _, err := e.runTree(sc, tensor.OpSum, leafIn, &totals, &maxOcc, sc.perPE); err != nil {
+			t.Fatal(err)
+		}
+		e.putTreeScratch(sc)
+	})
+	const budget = 16
+	if got > budget {
+		t.Errorf("runTree: %.0f allocs/op, budget %d", got, budget)
+	}
+}
+
+// TestLeafInputsAllocBudget pins building the per-rank leaf entries of one
+// hardware batch. Measured steady state: ~1 alloc/op (the per-rank entry
+// index map rebuilt per batch).
+func TestLeafInputsAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budgets are not short-mode material")
+	}
+	e, plan, store, pl := allocTreeSetup(t, 1)
+	got := allocsPerRun(t, func() {
+		sc := e.getTreeScratch()
+		if _, err := e.leafInputs(sc, store, pl, plan, nil); err != nil {
+			t.Fatal(err)
+		}
+		e.putTreeScratch(sc)
+	})
+	const budget = 32
+	if got > budget {
+		t.Errorf("leafInputs: %.0f allocs/op, budget %d", got, budget)
+	}
+}
+
+// TestLookupAllocBudget pins the whole functional batch-32 Lookup: plan
+// compilation, leaf staging, tree reduction, and result resolution. The
+// outputs and the plan escape by design, so this budget is necessarily
+// nonzero; measured steady state is ~334 allocs/op (down from ~11.6k before
+// the arena work).
+func TestLookupAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budgets are not short-mode material")
+	}
+	e, plan, store, pl := allocTreeSetup(t, 1)
+	bt := plan.Batch()
+	got := allocsPerRun(t, func() {
+		if _, err := e.Lookup(store, pl, bt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 1000
+	if got > budget {
+		t.Errorf("Lookup(batch=32): %.0f allocs/op, budget %d", got, budget)
+	}
+}
+
+// allocTreeSetup mirrors benchTreeSetup for tests: one batch-32 hardware
+// batch against the default 31-PE tree.
+func allocTreeSetup(t *testing.T, par int) (*Engine, *batch.Plan, *embedding.Store, modBenchPlacement) {
+	t.Helper()
+	cfg := Default()
+	cfg.VectorDim = 32
+	cfg.Parallelism = par
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: 32, QuerySize: 16, Rows: 1 << 16, Dist: embedding.Zipf, ZipfS: 1.3, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := batch.Build(gen.Batch(tensor.OpSum), true)
+	store := embedding.MustStore(1<<16, 32, 3)
+	return e, plan, store, modBenchPlacement{ranks: 32, bytes: 128}
+}

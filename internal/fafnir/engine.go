@@ -41,12 +41,17 @@ type ReplicatedPlacement interface {
 type Engine struct {
 	cfg  Config
 	tree *Tree
+	// flat is the arena-flattened mirror of tree (see flat.go); the hot path
+	// iterates these dense records instead of chasing *PENode pointers.
+	flat   []flatPE
+	rootID int32
 	// tracer receives timing events when attached (see trace.go); nil — the
 	// default — costs one pointer check per hardware batch.
 	tracer telemetry.Tracer
-	// scratch pools dense treeScratch working sets (see parallel.go) so
-	// steady-state tree evaluations allocate no bookkeeping.
-	scratch sync.Pool
+	// stallHook, when non-nil, is called by every scheduler worker before it
+	// evaluates a node. Tests use it to inject adversarial scheduling delays;
+	// nil in production.
+	stallHook func(worker, pe int)
 }
 
 // NewEngine builds an engine; it returns an error for invalid configurations.
@@ -55,7 +60,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, tree: tree}, nil
+	return &Engine{cfg: cfg, tree: tree, flat: flatten(tree), rootID: int32(tree.root.ID)}, nil
 }
 
 // Config returns the engine's configuration.
@@ -241,16 +246,21 @@ func (e *Engine) hwBatch(b embedding.Batch, start int) embedding.Batch {
 }
 
 // runPlan pushes one hardware batch through the tree and stores the resolved
-// outputs at offset qBase of res.Outputs.
+// outputs at offset qBase of res.Outputs. The scratch lease spans the whole
+// batch — leaf staging, tree evaluation, and resolve — because the tree's
+// entries live in the scratch's arenas; resolve clones the outputs it keeps.
 func (e *Engine) runPlan(store *embedding.Store, layout Placement, plan *batch.Plan, qBase int, res *Result) error {
+	sc := e.getTreeScratch()
+	defer e.putTreeScratch(sc)
+
 	op := plan.Batch().Op
-	leafIn, err := e.leafInputs(store, layout, plan, nil)
+	leafIn, err := e.leafInputs(sc, store, layout, plan, nil)
 	if err != nil {
 		return err
 	}
 	res.MemoryReads += plan.NumAccesses()
 
-	outputs, err := e.runTree(op, leafIn, &res.PETotals, &res.MaxOccupancy, nil)
+	outputs, err := e.runTree(sc, op, leafIn, &res.PETotals, &res.MaxOccupancy, nil)
 	if err != nil {
 		return err
 	}
@@ -262,15 +272,21 @@ func (e *Engine) runPlan(store *embedding.Store, layout Placement, plan *batch.P
 type rankEntries [][]Entry
 
 // leafInputs reads every planned access from the store and builds the leaf
-// entries, grouped by rank. All per-rank buffers are carved out of one
-// backing array sized from plan.NumAccesses(), so the hot path performs two
-// allocations regardless of batch size. remap overrides the placement rank
-// for indices whose reads the host redirected to a replica (nil when no
-// faults are injected); the entry must enter the tree at the leaf that
-// actually served the read so the functional and timing passes agree.
-func (e *Engine) leafInputs(store *embedding.Store, layout Placement, plan *batch.Plan, remap map[header.Index]int) (rankEntries, error) {
-	in := make(rankEntries, e.cfg.NumRanks)
-	counts := make([]int, e.cfg.NumRanks)
+// entries, grouped by rank. The per-rank buffers are carved out of one arena
+// reservation and the staging slices live on the scratch, so the steady-state
+// hot path allocates nothing regardless of batch size. Leaf headers alias the
+// plan: the Queries field shares acc.Remaining directly (headers are
+// immutable in flight and the plan outlives the lease) and Indices is a
+// one-element arena set. remap overrides the placement rank for indices whose
+// reads the host redirected to a replica (nil when no faults are injected);
+// the entry must enter the tree at the leaf that actually served the read so
+// the functional and timing passes agree.
+func (e *Engine) leafInputs(sc *treeScratch, store *embedding.Store, layout Placement, plan *batch.Plan, remap map[header.Index]int) (rankEntries, error) {
+	ws := sc.worker(0)
+	in := sc.in
+	counts := sc.counts
+	clear(in)
+	clear(counts)
 	for _, acc := range plan.Accesses {
 		r := layout.Rank(acc.Index)
 		if rr, ok := remap[acc.Index]; ok {
@@ -282,7 +298,7 @@ func (e *Engine) leafInputs(store *embedding.Store, layout Placement, plan *batc
 		}
 		counts[r]++
 	}
-	buf := make([]Entry, plan.NumAccesses())
+	buf := ws.ents.alloc(plan.NumAccesses())
 	off := 0
 	for r, c := range counts {
 		if c == 0 {
@@ -291,50 +307,45 @@ func (e *Engine) leafInputs(store *embedding.Store, layout Placement, plan *batc
 		in[r] = buf[off : off : off+c]
 		off += c
 	}
+	dim := store.Dim()
 	for _, acc := range plan.Accesses {
 		r := layout.Rank(acc.Index)
 		if rr, ok := remap[acc.Index]; ok {
 			r = rr
 		}
-		v, err := store.Vector(acc.Index)
-		if err != nil {
+		v := ws.vals.alloc(dim)
+		if err := store.VectorInto(acc.Index, v); err != nil {
 			return nil, err
 		}
-		in[r] = append(in[r], Entry{Value: v, Header: acc.LeafHeader()})
+		in[r] = append(in[r], Entry{Value: v, Header: header.Header{
+			Indices: ws.single(acc.Index),
+			Queries: acc.Remaining,
+		}})
 	}
 	return in, nil
 }
 
-// runTree evaluates every PE bottom-up and returns the root outputs. When
+// runTree evaluates every PE bottom-up on the leased scratch and returns the
+// root outputs (arena-backed: valid until the scratch is released). When
 // perPE is non-nil it must have NumPEs slots and receives each node's
-// post-merge stats indexed by PE ID (used by the timing engine).
+// post-merge stats indexed by PE ID (used by the timing engine); callers
+// usually pass the scratch's own perPE slice.
 //
-// With Parallelism > 1 the levels evaluate on the concurrent worker pool of
-// parallel.go; either way each node's result is a pure function of its
+// With Parallelism > 1 the tree evaluates on the dependency-driven scheduler
+// of parallel.go; either way each node's result is a pure function of its
 // children's, and all accounting folds in fixed construction order below, so
 // outputs and statistics are bit-identical at every Parallelism setting.
-func (e *Engine) runTree(op tensor.ReduceOp, in rankEntries, totals *PEStats, maxOcc *int, perPE []PEStats) ([]Entry, error) {
-	sc := e.getTreeScratch()
-	defer e.putTreeScratch(sc)
-
-	if e.parallelism() > 1 {
-		if err := e.evalLevels(op, in, sc); err != nil {
-			return nil, err
-		}
-	} else {
-		// tree.all is in construction order: children precede parents.
-		for _, n := range e.tree.all {
-			if err := e.evalNode(op, n, in, sc); err != nil {
-				return nil, err
-			}
-		}
+func (e *Engine) runTree(sc *treeScratch, op tensor.ReduceOp, in rankEntries, totals *PEStats, maxOcc *int, perPE []PEStats) ([]Entry, error) {
+	if err := e.evalTree(op, in, sc); err != nil {
+		return nil, err
 	}
 
-	for _, n := range e.tree.all {
-		st := sc.proc[n.ID]
+	// flat is in construction order: leaves first, IDs ascending.
+	for i := range e.flat {
+		st := sc.proc[i]
 		if totals != nil {
-			if n.IsLeaf() {
-				s := sc.self[n.ID]
+			if e.flat[i].leaf {
+				s := sc.self[i]
 				totals.Reduces += s.Reduces
 				totals.Compares += s.Compares
 				totals.MergedDuplicates += s.MergedDuplicates
@@ -345,10 +356,10 @@ func (e *Engine) runTree(op tensor.ReduceOp, in rankEntries, totals *PEStats, ma
 			*maxOcc = st.Outputs
 		}
 		if perPE != nil {
-			perPE[n.ID] = st
+			perPE[i] = st
 		}
 	}
-	return sc.memo[e.tree.root.ID], nil
+	return sc.memo[e.rootID], nil
 }
 
 // checkRootConservation is the always-on cheap invariant checker run on
@@ -482,27 +493,42 @@ func (e *Engine) readFaulted(layout Placement, mem *dram.System, inj *fault.Inje
 // batches are being timed.
 type funcPass struct {
 	plan    *batch.Plan
-	outputs []Entry
-	perPE   []PEStats
+	sc      *treeScratch // leased for the pass; released by the timed loop
+	outputs []Entry      // arena-backed; valid while sc is leased
+	perPE   []PEStats    // aliases sc.perPE
 	totals  PEStats
 	maxOcc  int
 	err     error
 	done    chan struct{}
 }
 
+// release returns the pass's scratch (if any) to the pool, invalidating its
+// outputs and per-PE stats.
+func (p *funcPass) release(e *Engine) {
+	if p.sc != nil {
+		e.putTreeScratch(p.sc)
+		p.sc = nil
+		p.outputs = nil
+		p.perPE = nil
+	}
+}
+
 // runFuncPass compiles the batch (unless already compiled) and runs the
-// functional tree reduction, filling the pass in place.
+// functional tree reduction, filling the pass in place. The pass holds its
+// scratch lease so the arena-backed outputs survive until the serial timed
+// loop has resolved and traced the batch.
 func (e *Engine) runFuncPass(p *funcPass, store *embedding.Store, layout Placement, b embedding.Batch, start int, dedup bool, remap map[header.Index]int) {
 	if p.plan == nil {
 		p.plan = batch.Build(e.hwBatch(b, start), dedup)
 	}
-	leafIn, err := e.leafInputs(store, layout, p.plan, remap)
+	p.sc = e.getTreeScratch()
+	leafIn, err := e.leafInputs(p.sc, store, layout, p.plan, remap)
 	if err != nil {
 		p.err = err
 		return
 	}
-	p.perPE = make([]PEStats, e.tree.NumPEs())
-	p.outputs, p.err = e.runTree(b.Op, leafIn, &p.totals, &p.maxOcc, p.perPE)
+	p.perPE = p.sc.perPE
+	p.outputs, p.err = e.runTree(p.sc, b.Op, leafIn, &p.totals, &p.maxOcc, p.perPE)
 }
 
 // treeTiming propagates input readiness up the tree in the PE clock domain
@@ -511,28 +537,29 @@ func (e *Engine) runFuncPass(p *funcPass, store *embedding.Store, layout Placeme
 // across batches; every node's slot is overwritten.
 func (e *Engine) treeTiming(leafReady, ready []sim.Cycle, perPE []PEStats, inj *fault.Injector, faulted bool) sim.Cycle {
 	stage := e.cfg.Latency.StageLatency()
-	// tree.all is in construction order: children precede parents.
-	for _, n := range e.tree.all {
+	// flat is in construction order: children precede parents.
+	for i := range e.flat {
+		n := &e.flat[i]
 		var inReady sim.Cycle
-		if n.IsLeaf() {
-			inReady = e.cfg.DRAMToPE(leafReady[n.ID])
+		if n.leaf {
+			inReady = e.cfg.DRAMToPE(leafReady[i])
 		} else {
-			inReady = ready[n.Left.ID]
-			if n.Right != nil {
-				inReady = sim.Max(inReady, ready[n.Right.ID])
+			inReady = ready[n.left]
+			if n.right >= 0 {
+				inReady = sim.Max(inReady, ready[n.right])
 			}
 		}
-		occ := perPE[n.ID].Outputs
+		occ := perPE[i].Outputs
 		t := inReady + stage
 		if occ > 1 {
 			t += sim.Cycle(occ - 1)
 		}
 		if faulted {
-			t += inj.PEStall(n.ID)
+			t += inj.PEStall(i)
 		}
-		ready[n.ID] = t
+		ready[i] = t
 	}
-	return ready[e.tree.root.ID]
+	return ready[e.rootID]
 }
 
 func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram.System, b embedding.Batch, dedup bool, inj *fault.Injector) (*TimedResult, error) {
@@ -580,6 +607,7 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 		if pipelined {
 			<-p.done
 			if p.err != nil {
+				p.release(e)
 				return nil, p.err
 			}
 		} else {
@@ -605,6 +633,7 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 				before := deg.RemappedReads
 				rank, done, err = e.readFaulted(layout, mem, inj, acc.Index, clock, res, deg)
 				if err != nil {
+					p.release(e)
 					return nil, err
 				}
 				if deg.RemappedReads > before {
@@ -620,6 +649,7 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 			}
 			leaf, err := e.tree.LeafOfRank(rank)
 			if err != nil {
+				p.release(e)
 				return nil, err
 			}
 			leafReady[leaf.ID] = sim.Max(leafReady[leaf.ID], done)
@@ -641,6 +671,7 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 		if !pipelined {
 			e.runFuncPass(p, store, layout, b, start, dedup, remap)
 			if p.err != nil {
+				p.release(e)
 				return nil, p.err
 			}
 		}
@@ -649,6 +680,7 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 			res.MaxOccupancy = p.maxOcc
 		}
 		if err := e.resolve(plan, p.outputs, start, &res.Result); err != nil {
+			p.release(e)
 			return nil, err
 		}
 
@@ -672,6 +704,11 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 		res.ComputeCycles += rootDone - memPE
 		res.TransferCycles += xfer
 		res.TotalCycles = rootDone + xfer
+
+		// The batch's outputs and per-PE stats have been fully consumed
+		// (resolve clones, treeTiming and traceBatch only read), so the
+		// scratch lease ends here and its arenas recycle to the next batch.
+		p.release(e)
 
 		// The next hardware batch issues its reads once this batch's reads
 		// have drained (input FIFOs double-buffer the tree traversal).

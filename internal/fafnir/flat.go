@@ -1,0 +1,46 @@
+package fafnir
+
+// flatPE is one node of the arena-flattened tree: the dense, pointer-free
+// mirror of PENode that the hot path iterates. Child, parent, and stats slots
+// are all plain indices into engine- or scratch-owned slices, so evaluation
+// touches contiguous records instead of chasing *PENode pointers, and the
+// scheduler's dependency state (pendInit countdown seeds) lives right next to
+// the topology it guards.
+type flatPE struct {
+	ranksA, ranksB []int // leaf rank assignments (aliases PENode's slices)
+
+	left, right int32 // child node IDs, -1 if absent
+	parent      int32 // parent node ID, -1 at the root
+	level       int32 // construction level (carried-up nodes keep their own)
+	pendInit    int32 // number of children that must finish before this node
+	leaf        bool
+	kind        NodeKind
+}
+
+// flatten builds the dense mirror of t, indexed by PENode.ID. Construction
+// order (t.all) is ID order with levels non-decreasing — children always
+// precede parents — which the scheduler and the post-hoc stats fold both
+// rely on.
+func flatten(t *Tree) []flatPE {
+	fl := make([]flatPE, t.NumPEs())
+	for _, n := range t.all {
+		f := &fl[n.ID]
+		f.left, f.right, f.parent = -1, -1, -1
+		if n.Left != nil {
+			f.left = int32(n.Left.ID)
+			f.pendInit++
+		}
+		if n.Right != nil {
+			f.right = int32(n.Right.ID)
+			f.pendInit++
+		}
+		if n.Parent != nil {
+			f.parent = int32(n.Parent.ID)
+		}
+		f.level = int32(n.Level)
+		f.ranksA, f.ranksB = n.RanksA, n.RanksB
+		f.leaf = n.IsLeaf()
+		f.kind = n.Kind
+	}
+	return fl
+}

@@ -10,15 +10,21 @@ import (
 )
 
 // This file holds the concurrent execution layer of the engine: a pooled
-// dense scratch for tree evaluation and a level-synchronous worker pool that
-// evaluates PEs concurrently once their children have resolved. The layer is
-// deterministic by construction — each PE's output is a pure function of its
-// children's outputs, workers write only their own node's dense slots, and
-// all accounting (PETotals, MaxOccupancy, perPE) is folded in fixed
-// construction order after the evaluation finishes — so every Parallelism
-// setting produces bit-identical results (see docs/ARCHITECTURE.md §9).
+// dense scratch for tree evaluation and an asynchronous, dependency-driven
+// scheduler that fires each PE the moment its children finish. There is no
+// level barrier: every worker owns a deque of ready nodes, pushes a parent
+// the instant its per-node pending-children countdown hits zero, and steals
+// from a sibling's deque when its own runs dry — so an interior PE never
+// waits for the slowest PE of its level, only for its own subtree.
+//
+// The layer is deterministic by construction regardless of scheduling order:
+// each PE's output is a pure function of its children's outputs, workers
+// write only their own node's dense slots and allocate only from their own
+// arena, and all accounting (PETotals, MaxOccupancy, perPE) is folded in
+// fixed construction order after the evaluation finishes — so every
+// Parallelism setting produces bit-identical results (docs/ARCHITECTURE.md §9).
 
-// parallelism resolves the configured worker-pool width: 0 means "use every
+// parallelism resolves the configured scheduler width: 0 means "use every
 // core the runtime gives us".
 func (e *Engine) parallelism() int {
 	if e.cfg.Parallelism == 0 {
@@ -27,89 +33,184 @@ func (e *Engine) parallelism() int {
 	return e.cfg.Parallelism
 }
 
-// treeScratch is the dense per-run working state of one tree evaluation,
-// indexed by PENode.ID (IDs are dense in [0, NumPEs)). It replaces the
-// map[*PENode][]Entry memo of the original recursive evaluator and is pooled
-// on the engine so steady-state tree passes allocate no bookkeeping.
+// treeScratch is the dense working state of one tree evaluation, indexed by
+// PE ID (IDs are dense in [0, NumPEs)), plus the leaf-input staging buffers
+// and the per-worker arenas. It is leased for the whole span of a batch —
+// leafInputs through runTree to resolve and trace emission — so arena-backed
+// entries stay valid until the batch's results have been consumed, and it is
+// pooled process-wide so pipeline stages and exp sweep iterations (even
+// across freshly built engines) reuse one steady-state working set.
 type treeScratch struct {
-	memo [][]Entry // node ID -> post-merge outputs
-	proc []PEStats // node ID -> ProcessPE stats
-	self []PEStats // node ID -> leaf SelfMerge stats (both inputs combined)
-	errs []error   // node ID -> evaluation error (parallel path)
-	work []*PENode // per-level dispatch list, reused across levels
+	memo  [][]Entry // node ID -> post-merge outputs
+	proc  []PEStats // node ID -> ProcessPE stats
+	self  []PEStats // node ID -> leaf SelfMerge stats (both inputs combined)
+	errs  []error   // node ID -> evaluation error (async path)
+	perPE []PEStats // node ID -> folded per-PE stats (see runTree)
+
+	pending []atomic.Int32 // node ID -> unfinished-children countdown
+
+	in     rankEntries // rank -> staged leaf entries
+	counts []int       // rank -> planned access count
+
+	deques  []deque        // per-worker ready queues
+	workers []*workScratch // per-worker arenas
 }
+
+// treeScratchPool is process-wide, not per-engine: a scratch leased by any
+// engine resizes to that engine's tree, so experiment sweeps that rebuild
+// engines per configuration still hit a warm working set.
+var treeScratchPool sync.Pool
 
 // getTreeScratch leases a scratch sized for the engine's tree.
 func (e *Engine) getTreeScratch() *treeScratch {
-	if v := e.scratch.Get(); v != nil {
-		return v.(*treeScratch)
+	sc, _ := treeScratchPool.Get().(*treeScratch)
+	if sc == nil {
+		sc = &treeScratch{}
 	}
-	n := e.tree.NumPEs()
-	return &treeScratch{
-		memo: make([][]Entry, n),
-		proc: make([]PEStats, n),
-		self: make([]PEStats, n),
-		errs: make([]error, n),
-		work: make([]*PENode, 0, n),
+	sc.ensure(len(e.flat), e.cfg.NumRanks)
+	return sc
+}
+
+// ensure sizes the dense slots for a tree of numPEs nodes over numRanks
+// ranks. Slots beyond a smaller previous tree were cleared at release, so
+// growing within capacity is a reslice.
+func (sc *treeScratch) ensure(numPEs, numRanks int) {
+	if cap(sc.memo) < numPEs {
+		sc.memo = make([][]Entry, numPEs)
+		sc.proc = make([]PEStats, numPEs)
+		sc.self = make([]PEStats, numPEs)
+		sc.errs = make([]error, numPEs)
+		sc.perPE = make([]PEStats, numPEs)
+		sc.pending = make([]atomic.Int32, numPEs)
+	} else {
+		sc.memo = sc.memo[:numPEs]
+		sc.proc = sc.proc[:numPEs]
+		sc.self = sc.self[:numPEs]
+		sc.errs = sc.errs[:numPEs]
+		sc.perPE = sc.perPE[:numPEs]
+		sc.pending = sc.pending[:numPEs]
+	}
+	if cap(sc.in) < numRanks {
+		sc.in = make(rankEntries, numRanks)
+		sc.counts = make([]int, numRanks)
+	} else {
+		sc.in = sc.in[:numRanks]
+		sc.counts = sc.counts[:numRanks]
 	}
 }
 
-// putTreeScratch clears and returns a scratch to the pool. Memo slots are
-// nilled so pooled scratches do not pin entry vectors across runs.
+// putTreeScratch releases a leased scratch: every arena recycles its chunks
+// and all pointer-bearing slots are dropped (to full capacity, so a scratch
+// reused by a smaller tree cannot pin a bigger tree's entries). Arena-backed
+// entries obtained under the lease are invalid from here on.
 func (e *Engine) putTreeScratch(sc *treeScratch) {
-	for i := range sc.memo {
-		sc.memo[i] = nil
-		sc.proc[i] = PEStats{}
-		sc.self[i] = PEStats{}
-		sc.errs[i] = nil
+	clear(sc.memo[:cap(sc.memo)])
+	clear(sc.errs[:cap(sc.errs)])
+	clear(sc.in[:cap(sc.in)])
+	for _, ws := range sc.workers {
+		ws.reset()
 	}
-	sc.work = sc.work[:0]
-	e.scratch.Put(sc)
+	treeScratchPool.Put(sc)
 }
 
-// evalNode evaluates one PE: leaves gather and self-merge their ranks'
-// entries, internal nodes join their children's memoized outputs. The
-// node's results land in the scratch's dense slots, touching no other
-// node's state — the property that makes within-level parallelism safe.
-func (e *Engine) evalNode(op tensor.ReduceOp, n *PENode, in rankEntries, sc *treeScratch) error {
+// worker returns the w-th per-worker arena, creating it on first use. Not
+// safe to call concurrently; the scheduler pre-creates its workers before
+// spawning them.
+func (sc *treeScratch) worker(w int) *workScratch {
+	for len(sc.workers) <= w {
+		sc.workers = append(sc.workers, newWorkScratch())
+	}
+	return sc.workers[w]
+}
+
+// deque is one worker's ready queue. The owner pushes and pops at the tail
+// (LIFO: a freshly readied parent is the hottest work, its children's outputs
+// just landed), thieves take the oldest node from the head. A plain mutex is
+// plenty here — the critical sections are a few words and contention is
+// bounded by the tree's width.
+type deque struct {
+	mu   sync.Mutex
+	buf  []int32
+	head int
+}
+
+func (d *deque) push(id int32) {
+	d.mu.Lock()
+	d.buf = append(d.buf, id)
+	d.mu.Unlock()
+}
+
+func (d *deque) popTail() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.buf) <= d.head {
+		d.buf = d.buf[:0]
+		d.head = 0
+		return 0, false
+	}
+	id := d.buf[len(d.buf)-1]
+	d.buf = d.buf[:len(d.buf)-1]
+	return id, true
+}
+
+func (d *deque) stealHead() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.buf) <= d.head {
+		return 0, false
+	}
+	id := d.buf[d.head]
+	d.head++
+	return id, true
+}
+
+// evalFlatNode evaluates one PE: leaves gather and self-merge their ranks'
+// entries, internal nodes join their children's memoized outputs. The node's
+// results land in the scratch's dense slots and its allocations in the
+// calling worker's arena, touching no other node's state — the property that
+// makes dependency-driven parallelism safe.
+func (e *Engine) evalFlatNode(op tensor.ReduceOp, id int32, in rankEntries, sc *treeScratch, ws *workScratch) error {
+	n := &e.flat[id]
 	var inA, inB []Entry
-	if n.IsLeaf() {
-		inA = gatherRanks(in, n.RanksA)
-		inB = gatherRanks(in, n.RanksB)
+	if n.leaf {
+		inA = gatherRanks(ws, in, n.ranksA)
+		inB = gatherRanks(ws, in, n.ranksB)
 		// Serially merge co-query entries arriving on the same input
 		// stream (see SelfMerge); required whenever a query holds two
 		// indices on one rank.
 		var stA, stB PEStats
 		var err error
-		inA, stA, err = SelfMerge(op, inA)
+		inA, stA, err = selfMerge(ws, op, inA)
 		if err != nil {
-			return fmt.Errorf("fafnir: PE %d input A: %w", n.ID, err)
+			return fmt.Errorf("fafnir: PE %d input A: %w", id, err)
 		}
-		inB, stB, err = SelfMerge(op, inB)
+		inB, stB, err = selfMerge(ws, op, inB)
 		if err != nil {
-			return fmt.Errorf("fafnir: PE %d input B: %w", n.ID, err)
+			return fmt.Errorf("fafnir: PE %d input B: %w", id, err)
 		}
 		stA.Add(stB)
-		sc.self[n.ID] = stA
+		sc.self[id] = stA
 	} else {
-		inA = sc.memo[n.Left.ID]
-		if n.Right != nil {
-			inB = sc.memo[n.Right.ID]
+		if n.left >= 0 {
+			inA = sc.memo[n.left]
+		}
+		if n.right >= 0 {
+			inB = sc.memo[n.right]
 		}
 	}
-	out, st, err := ProcessPE(op, inA, inB)
+	out, st, err := processPE(ws, op, inA, inB)
 	if err != nil {
-		return fmt.Errorf("fafnir: PE %d: %w", n.ID, err)
+		return fmt.Errorf("fafnir: PE %d: %w", id, err)
 	}
-	sc.memo[n.ID] = out
-	sc.proc[n.ID] = st
+	sc.memo[id] = out
+	sc.proc[id] = st
 	return nil
 }
 
 // gatherRanks collects the leaf entries of the given ranks. The single-rank
 // case (the paper's 1PE:2R geometry) aliases the per-rank slice directly —
 // entries are immutable in flight, so no copy is needed.
-func gatherRanks(in rankEntries, ranks []int) []Entry {
+func gatherRanks(ws *workScratch, in rankEntries, ranks []int) []Entry {
 	switch len(ranks) {
 	case 0:
 		return nil
@@ -123,63 +224,116 @@ func gatherRanks(in rankEntries, ranks []int) []Entry {
 	if n == 0 {
 		return nil
 	}
-	out := make([]Entry, 0, n)
+	out := ws.ents.alloc(n)[:0]
 	for _, r := range ranks {
 		out = append(out, in[r]...)
 	}
 	return out
 }
 
-// evalLevels evaluates the tree level-synchronously: all PEs of one level
-// run concurrently on a bounded worker pool, then the level barrier makes
-// their outputs visible to the next level. Carried-up nodes (odd levels)
-// appear in several level lists but evaluate only once, at their own level.
-// Errors are surfaced in ID order so failure reporting is deterministic too.
-func (e *Engine) evalLevels(op tensor.ReduceOp, in rankEntries, sc *treeScratch) error {
-	par := e.parallelism()
-	for lv, nodes := range e.tree.levels {
-		work := sc.work[:0]
-		for _, n := range nodes {
-			if n.Level == lv {
-				work = append(work, n)
-			}
-		}
-		workers := par
-		if workers > len(work) {
-			workers = len(work)
-		}
-		if workers <= 1 {
-			for _, n := range work {
-				if err := e.evalNode(op, n, in, sc); err != nil {
-					return err
-				}
-			}
-			continue
-		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(work) {
-						return
-					}
-					n := work[i]
-					if err := e.evalNode(op, n, in, sc); err != nil {
-						sc.errs[n.ID] = err
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		for _, n := range work {
-			if err := sc.errs[n.ID]; err != nil {
+// evalTree evaluates every PE of the tree, serially below two effective
+// workers and via the asynchronous scheduler otherwise. Construction order
+// (t.all, equal to ID order) is the serial order; the async path surfaces
+// the same first error the serial path would (see evalAsync).
+func (e *Engine) evalTree(op tensor.ReduceOp, in rankEntries, sc *treeScratch) error {
+	workers := e.parallelism()
+	if leaves := e.cfg.NumLeaves(); workers > leaves {
+		workers = leaves
+	}
+	if workers <= 1 {
+		ws := sc.worker(0)
+		for i := range e.flat {
+			if err := e.evalFlatNode(op, int32(i), in, sc, ws); err != nil {
 				return err
 			}
 		}
+		return nil
+	}
+	e.evalAsync(op, in, sc, workers)
+	// Surface the minimal-ID error: IDs ascend with construction level, and
+	// every node below the lowest erroring one evaluated with fully correct
+	// inputs, so this is exactly the error the serial order reports first.
+	// (Nodes above an errored child see a nil memo slot; ProcessPE treats
+	// that as an empty input, so their spurious results are simply ignored.)
+	for i := range e.flat {
+		if err := sc.errs[i]; err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// evalAsync runs the dependency-driven schedule: leaves are dealt round-robin
+// onto the worker deques, and each finished node decrements its parent's
+// pending-children countdown, pushing the parent onto the finishing worker's
+// own deque when it hits zero. Workers that run dry steal the oldest entry
+// from a sibling; when nothing is stealable and nodes remain in flight they
+// spin-yield until a countdown frees more work. Every node is evaluated —
+// errors are recorded per node, never cancel the schedule — so completion is
+// a simple count.
+func (e *Engine) evalAsync(op tensor.ReduceOp, in rankEntries, sc *treeScratch, workers int) {
+	for i := range e.flat {
+		sc.pending[i].Store(e.flat[i].pendInit)
+	}
+	if cap(sc.deques) < workers {
+		sc.deques = make([]deque, workers)
+	} else {
+		sc.deques = sc.deques[:workers]
+	}
+	for w := range sc.deques {
+		sc.deques[w].buf = sc.deques[w].buf[:0]
+		sc.deques[w].head = 0
+	}
+	w := 0
+	for i := range e.flat {
+		if e.flat[i].leaf {
+			d := &sc.deques[w%workers]
+			d.buf = append(d.buf, int32(i)) // pre-start: no lock needed
+			w++
+		}
+	}
+	for wi := 0; wi < workers; wi++ {
+		sc.worker(wi) // pre-create arenas; sc.workers must not grow concurrently
+	}
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wi := 0; wi < workers; wi++ {
+		go e.treeWorker(wi, op, in, sc, workers, &completed, &wg)
+	}
+	wg.Wait()
+}
+
+// treeWorker is one scheduler worker's loop: drain the own deque LIFO, steal
+// from siblings when dry, retire each node by counting down its parent.
+func (e *Engine) treeWorker(wi int, op tensor.ReduceOp, in rankEntries, sc *treeScratch, workers int, completed *atomic.Int64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ws := sc.workers[wi]
+	d := &sc.deques[wi]
+	total := int64(len(e.flat))
+	for {
+		id, ok := d.popTail()
+		for off := 1; off < workers && !ok; off++ {
+			id, ok = sc.deques[(wi+off)%workers].stealHead()
+		}
+		if !ok {
+			if completed.Load() >= total {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		if h := e.stallHook; h != nil {
+			h(wi, int(id))
+		}
+		if err := e.evalFlatNode(op, id, in, sc, ws); err != nil {
+			sc.errs[id] = err
+		}
+		// The memo write above happens before this decrement; whoever takes
+		// the countdown to zero owns the parent and sees both children.
+		if p := e.flat[id].parent; p >= 0 && sc.pending[p].Add(-1) == 0 {
+			d.push(p)
+		}
+		completed.Add(1)
+	}
 }

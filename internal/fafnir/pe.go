@@ -3,7 +3,6 @@ package fafnir
 import (
 	"fmt"
 	"slices"
-	"sync"
 
 	"fafnir/internal/header"
 	"fafnir/internal/tensor"
@@ -57,113 +56,228 @@ func (s *PEStats) Add(o PEStats) {
 	s.Outputs += o.Outputs
 }
 
-// mergeSlot is one merge-unit output under construction: the entry and how
-// many raw outputs were folded into it.
-type mergeSlot struct {
-	entry Entry
-	raw   int
-}
-
-// groupSlot is one SelfMerge reduction group: the full query the group's
-// members belong to and their positions in the input stream.
-type groupSlot struct {
-	full    header.IndexSet
-	members []int
-}
-
-// mergeScratch is the pooled working state of ProcessPE's and SelfMerge's
-// merge units. PEs evaluate concurrently under Config.Parallelism, so the
-// scratch lives in a sync.Pool rather than on the engine; pooling keeps the
-// steady-state hot path free of map and slice growth. Map lookups go through
-// keybuf (m[string(buf)] lookups don't allocate); a key string is only built
-// when a new slot is inserted.
-type mergeScratch struct {
-	byIdx  map[string]int // canonical indices key -> slots position
-	slots  []mergeSlot
-	keybuf []byte
-	// SelfMerge group state.
-	groups map[string]int // full-query key -> gslots position
-	gslots []groupSlot
-}
-
-var mergePool = sync.Pool{New: func() any {
-	return &mergeScratch{byIdx: make(map[string]int), groups: make(map[string]int)}
-}}
-
-// release clears the scratch and returns it to the pool. Entry and index-set
-// references are dropped so pooled scratches do not pin vectors.
-func (s *mergeScratch) release() {
-	clear(s.byIdx)
-	clear(s.groups)
-	clear(s.slots)
-	s.slots = s.slots[:0]
-	for i := range s.gslots {
-		s.gslots[i].full = nil
-		s.gslots[i].members = s.gslots[i].members[:0]
-	}
-	s.gslots = s.gslots[:0]
-	mergePool.Put(s)
-}
-
-// emit feeds one raw output into the merge unit: outputs sharing an Indices
-// set fold into one slot with concatenated Queries fields.
-func (s *mergeScratch) emit(e Entry) error {
-	s.keybuf = e.Header.Indices.AppendKey(s.keybuf[:0])
-	if i, ok := s.byIdx[string(s.keybuf)]; ok {
-		merged, err := header.MergeQueries(s.slots[i].entry.Header, e.Header)
-		if err != nil {
-			return err
-		}
-		s.slots[i].entry.Header = merged
-		s.slots[i].raw++
+// fold is the merge unit: raw PE outputs sharing an Indices set collapse into
+// one entry whose Queries fields are concatenated and canonicalized, and the
+// result is sorted by canonical indices key — the step that makes PE
+// evaluation deterministic regardless of input order.
+//
+// This is the sort-based equivalent of the old map-keyed merge: a stable sort
+// on Indices.Compare (byte-order-equal to the old map key) brings duplicates
+// adjacent while preserving arrival order within a group, so the group's
+// representative value is still the first-arriving one, and concatenating the
+// group's Queries then normalizing once yields the same sorted deduped set
+// union the old pairwise MergeQueries chain produced. Distinct groups carry
+// distinct Indices sets, so the sort gives the same unique total order the
+// old finalize sort did.
+func (ws *workScratch) fold(raw []Entry, stats *PEStats) []Entry {
+	if len(raw) == 0 {
+		stats.Outputs = 0
 		return nil
 	}
-	s.byIdx[string(s.keybuf)] = len(s.slots)
-	s.slots = append(s.slots, mergeSlot{entry: e, raw: 1})
-	return nil
-}
-
-// finalize sorts the merge unit's outputs by canonical indices key — the step
-// that makes PE evaluation deterministic regardless of input order — and
-// returns them, charging the fold count to stats. Slots carry distinct
-// Indices sets by construction, so Compare's Key order is a total order here.
-func (s *mergeScratch) finalize(stats *PEStats) []Entry {
-	slices.SortFunc(s.slots, func(a, b mergeSlot) int {
-		return a.entry.Header.Indices.Compare(b.entry.Header.Indices)
+	// Sort a position permutation instead of the entries themselves: moving
+	// int32s beats moving 72-byte structs, and breaking comparison ties by
+	// position makes the unstable sort reproduce the stable order exactly.
+	ord := ws.order[:0]
+	for i := range raw {
+		ord = append(ord, int32(i))
+	}
+	ws.order = ord
+	slices.SortFunc(ord, func(a, b int32) int {
+		if c := raw[a].Header.Indices.Compare(raw[b].Header.Indices); c != 0 {
+			return c
+		}
+		return int(a) - int(b)
 	})
-	out := make([]Entry, len(s.slots))
-	for i, sl := range s.slots {
-		stats.MergedDuplicates += sl.raw - 1
-		out[i] = sl.entry
+	groups := 1
+	for i := 1; i < len(ord); i++ {
+		if !raw[ord[i]].Header.Indices.Equal(raw[ord[i-1]].Header.Indices) {
+			groups++
+		}
+	}
+	out := ws.ents.alloc(groups)
+	k := 0
+	for i := 0; i < len(ord); {
+		first := &raw[ord[i]]
+		j := i + 1
+		nq := len(first.Header.Queries)
+		for j < len(ord) && raw[ord[j]].Header.Indices.Equal(first.Header.Indices) {
+			nq += len(raw[ord[j]].Header.Queries)
+			j++
+		}
+		if j == i+1 {
+			out[k] = *first
+		} else {
+			buf := ws.qs.alloc(nq)[:0]
+			for m := i; m < j; m++ {
+				buf = append(buf, raw[ord[m]].Header.Queries...)
+			}
+			h := header.Header{Indices: first.Header.Indices, Queries: buf}
+			h.Normalize()
+			out[k] = Entry{Value: first.Value, Header: h}
+			stats.MergedDuplicates += j - i - 1
+		}
+		k++
+		i = j
 	}
 	stats.Outputs = len(out)
 	return out
 }
 
-// group returns the reduction group for the given full-query set, creating
-// it (and reusing pooled member storage) on first sight. Returned pointers
-// are invalidated by the next group call and by sortGroups.
-func (s *mergeScratch) group(full header.IndexSet) *groupSlot {
-	s.keybuf = full.AppendKey(s.keybuf[:0])
-	if i, ok := s.groups[string(s.keybuf)]; ok {
-		return &s.gslots[i]
+// processPE is ProcessPE on a caller-provided scratch: every action allocates
+// from the scratch's arenas, so the returned entries are valid only while the
+// scratch is. See ProcessPE for the semantics.
+func processPE(ws *workScratch, op tensor.ReduceOp, inA, inB []Entry) ([]Entry, PEStats, error) {
+	stats := PEStats{InA: len(inA), InB: len(inB)}
+	raw := ws.raw[:0]
+
+	process := func(side, opp []Entry) error {
+		for i := range side {
+			e := &side[i]
+			if len(e.Header.Queries) == 0 {
+				// Nothing owed by any query: pass through untouched.
+				// Headers are immutable in flight, so the output may
+				// share the input's sets.
+				stats.Forwards++
+				raw = append(raw, Entry{Value: e.Value, Header: e.Header})
+				continue
+			}
+			for _, qs := range e.Header.Queries {
+				var best *Entry
+				for oi := range opp {
+					o := &opp[oi]
+					stats.Compares++
+					if o.Header.Indices.Empty() || !qs.ContainsAll(o.Header.Indices) {
+						continue
+					}
+					if best == nil || o.Header.Indices.Len() > best.Header.Indices.Len() {
+						best = o
+					}
+				}
+				if best == nil {
+					stats.Forwards++
+					raw = append(raw, Entry{
+						Value:  e.Value,
+						Header: header.Header{Indices: e.Header.Indices, Queries: ws.qset1(qs)},
+					})
+					continue
+				}
+				v := ws.cloneVec(e.Value)
+				if err := op.Apply(v, best.Value); err != nil {
+					return fmt.Errorf("fafnir: reduce value: %w", err)
+				}
+				stats.Reduces++
+				raw = append(raw, Entry{
+					Value: v,
+					Header: header.Header{
+						Indices: ws.union(e.Header.Indices, best.Header.Indices),
+						Queries: ws.qset1(ws.minus(qs, best.Header.Indices)),
+					},
+				})
+			}
+		}
+		return nil
 	}
-	s.groups[string(s.keybuf)] = len(s.gslots)
-	if len(s.gslots) < cap(s.gslots) {
-		s.gslots = s.gslots[:len(s.gslots)+1]
-		g := &s.gslots[len(s.gslots)-1]
-		g.full = full
-		return g
+	err := process(inA, inB)
+	if err == nil {
+		err = process(inB, inA)
 	}
-	s.gslots = append(s.gslots, groupSlot{full: full})
-	return &s.gslots[len(s.gslots)-1]
+	ws.raw = raw
+	if err != nil {
+		return nil, stats, err
+	}
+	return ws.fold(raw, &stats), stats, nil
 }
 
-// sortGroups orders the groups by full-query key so SelfMerge reduces them
-// in canonical order. The groups map is stale afterwards; callers only
-// iterate gslots from here on.
-func (s *mergeScratch) sortGroups() {
-	slices.SortFunc(s.gslots, func(a, b groupSlot) int { return a.full.Compare(b.full) })
+// selfMerge is SelfMerge on a caller-provided scratch; see SelfMerge for the
+// semantics and processPE for the arena lifetime rules.
+//
+// Grouping is sort-based: every (entry, remaining-set) pair is tagged with
+// its full query, and a stable sort on (full-query key) brings each group's
+// members adjacent in ascending stream order — the same member order the old
+// map-of-groups built — before the usual canonical-order reduction.
+func selfMerge(ws *workScratch, op tensor.ReduceOp, entries []Entry) ([]Entry, PEStats, error) {
+	var total PEStats
+
+	pairs := ws.pairs[:0]
+	for i := range entries {
+		e := &entries[i]
+		if len(e.Header.Queries) == 0 {
+			continue // passthrough, re-emitted after the groups
+		}
+		for _, qs := range e.Header.Queries {
+			pairs = append(pairs, selfPair{full: ws.union(e.Header.Indices, qs), member: i})
+		}
+	}
+	ws.pairs = pairs
+	// Position-permutation sort with position tiebreak: identical order to a
+	// stable sort without moving the pair structs (see fold). fold reuses
+	// ws.order afterwards, by which point the group loop here is done.
+	ord := ws.order[:0]
+	for i := range pairs {
+		ord = append(ord, int32(i))
+	}
+	ws.order = ord
+	slices.SortFunc(ord, func(a, b int32) int {
+		if c := pairs[a].full.Compare(pairs[b].full); c != 0 {
+			return c
+		}
+		return int(a) - int(b)
+	})
+
+	raw := ws.raw[:0]
+	defer func() { ws.raw = raw }()
+	for i := 0; i < len(ord); {
+		full := pairs[ord[i]].full
+		j := i + 1
+		for j < len(ord) && pairs[ord[j]].full.Equal(full) {
+			j++
+		}
+		// Collect the group's members: stream positions ascending, duplicate
+		// positions (one entry owing the same full query via two remaining
+		// sets) dropped.
+		members := ws.members[:0]
+		for m := i; m < j; m++ {
+			if pm := pairs[ord[m]].member; len(members) == 0 || members[len(members)-1] != pm {
+				members = append(members, pm)
+			}
+		}
+		ws.members = members
+
+		// Reduce the group: members combine in canonical (indices-key) order.
+		slices.SortFunc(members, func(a, b int) int {
+			return entries[a].Header.Indices.Compare(entries[b].Header.Indices)
+		})
+		first := entries[members[0]]
+		covered := first.Header.Indices
+		value := first.Value
+		for _, mi := range members[1:] {
+			m := entries[mi]
+			if covered.ContainsAll(m.Header.Indices) {
+				continue // duplicate read of the same data (non-dedup stream)
+			}
+			if covered.Intersects(m.Header.Indices) {
+				return nil, total, fmt.Errorf("fafnir: SelfMerge stream entries overlap at %v", m.Header.Indices)
+			}
+			v := ws.cloneVec(value)
+			if err := op.Apply(v, m.Value); err != nil {
+				return nil, total, fmt.Errorf("fafnir: SelfMerge reduce: %w", err)
+			}
+			value = v
+			covered = ws.union(covered, m.Header.Indices)
+			total.Reduces++
+		}
+		raw = append(raw, Entry{
+			Value:  value,
+			Header: header.Header{Indices: covered, Queries: ws.qset1(ws.minus(full, covered))},
+		})
+		i = j
+	}
+	for i := range entries {
+		if len(entries[i].Header.Queries) == 0 {
+			raw = append(raw, entries[i])
+		}
+	}
+	return ws.fold(raw, &total), total, nil
 }
 
 // ProcessPE runs the functional semantics of one PE over its two input
@@ -190,73 +304,12 @@ func (s *mergeScratch) sortGroups() {
 // maximal match is that entry and smaller matches are its superseded
 // sub-chains. Outputs are sorted by canonical header key, making the engine
 // deterministic regardless of input order.
+//
+// This exported form allocates a private scratch whose memory is owned by the
+// returned entries, so results live as long as the caller keeps them. The
+// engine's hot path uses processPE with pooled per-worker scratches instead.
 func ProcessPE(op tensor.ReduceOp, inA, inB []Entry) ([]Entry, PEStats, error) {
-	stats := PEStats{InA: len(inA), InB: len(inB)}
-	sc := mergePool.Get().(*mergeScratch)
-	defer sc.release()
-	emit := sc.emit
-
-	process := func(side, opp []Entry) error {
-		for _, e := range side {
-			if len(e.Header.Queries) == 0 {
-				// Nothing owed by any query: pass through untouched.
-				// Headers are immutable in flight, so the output may
-				// share the input's sets.
-				stats.Forwards++
-				if err := emit(Entry{Value: e.Value, Header: e.Header}); err != nil {
-					return err
-				}
-				continue
-			}
-			for _, qs := range e.Header.Queries {
-				var best *Entry
-				for oi := range opp {
-					o := &opp[oi]
-					stats.Compares++
-					if o.Header.Indices.Empty() || !qs.ContainsAll(o.Header.Indices) {
-						continue
-					}
-					if best == nil || o.Header.Indices.Len() > best.Header.Indices.Len() {
-						best = o
-					}
-				}
-				if best == nil {
-					stats.Forwards++
-					out := Entry{
-						Value:  e.Value,
-						Header: header.Header{Indices: e.Header.Indices, Queries: []header.IndexSet{qs}},
-					}
-					if err := emit(out); err != nil {
-						return err
-					}
-					continue
-				}
-				v := e.Value.Clone()
-				if err := op.Apply(v, best.Value); err != nil {
-					return fmt.Errorf("fafnir: reduce value: %w", err)
-				}
-				stats.Reduces++
-				out := Entry{
-					Value: v,
-					Header: header.Header{
-						Indices: e.Header.Indices.Union(best.Header.Indices),
-						Queries: []header.IndexSet{qs.Minus(best.Header.Indices)},
-					},
-				}
-				if err := emit(out); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	if err := process(inA, inB); err != nil {
-		return nil, stats, err
-	}
-	if err := process(inB, inA); err != nil {
-		return nil, stats, err
-	}
-	return sc.finalize(&stats), stats, nil
+	return processPE(newWorkScratch(), op, inA, inB)
 }
 
 // SelfMerge reduces co-query entries that sit in the *same* input stream.
@@ -276,73 +329,8 @@ func ProcessPE(op tensor.ReduceOp, inA, inB []Entry) ([]Entry, PEStats, error) {
 // distinct index — and SelfMerge returns an error otherwise.
 //
 // The returned stats count the reduce actions and merge-unit folds performed.
+// Like ProcessPE, this exported form allocates a private scratch owned by the
+// results.
 func SelfMerge(op tensor.ReduceOp, entries []Entry) ([]Entry, PEStats, error) {
-	var total PEStats
-	sc := mergePool.Get().(*mergeScratch)
-	defer sc.release()
-
-	addMember := func(g *groupSlot, i int) {
-		for _, m := range g.members {
-			if m == i {
-				return
-			}
-		}
-		g.members = append(g.members, i)
-	}
-
-	var passthrough []Entry
-	for i, e := range entries {
-		if len(e.Header.Queries) == 0 {
-			passthrough = append(passthrough, e)
-			continue
-		}
-		for _, qs := range e.Header.Queries {
-			full := e.Header.Indices.Union(qs)
-			addMember(sc.group(full), i)
-		}
-	}
-	sc.sortGroups()
-
-	// Reduce each group: members combine in canonical (indices-key) order.
-	emit := sc.emit
-
-	for gi := range sc.gslots {
-		g := &sc.gslots[gi]
-		members := g.members
-		slices.SortFunc(members, func(a, b int) int {
-			return entries[a].Header.Indices.Compare(entries[b].Header.Indices)
-		})
-		first := entries[members[0]]
-		covered := first.Header.Indices
-		value := first.Value
-		for _, mi := range members[1:] {
-			m := entries[mi]
-			if covered.ContainsAll(m.Header.Indices) {
-				continue // duplicate read of the same data (non-dedup stream)
-			}
-			if covered.Intersects(m.Header.Indices) {
-				return nil, total, fmt.Errorf("fafnir: SelfMerge stream entries overlap at %v", m.Header.Indices)
-			}
-			v := value.Clone()
-			if err := op.Apply(v, m.Value); err != nil {
-				return nil, total, fmt.Errorf("fafnir: SelfMerge reduce: %w", err)
-			}
-			value = v
-			covered = covered.Union(m.Header.Indices)
-			total.Reduces++
-		}
-		out := Entry{
-			Value:  value,
-			Header: header.Header{Indices: covered, Queries: []header.IndexSet{g.full.Minus(covered)}},
-		}
-		if err := emit(out); err != nil {
-			return nil, total, err
-		}
-	}
-	for _, e := range passthrough {
-		if err := emit(e); err != nil {
-			return nil, total, err
-		}
-	}
-	return sc.finalize(&total), total, nil
+	return selfMerge(newWorkScratch(), op, entries)
 }

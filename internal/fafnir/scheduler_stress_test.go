@@ -1,0 +1,203 @@
+package fafnir
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fafnir/internal/dram"
+	"fafnir/internal/embedding"
+	"fafnir/internal/fault"
+	"fafnir/internal/header"
+	"fafnir/internal/memmap"
+	"fafnir/internal/tensor"
+)
+
+// Scheduler stress tests: metamorphic determinism under adversarial
+// schedules. The async scheduler's contract is that execution order is
+// unobservable — every interleaving of worker deques, steals, and parent
+// hand-offs must produce bit-identical outputs, stats, and cycle counts. The
+// tests here attack that contract where it is weakest:
+//
+//   - a skewed tree (odd leaf count, so carried-up nodes form a deep spine)
+//     with a hot leaf feeding that spine, so one worker's subtree dominates
+//     and the others mostly steal;
+//   - a seeded random stall injector on Engine.stallHook that perturbs which
+//     worker reaches which node first, shuffling the schedule differently on
+//     every run.
+
+// skewPlacement concentrates three of every four indices on rank 0 — the hot
+// leaf — and spreads the rest over the remaining ranks.
+type skewPlacement struct {
+	ranks int
+	bytes int
+}
+
+func (p skewPlacement) Rank(idx header.Index) int {
+	if idx%4 != 0 {
+		return 0
+	}
+	return int(idx/4) % p.ranks
+}
+func (p skewPlacement) Addr(idx header.Index) dram.Addr {
+	return dram.Addr(uint64(idx) * uint64(p.bytes))
+}
+func (p skewPlacement) VectorBytes() int { return p.bytes }
+
+// skewEngine builds a deliberately unbalanced tree: 10 ranks at fan-in 2
+// give 5 leaves, so every pairing level carries one node up unpaired and the
+// last leaf rides a spine all the way to the root.
+func skewEngine(t *testing.T, par int) *Engine {
+	t.Helper()
+	cfg := Default()
+	cfg.NumRanks = 10
+	cfg.LeafFanIn = 2
+	cfg.VectorDim = 16
+	cfg.Parallelism = par
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// stallHook returns a seeded random staller: each (worker, PE) arrival
+// sleeps 0-100 us or just yields, drawn from a run-private PRNG. The mutex
+// makes the draw sequence itself schedule-dependent — deliberately so; the
+// point is to shuffle execution order, not to be reproducible.
+func stallHook(seed int64) func(worker, pe int) {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func(worker, pe int) {
+		mu.Lock()
+		d := rng.Intn(4)
+		mu.Unlock()
+		if d == 0 {
+			return
+		}
+		time.Sleep(time.Duration(d) * 25 * time.Microsecond)
+	}
+}
+
+// TestSchedulerStressLookupDeterministic runs 20 stall-shuffled executions
+// (10 seeds at Parallelism 2 and 4 each) of a hot-leaf workload on the
+// skewed tree and requires every one to match the serial run bit for bit.
+func TestSchedulerStressLookupDeterministic(t *testing.T) {
+	store, b := detWorkload(t, 96)
+	pl := skewPlacement{ranks: 10, bytes: 64}
+
+	want, err := skewEngine(t, 1).Lookup(store, pl, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4} {
+		for seed := int64(0); seed < 10; seed++ {
+			e := skewEngine(t, par)
+			e.stallHook = stallHook(seed*31 + int64(par))
+			res, err := e.Lookup(store, pl, b)
+			if err != nil {
+				t.Fatalf("par=%d seed=%d: %v", par, seed, err)
+			}
+			if !reflect.DeepEqual(res.Outputs, want.Outputs) {
+				t.Fatalf("par=%d seed=%d: outputs differ from serial run", par, seed)
+			}
+			if res.PETotals != want.PETotals || res.MaxOccupancy != want.MaxOccupancy {
+				t.Fatalf("par=%d seed=%d: stats diverge: %+v vs %+v",
+					par, seed, res.PETotals, want.PETotals)
+			}
+		}
+	}
+}
+
+// TestSchedulerStressTimedDeterministic repeats the attack on the timed
+// path, where the contract extends to cycle counts: stalling the host-side
+// scheduler must not move a single simulated cycle.
+func TestSchedulerStressTimedDeterministic(t *testing.T) {
+	store, b := detWorkload(t, 64)
+	pl := skewPlacement{ranks: 10, bytes: 64}
+
+	want, err := skewEngine(t, 1).TimedLookup(store, pl, dram.MustSystem(dram.DDR4()), b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4} {
+		for seed := int64(0); seed < 3; seed++ {
+			e := skewEngine(t, par)
+			e.stallHook = stallHook(seed*17 + int64(par))
+			res, err := e.TimedLookup(store, pl, dram.MustSystem(dram.DDR4()), b, true)
+			if err != nil {
+				t.Fatalf("par=%d seed=%d: %v", par, seed, err)
+			}
+			if !reflect.DeepEqual(res.Outputs, want.Outputs) {
+				t.Fatalf("par=%d seed=%d: outputs differ from serial run", par, seed)
+			}
+			if res.PETotals != want.PETotals || res.MaxOccupancy != want.MaxOccupancy {
+				t.Fatalf("par=%d seed=%d: stats diverge", par, seed)
+			}
+			if res.TotalCycles != want.TotalCycles || res.MemCycles != want.MemCycles ||
+				res.ComputeCycles != want.ComputeCycles || res.TransferCycles != want.TransferCycles {
+				t.Fatalf("par=%d seed=%d: cycles (%d,%d,%d,%d) != serial (%d,%d,%d,%d)",
+					par, seed,
+					res.TotalCycles, res.MemCycles, res.ComputeCycles, res.TransferCycles,
+					want.TotalCycles, want.MemCycles, want.ComputeCycles, want.TransferCycles)
+			}
+		}
+	}
+}
+
+// TestSchedulerStressFaultedDeterministic covers the degraded path: a dark
+// rank remaps reads to replicas, and a stall-shuffled parallel run must
+// still reproduce the serial faulted run exactly, cycles included.
+func TestSchedulerStressFaultedDeterministic(t *testing.T) {
+	mcfg := dram.DDR4()
+	layout := memmap.Uniform(mcfg, 512, 4, 256)
+	store := embedding.MustStore(layout.TotalRows(), 16, 7)
+	gen, err := embedding.NewGenerator(embedding.GeneratorConfig{
+		NumQueries: 48, QuerySize: 6, Rows: layout.TotalRows(), Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen.Batch(tensor.OpSum)
+	dark := layout.Rank(b.Queries[0].Indices[0])
+	newInj := func() *fault.Injector {
+		inj, err := fault.NewInjector(fault.Plan{
+			RankFailures: []fault.RankFailure{{Rank: dark, At: 0}},
+		}, mcfg.TotalRanks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	engine := func(par int) *Engine {
+		cfg := Default()
+		cfg.VectorDim = 16
+		cfg.Parallelism = par
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	want, err := engine(1).TimedLookupFaulted(store, layout, dram.MustSystem(mcfg), b, true, newInj())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		e := engine(4)
+		e.stallHook = stallHook(seed*13 + 5)
+		res, err := e.TimedLookupFaulted(store, layout, dram.MustSystem(mcfg), b, true, newInj())
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(res.Outputs, want.Outputs) {
+			t.Fatalf("seed=%d: faulted outputs differ from serial run", seed)
+		}
+		if res.PETotals != want.PETotals || res.TotalCycles != want.TotalCycles {
+			t.Fatalf("seed=%d: faulted stats/cycles diverge", seed)
+		}
+	}
+}

@@ -64,26 +64,27 @@ func (e *Engine) traceBatch(k, reads, queries int, issue sim.Cycle, leafReady, r
 
 	lat := e.cfg.Latency
 	reduceDur := sim.Max(lat.ReduceValue, lat.ReduceHeader)
-	for _, n := range e.tree.all {
+	for i := range e.flat {
+		n := &e.flat[i]
 		// Recompute the node's input-ready time the way treeTiming did;
-		// children precede parents in tree.all, so the ready slots already
+		// children precede parents in flat, so the ready slots already
 		// hold this batch's values.
 		var inReady sim.Cycle
-		if n.IsLeaf() {
-			inReady = e.cfg.DRAMToPE(leafReady[n.ID])
+		if n.leaf {
+			inReady = e.cfg.DRAMToPE(leafReady[i])
 		} else {
-			inReady = ready[n.Left.ID]
-			if n.Right != nil {
-				inReady = sim.Max(inReady, ready[n.Right.ID])
+			inReady = ready[n.left]
+			if n.right >= 0 {
+				inReady = sim.Max(inReady, ready[n.right])
 			}
 		}
-		st := perPE[n.ID]
-		pid := telemetry.PIDPELevelBase + n.Level
+		st := perPE[i]
+		pid := telemetry.PIDPELevelBase + int(n.level)
 
 		stage := telemetry.Event{
 			Name: "pe.stage", Cat: "pe", Phase: telemetry.PhaseSpan,
-			PID: pid, TID: n.ID,
-			TS: uint64(inReady), Dur: uint64(ready[n.ID] - inReady), ClockMHz: mhz,
+			PID: pid, TID: i,
+			TS: uint64(inReady), Dur: uint64(ready[i] - inReady), ClockMHz: mhz,
 		}
 		stage.AddArg(telemetry.Arg{Key: "batch", Int: int64(k)})
 		stage.AddArg(telemetry.Arg{Key: "compares", Int: int64(st.Compares)})
@@ -95,7 +96,7 @@ func (e *Engine) traceBatch(k, reads, queries int, issue sim.Cycle, leafReady, r
 		if st.Compares > 0 {
 			cmp := telemetry.Event{
 				Name: "pe.compare", Cat: "pe", Phase: telemetry.PhaseSpan,
-				PID: pid, TID: n.ID,
+				PID: pid, TID: i,
 				TS: uint64(inReady), Dur: uint64(lat.Compare), ClockMHz: mhz,
 			}
 			cmp.AddArg(telemetry.Arg{Key: "compares", Int: int64(st.Compares)})
@@ -105,7 +106,7 @@ func (e *Engine) traceBatch(k, reads, queries int, issue sim.Cycle, leafReady, r
 		if st.Reduces > 0 {
 			red := telemetry.Event{
 				Name: "pe.reduce", Cat: "pe", Phase: telemetry.PhaseSpan,
-				PID: pid, TID: n.ID,
+				PID: pid, TID: i,
 				TS: uint64(inReady + lat.Compare), Dur: uint64(reduceDur), ClockMHz: mhz,
 			}
 			red.AddArg(telemetry.Arg{Key: "reduces", Int: int64(st.Reduces)})
@@ -114,7 +115,7 @@ func (e *Engine) traceBatch(k, reads, queries int, issue sim.Cycle, leafReady, r
 		if st.Forwards > 0 {
 			fwd := telemetry.Event{
 				Name: "pe.forward", Cat: "pe", Phase: telemetry.PhaseSpan,
-				PID: pid, TID: n.ID,
+				PID: pid, TID: i,
 				TS: uint64(inReady + lat.Compare), Dur: uint64(lat.Forward), ClockMHz: mhz,
 			}
 			fwd.AddArg(telemetry.Arg{Key: "forwards", Int: int64(st.Forwards)})
@@ -123,8 +124,8 @@ func (e *Engine) traceBatch(k, reads, queries int, issue sim.Cycle, leafReady, r
 		if st.MergedDuplicates > 0 {
 			mrg := telemetry.Event{
 				Name: "pe.merge", Cat: "pe", Phase: telemetry.PhaseInstant,
-				PID: pid, TID: n.ID,
-				TS: uint64(ready[n.ID]), ClockMHz: mhz,
+				PID: pid, TID: i,
+				TS: uint64(ready[i]), ClockMHz: mhz,
 			}
 			mrg.AddArg(telemetry.Arg{Key: "merged", Int: int64(st.MergedDuplicates)})
 			e.tracer.Emit(mrg)

@@ -79,6 +79,11 @@ func (s IndexSet) ContainsAll(sub IndexSet) bool {
 	if len(sub) > len(s) {
 		return false
 	}
+	// Both sets are sorted, so a subset's extrema must lie inside s's; this
+	// rejects most non-subsets without walking either set.
+	if len(sub) > 0 && (sub[0] < s[0] || sub[len(sub)-1] > s[len(s)-1]) {
+		return false
+	}
 	i := 0
 	for _, x := range sub {
 		// Both sets are sorted; advance a shared cursor.

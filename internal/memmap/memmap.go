@@ -22,6 +22,7 @@ type Layout struct {
 	rowsPer     []int
 	rowBase     []uint64 // prefix sums of rowsPer
 	totalRows   uint64
+	ranks       uint64 // cfg.TotalRanks(), cached for the Rank fast path
 }
 
 // New builds a layout for tables with the given per-table row counts and a
@@ -40,6 +41,7 @@ func New(cfg dram.Config, vectorBytes int, rowsPerTable []int) *Layout {
 		vectorBytes: vectorBytes,
 		rowsPer:     append([]int(nil), rowsPerTable...),
 		rowBase:     make([]uint64, len(rowsPerTable)),
+		ranks:       uint64(cfg.TotalRanks()),
 	}
 	var base uint64
 	for i, n := range rowsPerTable {
@@ -122,8 +124,15 @@ func (l *Layout) Addr(idx header.Index) dram.Addr {
 }
 
 // Rank returns the global rank holding the vector with the given index.
+//
+// This is the algebraic collapse of GlobalRank(Decode(Addr(idx))): vectors
+// are slot-aligned (New enforces vectorBytes == InterleaveBytes), so the
+// decode's slot index is exactly idx, the global rank is the slot residue,
+// and GlobalRank inverts RankLocation. Engines call Rank several times per
+// access on the timed path, so the full geometry decode was a measurable
+// constant factor.
 func (l *Layout) Rank(idx header.Index) int {
-	return l.cfg.GlobalRank(l.cfg.Decode(l.Addr(idx)))
+	return int(uint64(idx) % l.ranks)
 }
 
 // Location fully decodes the vector's physical placement.

@@ -191,13 +191,26 @@ func (e *Engine) TimedLookup(store *embedding.Store, layout fafnir.Placement, me
 	cacheBusy := make(map[int]sim.Cycle) // per-rank cache occupancy (overlaps DRAM)
 	hostVectors := 0                     // raw vectors + partials the host must handle
 
+	// Per-query DIMM grouping. The buckets are reused across queries and
+	// visited in first-appearance order, which is deterministic (the map of
+	// earlier versions iterated in random order) and allocation-free in
+	// steady state.
+	var perDimm [][]header.Index
+	var dimmOrder []int
 	for _, q := range b.Queries {
-		// Group the query's indices by DIMM.
-		byDIMM := make(map[int][]header.Index)
+		dimmOrder = dimmOrder[:0]
 		for _, idx := range q.Indices {
-			byDIMM[dimmOf(layout.Rank(idx))] = append(byDIMM[dimmOf(layout.Rank(idx))], idx)
+			d := dimmOf(layout.Rank(idx))
+			for d >= len(perDimm) {
+				perDimm = append(perDimm, nil)
+			}
+			if len(perDimm[d]) == 0 {
+				dimmOrder = append(dimmOrder, d)
+			}
+			perDimm[d] = append(perDimm[d], idx)
 		}
-		for _, indices := range byDIMM {
+		for _, d := range dimmOrder {
+			indices := perDimm[d]
 			for _, idx := range indices {
 				rank := layout.Rank(idx)
 				if c := e.cacheFor(rank); c != nil && c.Access(idx) {
@@ -222,7 +235,6 @@ func (e *Engine) TimedLookup(store *embedding.Store, layout fafnir.Placement, me
 				// DIMMs run in parallel; work within a DIMM serializes.
 				steps := len(indices) - 1
 				res.ReducedAtNDP += steps
-				d := dimmOf(layout.Rank(indices[0]))
 				ndpBusy[d] += sim.Cycle(steps) * e.cfg.ReduceCyclesPerStep
 				res.BytesToHost += uint64(e.cfg.VectorBytes)
 				hostVectors++
@@ -231,6 +243,7 @@ func (e *Engine) TimedLookup(store *embedding.Store, layout fafnir.Placement, me
 				res.BytesToHost += uint64(e.cfg.VectorBytes)
 				hostVectors++
 			}
+			perDimm[d] = perDimm[d][:0]
 		}
 	}
 

@@ -16,7 +16,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_6.json}
+OUT=${BENCH_OUT:-BENCH_7.json}
 COUNT=${BENCH_COUNT:-3}
 TIME=${BENCH_TIME:-1x}
 
@@ -59,7 +59,9 @@ END {
     print "  \"benchmarks\": ["
     for (i = 1; i <= n; i++) {
         split(order[i], kp, "|")
-        printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
+        # %.0f, not %d: some awks (mawk) clamp %d at INT32_MAX, which
+        # silently recorded 2147483647 for any benchmark slower than ~2.1 s.
+        printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}%s\n", \
             kp[1], kp[2], ns[order[i]], bytes[order[i]], allocs[order[i]], (i < n ? "," : "")
     }
     print "  ]"

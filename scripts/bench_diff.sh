@@ -16,6 +16,11 @@
 # coarse tripwire for the big perf bugs (an accidental O(n^2), a lost buffer
 # pool), not a microbenchmark referee. Benchmarks present on only one side are
 # reported but do not fail the gate. Improvements never fail.
+#
+# Baselines written by older bench.sh versions under mawk clamp ns_per_op at
+# INT32_MAX (2147483647) for benchmarks slower than ~2.1 s. Such a point
+# carries no real timing information, so it is flagged as "clamped" and its
+# ns/op diff is skipped; the allocs/op gate still applies.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -52,7 +57,12 @@ NR == FNR { base_ns[$1] = $2; base_al[$1] = $3; next }
 {
     new_seen[$1] = 1
     if (!($1 in base_ns)) { printf "  new        %-60s (no baseline)\n", $1; next }
-    ns_d = (base_ns[$1] >= floor) ? 100 * ($2 - base_ns[$1]) / base_ns[$1] : 0
+    if (base_ns[$1] == 2147483647) {
+        printf "  clamped    %-60s baseline ns/op hit INT32_MAX; skipping ns diff (now %.0f)\n", $1, $2
+        ns_d = 0
+    } else {
+        ns_d = (base_ns[$1] >= floor) ? 100 * ($2 - base_ns[$1]) / base_ns[$1] : 0
+    }
     al_d = base_al[$1] > 0 ? 100 * ($3 - base_al[$1]) / base_al[$1] : 0
     if (ns_d > pct || al_d > pct) {
         printf "  REGRESSED  %-60s ns/op %+.1f%% (%d -> %d)  allocs/op %+.1f%% (%d -> %d)\n", \

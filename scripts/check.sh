@@ -34,6 +34,10 @@
 #                      failover), degraded responses surfaced to clients,
 #                      the shard_dark metric tripped on /metrics, and a
 #                      clean SIGTERM drain
+#  12. speedup gate  — BenchmarkRunTree/parallel must beat /serial by at
+#                      least 1.3x when the host has >= 4 CPUs (the async
+#                      scheduler's reason to exist); skipped with a notice
+#                      on smaller runners, where the scheduler cannot win
 #
 # Long-running fuzzing is opt-in, not part of the gate:
 #
@@ -190,5 +194,25 @@ grep -q 'drained cleanly' "$SMOKE/fleet.log" \
     || { cat "$SMOKE/fleet.log"; echo "chaos: no clean drain line"; exit 1; }
 grep 'drained cleanly' "$SMOKE/fleet.log"
 FLEET_PID=
+
+echo "==> speedup gate: async scheduler vs serial tree walk"
+CORES=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
+if [ "$CORES" -lt 4 ]; then
+    echo "speedup gate: skipped ($CORES CPU(s); the scheduler needs >= 4 to be gated)"
+else
+    SPEEDUP_MIN=${SPEEDUP_MIN:-1.3}
+    go test -run '^$' -bench 'BenchmarkRunTree' -benchtime 20x -count 3 \
+        ./internal/fafnir/ > "$SMOKE/runtree.bench" \
+        || { cat "$SMOKE/runtree.bench"; echo "speedup gate: benchmark failed"; exit 1; }
+    awk -v min="$SPEEDUP_MIN" '
+    /^BenchmarkRunTree\/serial/   { if (!ser || $3 < ser) ser = $3 }
+    /^BenchmarkRunTree\/parallel/ { if (!par || $3 < par) par = $3 }
+    END {
+        if (!ser || !par) { print "speedup gate: missing benchmark output"; exit 1 }
+        printf "speedup gate: serial %d ns/op, parallel %d ns/op -> %.2fx (floor %.1fx)\n", ser, par, ser / par, min
+        exit !(ser / par >= min)
+    }' "$SMOKE/runtree.bench" \
+        || { cat "$SMOKE/runtree.bench"; echo "speedup gate: parallel tree walk below ${SPEEDUP_MIN}x over serial"; exit 1; }
+fi
 
 echo "OK: all checks passed"
