@@ -256,6 +256,14 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 // TotalRows reports the number of embedding vectors in the system.
 func (s *System) TotalRows() uint64 { return s.layout.TotalRows() }
 
+// Row returns the raw embedding row at idx — the exact vector every DRAM
+// read of idx yields, since the store is read-only. The serving layer's
+// hot-embedding cache uses this hook to admit rows a flushed batch read.
+func (s *System) Row(idx header.Index) (tensor.Vector, error) { return s.store.Vector(idx) }
+
+// Dim reports the embedding dimensionality of every row.
+func (s *System) Dim() int { return s.store.Dim() }
+
 // AttachTracer threads a telemetry tracer through the system's engine and
 // memory model: subsequent Lookup calls emit PE stage events (one lane per
 // PE, grouped by tree level) and per-bank DRAM command spans onto the

@@ -35,18 +35,75 @@ import (
 type lookupRequest struct {
 	Indices   []uint64 `json:"indices"`
 	Op        string   `json:"op,omitempty"`
+	Priority  string   `json:"priority,omitempty"`
 	TimeoutMS int      `json:"timeout_ms,omitempty"`
 }
 
 type outcome struct {
 	status  int
 	latency time.Duration
+	// pri is the request's QoS lane ("" when no -mix was given).
+	pri string
 	// degraded marks a 200 whose body carried a degraded report (the batch
 	// absorbed faults; outputs may be partial).
 	degraded bool
 	// retries is how many 503 rejections this request retried through before
 	// its terminal status.
 	retries int
+}
+
+// priorityMix is the -mix flag parsed: percent of traffic on the high and
+// low lanes, the rest travelling normal.
+type priorityMix struct{ high, low int }
+
+func (m priorityMix) active() bool { return m.high > 0 || m.low > 0 }
+
+// pick draws one request's lane from the per-request rng, so the mix is
+// deterministic under a fixed -seed.
+func (m priorityMix) pick(rng *rand.Rand) string {
+	if !m.active() {
+		return ""
+	}
+	r := rng.Intn(100)
+	switch {
+	case r < m.high:
+		return "high"
+	case r < m.high+m.low:
+		return "low"
+	default:
+		return "normal"
+	}
+}
+
+func parseMix(s string) (priorityMix, error) {
+	var m priorityMix
+	if s == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad -mix clause %q (want lane=percent)", part)
+		}
+		pct, err := strconv.Atoi(v)
+		if err != nil || pct < 0 || pct > 100 {
+			return m, fmt.Errorf("bad -mix percent %q in clause %q", v, part)
+		}
+		switch k {
+		case "high":
+			m.high = pct
+		case "low":
+			m.low = pct
+		case "normal":
+			// The remainder is normal by construction.
+		default:
+			return m, fmt.Errorf("unknown -mix lane %q (want high, normal, or low)", k)
+		}
+	}
+	if m.high+m.low > 100 {
+		return m, fmt.Errorf("-mix lanes sum past 100%%")
+	}
+	return m, nil
 }
 
 func main() {
@@ -71,9 +128,15 @@ func run() error {
 		timeout  = flag.Int("timeout-ms", 0, "per-request timeout_ms field (0 = server default)")
 		retries  = flag.Int("retries", 0, "max retries per request after a 503, honoring its Retry-After")
 		retryU   = flag.Duration("retry-unit", time.Second, "how long one Retry-After second sleeps (compress for tests)")
+		mixFlag  = flag.String("mix", "", `QoS priority mix, e.g. "high=20,low=80" (percent; the rest travels normal)`)
 		dump     = flag.Bool("dump-metrics", false, "print the raw /metrics body after the run")
 	)
 	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	var sent atomic.Int64
@@ -97,12 +160,13 @@ func run() error {
 
 	fire := func(rng *rand.Rand, z *rand.Zipf) {
 		start := time.Now()
-		payload := body(rng, z, *q, *rows, *op, *timeout)
+		pri := mix.pick(rng)
+		payload := body(rng, z, *q, *rows, *op, pri, *timeout)
 		var retried int
 		for {
 			status, degraded, retryAfter, err := post(client, *url, payload)
 			if err != nil {
-				record(outcome{status: -1, latency: time.Since(start), retries: retried})
+				record(outcome{status: -1, latency: time.Since(start), pri: pri, retries: retried})
 				return
 			}
 			if status == http.StatusServiceUnavailable && retried < *retries {
@@ -110,7 +174,7 @@ func run() error {
 				time.Sleep(time.Duration(retryAfter) * *retryU)
 				continue
 			}
-			record(outcome{status: status, latency: time.Since(start), degraded: degraded, retries: retried})
+			record(outcome{status: status, latency: time.Since(start), pri: pri, degraded: degraded, retries: retried})
 			return
 		}
 	}
@@ -174,7 +238,7 @@ func newZipf(rng *rand.Rand, s float64, rows uint64) *rand.Zipf {
 	return rand.NewZipf(rng, s, 1, rows-1)
 }
 
-func body(rng *rand.Rand, z *rand.Zipf, q int, rows uint64, op string, timeoutMS int) []byte {
+func body(rng *rand.Rand, z *rand.Zipf, q int, rows uint64, op, pri string, timeoutMS int) []byte {
 	seen := make(map[uint64]struct{}, q)
 	idx := make([]uint64, 0, q)
 	for len(idx) < q {
@@ -190,7 +254,7 @@ func body(rng *rand.Rand, z *rand.Zipf, q int, rows uint64, op string, timeoutMS
 		seen[v] = struct{}{}
 		idx = append(idx, v)
 	}
-	b, _ := json.Marshal(lookupRequest{Indices: idx, Op: op, TimeoutMS: timeoutMS})
+	b, _ := json.Marshal(lookupRequest{Indices: idx, Op: op, Priority: pri, TimeoutMS: timeoutMS})
 	return b
 }
 
@@ -262,6 +326,52 @@ func report(outcomes []outcome, elapsed time.Duration, qps float64) {
 			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 			pct(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
 	}
+	reportLanes(outcomes)
+}
+
+// reportLanes breaks the run down per QoS lane when a -mix was active: how
+// much of each lane succeeded, how much was shed (503), and the lane's
+// latency percentiles — the p99-under-overload view the QoS gate checks.
+func reportLanes(outcomes []outcome) {
+	mixed := false
+	for _, o := range outcomes {
+		if o.pri != "" {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		return
+	}
+	for _, lane := range []string{"high", "normal", "low"} {
+		var ok, shed, other int
+		var lat []time.Duration
+		for _, o := range outcomes {
+			if o.pri != lane {
+				continue
+			}
+			switch o.status {
+			case http.StatusOK:
+				ok++
+				lat = append(lat, o.latency)
+			case http.StatusServiceUnavailable:
+				shed++
+			default:
+				other++
+			}
+		}
+		if ok+shed+other == 0 {
+			continue
+		}
+		line := fmt.Sprintf("lane %s: %d ok, %d shed (503), %d other", lane, ok, shed, other)
+		if len(lat) > 0 {
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
+			line += fmt.Sprintf("  p50 %v  p99 %v",
+				pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+		}
+		fmt.Println(line)
+	}
 }
 
 // scrape pulls /metrics and prints the server-side coalescing summary.
@@ -292,13 +402,26 @@ func scrape(client *http.Client, base string, dump bool) error {
 		fmt.Printf("server: %.0f degraded responses from %.0f degraded batches\n",
 			d, vals["fafnir_serve_degraded_batches_total"])
 	}
+	if hits, misses := vals["fafnir_cache_hits_total"], vals["fafnir_cache_misses_total"]; hits+misses > 0 {
+		fmt.Printf("server: cache %.0f hits / %.0f misses (hit ratio %.2f), %.0f evictions, %.0f resident bytes\n",
+			hits, misses, hits/(hits+misses), vals["fafnir_cache_evictions_total"],
+			vals["fafnir_cache_resident_bytes"])
+	}
+	sh, sn, sl := vals[`fafnir_serve_shed_total{lane="high"}`],
+		vals[`fafnir_serve_shed_total{lane="normal"}`],
+		vals[`fafnir_serve_shed_total{lane="low"}`]
+	if sh+sn+sl > 0 {
+		fmt.Printf("server: shed high=%.0f normal=%.0f low=%.0f\n", sh, sn, sl)
+	}
 	if dump {
 		os.Stdout.Write(raw)
 	}
 	return nil
 }
 
-// parseMetrics reads unlabelled sample lines of the Prometheus text format.
+// parseMetrics reads sample lines of the Prometheus text format. Unlabelled
+// samples key by bare family name; labelled samples key by the full
+// name{labels} string (e.g. `fafnir_serve_shed_total{lane="low"}`).
 func parseMetrics(body string) map[string]float64 {
 	vals := make(map[string]float64)
 	for _, line := range strings.Split(body, "\n") {
@@ -306,7 +429,7 @@ func parseMetrics(body string) map[string]float64 {
 			continue
 		}
 		name, val, ok := strings.Cut(line, " ")
-		if !ok || strings.Contains(name, "{") {
+		if !ok {
 			continue
 		}
 		if f, err := strconv.ParseFloat(val, 64); err == nil {

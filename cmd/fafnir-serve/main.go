@@ -60,6 +60,9 @@ func run() error {
 		faults    = flag.String("faults", "", `fault plan, e.g. "rank=3@0;ecc=0.001;seed=9"`)
 		shards    = flag.Int("shards", 1, "shard count; >1 serves through the fault-tolerant fleet router")
 		storm     = flag.String("fault-storm", "", `fleet fault plan, e.g. "shard=1@40000;flap=2@1-300000;storm=6@20000;seed=7" (implies the fleet router)`)
+		cacheMB   = flag.Int("cache-mb", 0, "hot-embedding cache budget in MiB (0 disables; split per shard in fleet mode)")
+		cacheSeed = flag.Uint64("cache-seed", 1, "cache CLOCK-eviction seed")
+		qos       = flag.Bool("qos", false, "enable priority lanes: shed-low-first admission and deadline-aware scheduling")
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
 		debugAddr = flag.String("debug-addr", "", "optional debug listener serving /debug/pprof and /debug/vars (off when empty)")
 	)
@@ -70,6 +73,9 @@ func run() error {
 		Linger:         *linger,
 		MaxQueued:      *queue,
 		DefaultTimeout: *timeout,
+		CacheBytes:     int64(*cacheMB) << 20,
+		CacheSeed:      *cacheSeed,
+		QoS:            *qos,
 	}
 
 	var (
@@ -140,8 +146,16 @@ func run() error {
 	// The literal "listening on host:port" line is the startup handshake:
 	// scripts (check.sh's smoke gate) parse the chosen port from it.
 	fmt.Printf("listening on %s\n", ln.Addr())
-	fmt.Printf("%s, %d vectors, batch capacity %d, linger %v, queue bound %d\n",
-		topology, totalRows, *batch, *linger, srv.Coalescer().Config().MaxQueued)
+	cacheInfo := "off"
+	if *cacheMB > 0 {
+		cacheInfo = fmt.Sprintf("%d MiB", *cacheMB)
+	}
+	qosInfo := "off"
+	if *qos {
+		qosInfo = "on"
+	}
+	fmt.Printf("%s, %d vectors, batch capacity %d, linger %v, queue bound %d, cache %s, qos %s\n",
+		topology, totalRows, *batch, *linger, srv.Coalescer().Config().MaxQueued, cacheInfo, qosInfo)
 
 	// The debug listener is a separate socket so profiling endpoints never
 	// share the service port: keep it bound to localhost or a firewalled

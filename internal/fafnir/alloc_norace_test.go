@@ -1,0 +1,6 @@
+//go:build !race
+
+package fafnir
+
+// raceDetectorEnabled reports whether this test binary was built with -race.
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package fafnir
+
+// raceDetectorEnabled reports whether this test binary was built with -race.
+// The race-enabled runtime randomizes sync.Pool (Put drops items at random to
+// exercise miss paths), so pooled-scratch allocation counts are noise there.
+const raceDetectorEnabled = true

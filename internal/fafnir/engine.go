@@ -130,6 +130,34 @@ type DegradedReport struct {
 	// partial: at least one index's shard and its replica were both
 	// unreachable, so the pooled vector omits those contributions.
 	LostQueries []int
+	// LostIndexCounts aligns with LostQueries: how many of that query's
+	// index reads were dropped. The serving layer's hot-embedding cache
+	// needs the per-query count to finalize mean pooling by the true
+	// survivor count when it has stripped cached indices from the batch.
+	LostIndexCounts []int
+}
+
+// AddLost records n dropped index reads for batch query q, keeping
+// LostQueries sorted and LostIndexCounts aligned. Repeated losses for the
+// same query accumulate onto one entry.
+func (d *DegradedReport) AddLost(q, n int) {
+	for i, v := range d.LostQueries {
+		if v == q {
+			d.LostIndexCounts[i] += n
+			return
+		}
+		if v > q {
+			d.LostQueries = append(d.LostQueries, 0)
+			copy(d.LostQueries[i+1:], d.LostQueries[i:])
+			d.LostQueries[i] = q
+			d.LostIndexCounts = append(d.LostIndexCounts, 0)
+			copy(d.LostIndexCounts[i+1:], d.LostIndexCounts[i:])
+			d.LostIndexCounts[i] = n
+			return
+		}
+	}
+	d.LostQueries = append(d.LostQueries, q)
+	d.LostIndexCounts = append(d.LostIndexCounts, n)
 }
 
 // ShardDegraded describes one shard's contribution to a fleet-level degraded

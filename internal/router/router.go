@@ -255,6 +255,20 @@ func (f *Fleet) ownerOf(idx header.Index) int {
 	return int(uint64(idx) % uint64(f.cfg.Shards))
 }
 
+// OwnerOf reports the shard storing the primary copy of idx. The serving
+// layer's hot-embedding cache uses it to partition its byte budget by owner
+// shard, so fleet mode caches per shard.
+func (f *Fleet) OwnerOf(idx header.Index) int { return f.ownerOf(idx) }
+
+// Row returns the raw embedding row idx from the global store. The serving
+// layer's hot-embedding cache fills from it after a flushed batch: the store
+// is the ground truth every DRAM read (remapped or not) returns, so host-side
+// copies are bit-identical to what the shards would serve.
+func (f *Fleet) Row(idx header.Index) (tensor.Vector, error) { return f.store.Vector(idx) }
+
+// Dim reports the embedding dimensionality of the fleet's store.
+func (f *Fleet) Dim() int { return f.store.Dim() }
+
 // replicaHolder returns the shard storing the replica copy of shard s's
 // rows: s + max(1, N/2) mod N, so a single shard loss never takes out both
 // copies (for N >= 2) and paired losses degrade evenly — memmap's diagonal
@@ -717,25 +731,9 @@ func (f *Fleet) lose(res *core.TimedResult, deg *core.DegradedReport, e *core.Sh
 		survivors[ref.query] -= ref.indices
 		e.LostQueries++
 		e.LostIndices += ref.indices
-		deg.LostQueries = appendUnique(deg.LostQueries, ref.query)
+		deg.AddLost(ref.query, ref.indices)
 	}
 	f.countLostShard(e.Shard)
-}
-
-// appendUnique inserts q into the sorted slice if absent.
-func appendUnique(s []int, q int) []int {
-	for i, v := range s {
-		if v == q {
-			return s
-		}
-		if v > q {
-			s = append(s, 0)
-			copy(s[i+1:], s[i:])
-			s[i] = q
-			return s
-		}
-	}
-	return append(s, q)
 }
 
 func (f *Fleet) parallelism() int {

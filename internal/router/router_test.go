@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
 	"fafnir/internal/fault"
 	"fafnir/internal/header"
 	"fafnir/internal/oracle"
@@ -278,18 +279,22 @@ func TestStateString(t *testing.T) {
 	}
 }
 
-func TestAppendUnique(t *testing.T) {
-	var s []int
-	for _, q := range []int{5, 1, 5, 3, 1, 9, 3} {
-		s = appendUnique(s, q)
+// TestAddLost pins the degraded report's per-query loss accounting: queries
+// stay sorted and unique, and repeated losses for one query accumulate onto
+// its aligned index count (the serving cache finalizes mean pooling from it).
+func TestAddLost(t *testing.T) {
+	var d core.DegradedReport
+	for _, l := range []struct{ q, n int }{{5, 2}, {1, 4}, {5, 3}, {3, 1}, {1, 1}, {9, 7}, {3, 2}} {
+		d.AddLost(l.q, l.n)
 	}
-	want := []int{1, 3, 5, 9}
-	if len(s) != len(want) {
-		t.Fatalf("got %v, want %v", s, want)
+	wantQ := []int{1, 3, 5, 9}
+	wantN := []int{5, 3, 5, 7}
+	if len(d.LostQueries) != len(wantQ) || len(d.LostIndexCounts) != len(wantN) {
+		t.Fatalf("got %v / %v, want %v / %v", d.LostQueries, d.LostIndexCounts, wantQ, wantN)
 	}
-	for i := range want {
-		if s[i] != want[i] {
-			t.Fatalf("got %v, want %v", s, want)
+	for i := range wantQ {
+		if d.LostQueries[i] != wantQ[i] || d.LostIndexCounts[i] != wantN[i] {
+			t.Fatalf("got %v / %v, want %v / %v", d.LostQueries, d.LostIndexCounts, wantQ, wantN)
 		}
 	}
 }

@@ -3,12 +3,15 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"slices"
 	"sync"
 	"time"
 
+	"fafnir/internal/cache"
 	"fafnir/internal/embedding"
 	core "fafnir/internal/fafnir"
+	"fafnir/internal/header"
 	"fafnir/internal/sim"
 	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
@@ -40,7 +43,8 @@ type BatchStats struct {
 	// Requests is the number of concurrent requests coalesced into it.
 	Requests int
 	// MemoryReads is the number of DRAM vector reads the batch issued after
-	// cross-request deduplication.
+	// cross-request deduplication — and, when the hot-embedding cache is on,
+	// after cached indices were stripped from the hardware batch.
 	MemoryReads int
 	// NaiveReads is what the batch would have read without deduplication
 	// (the sum of all query sizes).
@@ -53,6 +57,10 @@ type BatchStats struct {
 	// reduction tree.
 	Reduces  int
 	Compares int
+	// CacheHits and CacheMisses are the hot-embedding cache consultations
+	// this batch made at build time; both zero when the cache is off.
+	CacheHits   int
+	CacheMisses int
 	// Isolated marks a result recomputed alone after its shared batch
 	// failed (see the isolation retry in flush).
 	Isolated bool
@@ -81,6 +89,7 @@ type request struct {
 	ctx     context.Context
 	queries []embedding.Query
 	op      tensor.ReduceOp
+	pri     Priority
 	enq     time.Time
 	debug   bool        // caller asked for the batch's trace echo
 	done    chan result // buffered 1; the flusher never blocks on delivery
@@ -93,6 +102,16 @@ func (r *request) deliver(res result) {
 	}
 }
 
+// deadlineSlack reports how much of the request's deadline remains at now;
+// requests without a deadline report effectively infinite slack.
+func (r *request) deadlineSlack(now time.Time) time.Duration {
+	d, ok := r.ctx.Deadline()
+	if !ok {
+		return time.Duration(math.MaxInt64)
+	}
+	return d.Sub(now)
+}
+
 // Coalescer accumulates concurrent lookup requests and flushes them through
 // the backend as shared hardware batches. It is safe for concurrent use; the
 // backend itself is only ever called from the single flusher goroutine, so a
@@ -103,6 +122,19 @@ func (r *request) deliver(res result) {
 // is full or when requests with a different op wait behind it; otherwise the
 // flusher lingers up to Config.Linger past the oldest request's enqueue time
 // before flushing a partial batch.
+//
+// With Config.QoS enabled, the single queue becomes three priority lanes.
+// Admission sheds low-priority work first (above ShedLowWater x MaxQueued),
+// the flusher cuts batches from the highest non-empty lane, and a lower
+// lane whose head request is about to miss its deadline (slack below
+// Config.DeadlineSlack) preempts, bounding starvation. A cut batch tops up
+// with same-op work from other lanes, so QoS never reduces coalescing.
+//
+// With Config.CacheBytes > 0 and a backend exposing RowSource, the flusher
+// consults a hot-embedding cache at batch build time: cached indices are
+// stripped from the hardware batch, the backend reads only the misses, and
+// cached rows merge back into the pooled outputs bit-exactly (see
+// docs/ARCHITECTURE.md §14 for the determinism argument).
 type Coalescer struct {
 	cfg Config
 	be  Backend
@@ -123,9 +155,21 @@ type Coalescer struct {
 	lastRowMisses uint64
 	lastRowConfl  uint64
 
+	// caches is the hot-embedding cache, one CLOCK ring per owner shard
+	// (one ring total for an unsharded backend); nil when the cache is off.
+	// rows/owner are the backend capabilities behind it. All cache state is
+	// touched only by the flusher goroutine. lastCache* hold the previously
+	// folded cumulative cache counters.
+	caches         []*cache.Cache
+	rows           RowSource
+	owner          ShardOwner
+	dim            int
+	lastCacheEvict uint64
+	lastCacheIns   uint64
+
 	mu     sync.Mutex
-	queue  []*request
-	queued int // queries across queue
+	lanes  [numLanes][]*request
+	queued int // queries across all lanes
 	closed bool
 
 	kick    chan struct{} // buffered 1: wakes the flusher
@@ -156,10 +200,40 @@ func NewCoalescer(cfg Config, be Backend, m *Metrics) (*Coalescer, error) {
 	}
 	c.attacher, _ = be.(TraceAttacher)
 	c.memStats, _ = be.(MemoryStatsSource)
+	if cfg.CacheBytes > 0 {
+		rows, ok := be.(RowSource)
+		if !ok {
+			return nil, fmt.Errorf("serve: Config.CacheBytes = %d but backend %T does not expose embedding rows (RowSource)", cfg.CacheBytes, be)
+		}
+		c.rows = rows
+		c.dim = rows.Dim()
+		nShards := 1
+		if so, ok := be.(ShardOwner); ok {
+			c.owner = so
+			nShards = so.Shards()
+		}
+		c.caches = make([]*cache.Cache, nShards)
+		for i := range c.caches {
+			// Each shard's ring gets an even budget slice and its own seeded
+			// hand position (splitmix64 increment keeps seeds well spread).
+			cc, err := cache.New(cache.Config{
+				Bytes: cfg.CacheBytes / int64(nShards),
+				Dim:   c.dim,
+				Seed:  cfg.CacheSeed + uint64(i)*0x9e3779b97f4a7c15,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("serve: cache shard %d: %w", i, err)
+			}
+			c.caches[i] = cc
+		}
+	}
 	if c.tracer != nil {
 		c.tracer.NameProcess(telemetry.PIDServe, "serve")
-		c.tracer.NameLane(telemetry.PIDServe, 0, "requests")
-		c.tracer.NameLane(telemetry.PIDServe, 1, "flusher")
+		c.tracer.NameLane(telemetry.PIDServe, telemetry.TIDServeRequests, "requests")
+		c.tracer.NameLane(telemetry.PIDServe, telemetry.TIDServeFlusher, "flusher")
+		if c.caches != nil {
+			c.tracer.NameLane(telemetry.PIDServe, telemetry.TIDServeCache, "cache")
+		}
 	}
 	go c.run()
 	return c, nil
@@ -193,8 +267,16 @@ func (c *Coalescer) Config() Config { return c.cfg }
 // until the flusher delivers the result or ctx expires. All queries of one
 // call travel in the same batch and resolve together. It fails fast with
 // ErrOverloaded when the admission queue is full and ErrDraining after Close.
+// Submit travels the normal QoS lane; see SubmitPriority.
 func (c *Coalescer) Submit(ctx context.Context, op tensor.ReduceOp, queries []embedding.Query) ([]tensor.Vector, BatchStats, error) {
-	out, stats, _, err := c.submit(ctx, op, queries, false)
+	out, stats, _, err := c.submit(ctx, op, queries, PriorityNormal, false)
+	return out, stats, err
+}
+
+// SubmitPriority is Submit on an explicit QoS lane. With Config.QoS disabled
+// the priority is ignored and every request travels the normal lane.
+func (c *Coalescer) SubmitPriority(ctx context.Context, op tensor.ReduceOp, queries []embedding.Query, pri Priority) ([]tensor.Vector, BatchStats, error) {
+	out, stats, _, err := c.submit(ctx, op, queries, pri, false)
 	return out, stats, err
 }
 
@@ -204,17 +286,30 @@ func (c *Coalescer) Submit(ctx context.Context, op tensor.ReduceOp, queries []em
 // events of any co-travelling requests coalesced into it. The trace is nil
 // when the backend cannot trace.
 func (c *Coalescer) SubmitTraced(ctx context.Context, op tensor.ReduceOp, queries []embedding.Query) ([]tensor.Vector, BatchStats, []byte, error) {
-	return c.submit(ctx, op, queries, true)
+	return c.submit(ctx, op, queries, PriorityNormal, true)
 }
 
-func (c *Coalescer) submit(ctx context.Context, op tensor.ReduceOp, queries []embedding.Query, debug bool) ([]tensor.Vector, BatchStats, []byte, error) {
+// SubmitTracedPriority is SubmitTraced on an explicit QoS lane.
+func (c *Coalescer) SubmitTracedPriority(ctx context.Context, op tensor.ReduceOp, queries []embedding.Query, pri Priority) ([]tensor.Vector, BatchStats, []byte, error) {
+	return c.submit(ctx, op, queries, pri, true)
+}
+
+func (c *Coalescer) submit(ctx context.Context, op tensor.ReduceOp, queries []embedding.Query, pri Priority, debug bool) ([]tensor.Vector, BatchStats, []byte, error) {
 	if len(queries) == 0 {
 		return nil, BatchStats{}, nil, fmt.Errorf("serve: empty request")
 	}
 	if !op.Valid() {
 		return nil, BatchStats{}, nil, fmt.Errorf("serve: invalid reduce op %d", op)
 	}
-	req := &request{ctx: ctx, queries: queries, op: op, enq: time.Now(), debug: debug, done: make(chan result, 1)}
+	if pri < 0 || pri >= numLanes {
+		return nil, BatchStats{}, nil, fmt.Errorf("serve: invalid priority %d", pri)
+	}
+	if !c.cfg.QoS {
+		// QoS off: one lane, one queue — behavior-identical to the
+		// pre-lane coalescer.
+		pri = PriorityNormal
+	}
+	req := &request{ctx: ctx, queries: queries, op: op, pri: pri, enq: time.Now(), debug: debug, done: make(chan result, 1)}
 
 	c.mu.Lock()
 	if c.closed {
@@ -223,19 +318,27 @@ func (c *Coalescer) submit(ctx context.Context, op tensor.ReduceOp, queries []em
 	}
 	// Admission control: bounded queue. A request the queue could never
 	// hold is still admitted when the queue is empty, so oversized requests
-	// make progress instead of starving forever.
-	if c.queued > 0 && c.queued+len(queries) > c.cfg.MaxQueued {
+	// make progress instead of starving forever. Low-priority work sheds
+	// early — at the low-water fraction of the bound — so overload consumes
+	// best-effort traffic before it touches anything latency-critical.
+	limit := c.cfg.MaxQueued
+	if c.cfg.QoS && pri == PriorityLow {
+		limit = int(c.cfg.ShedLowWater * float64(c.cfg.MaxQueued))
+	}
+	if c.queued > 0 && c.queued+len(queries) > limit {
 		c.mu.Unlock()
+		c.m.Shed.At(int(pri)).Add(1)
 		return nil, BatchStats{}, nil, ErrOverloaded
 	}
-	c.queue = append(c.queue, req)
+	c.lanes[pri] = append(c.lanes[pri], req)
 	c.queued += len(queries)
 	depth := c.queued
 	c.mu.Unlock()
 
 	if c.tracer != nil {
-		c.emit("enqueue", 0, telemetry.PhaseInstant, req.enq, 0,
+		c.emit("enqueue", telemetry.TIDServeRequests, telemetry.PhaseInstant, req.enq, 0,
 			telemetry.Arg{Key: "queries", Int: int64(len(queries))},
+			telemetry.Arg{Key: "lane", Str: pri.String()},
 			telemetry.Arg{Key: "depth", Int: int64(depth)})
 	}
 	c.m.QueueDepth.Set(int64(depth))
@@ -273,13 +376,44 @@ func (c *Coalescer) kickFlusher() {
 	}
 }
 
-// run is the flusher: the single goroutine that cuts batches off the queue
+// pickLane chooses the lane the next batch is cut from: the highest-priority
+// non-empty lane, unless a lower lane's head request is about to miss its
+// deadline (slack below Config.DeadlineSlack and tighter than the chosen
+// head's), in which case the urgent lane preempts. Callers hold c.mu.
+func (c *Coalescer) pickLane(now time.Time) int {
+	chosen := -1
+	for l := 0; l < int(numLanes); l++ {
+		if len(c.lanes[l]) > 0 {
+			chosen = l
+			break
+		}
+	}
+	if chosen < 0 || !c.cfg.QoS {
+		return chosen
+	}
+	bestSlack := c.lanes[chosen][0].deadlineSlack(now)
+	for l := chosen + 1; l < int(numLanes); l++ {
+		if len(c.lanes[l]) == 0 {
+			continue
+		}
+		if s := c.lanes[l][0].deadlineSlack(now); s < c.cfg.DeadlineSlack && s < bestSlack {
+			chosen, bestSlack = l, s
+		}
+	}
+	return chosen
+}
+
+// run is the flusher: the single goroutine that cuts batches off the lanes
 // and executes them serially against the backend.
 func (c *Coalescer) run() {
 	defer close(c.drained)
 	for {
 		c.mu.Lock()
-		if len(c.queue) == 0 {
+		total := 0
+		for l := range c.lanes {
+			total += len(c.lanes[l])
+		}
+		if total == 0 {
 			closed := c.closed
 			c.mu.Unlock()
 			if closed {
@@ -289,31 +423,55 @@ func (c *Coalescer) run() {
 			continue
 		}
 
-		// Cut the candidate prefix: same op, at most BatchCapacity queries.
-		// A request is never split across batches; one request larger than
-		// the capacity forms its own batch (the engine splits it into
-		// hardware batches internally).
-		op := c.queue[0].op
-		n, nq := 0, 0
-		for _, r := range c.queue {
-			if r.op != op {
-				break
+		// Cut the candidate batch: same op, at most BatchCapacity queries,
+		// drawn from the scheduled lane first. A request is never split
+		// across batches; one request larger than the capacity forms its own
+		// batch (the engine splits it into hardware batches internally).
+		// With QoS on, a partial batch tops up with same-op work from the
+		// other lanes so priority scheduling never reduces coalescing.
+		now := time.Now()
+		lane := c.pickLane(now)
+		op := c.lanes[lane][0].op
+		var cut []*request
+		var counts [numLanes]int
+		nq := 0
+		appendFrom := func(l int) {
+			for _, r := range c.lanes[l][counts[l]:] {
+				if r.op != op {
+					break
+				}
+				if len(cut) > 0 && nq+len(r.queries) > c.cfg.BatchCapacity {
+					break
+				}
+				cut = append(cut, r)
+				counts[l]++
+				nq += len(r.queries)
+				if nq >= c.cfg.BatchCapacity {
+					break
+				}
 			}
-			if n > 0 && nq+len(r.queries) > c.cfg.BatchCapacity {
-				break
-			}
-			n++
-			nq += len(r.queries)
-			if nq >= c.cfg.BatchCapacity {
-				break
+		}
+		appendFrom(lane)
+		if c.cfg.QoS && nq < c.cfg.BatchCapacity {
+			for l := 0; l < int(numLanes); l++ {
+				if l != lane && nq < c.cfg.BatchCapacity {
+					appendFrom(l)
+				}
 			}
 		}
 
-		// Flush now when the batch is full, when differently-shaped work
-		// waits behind the prefix, or when draining; otherwise linger.
-		ready := nq >= c.cfg.BatchCapacity || n < len(c.queue) || c.closed
+		// Flush now when the batch is full, when work the cut could not
+		// absorb waits behind it, or when draining; otherwise linger past
+		// the oldest cut request's enqueue time.
+		ready := nq >= c.cfg.BatchCapacity || len(cut) < total || c.closed
 		if !ready {
-			wait := c.cfg.Linger - time.Since(c.queue[0].enq)
+			oldest := cut[0].enq
+			for _, r := range cut[1:] {
+				if r.enq.Before(oldest) {
+					oldest = r.enq
+				}
+			}
+			wait := c.cfg.Linger - time.Since(oldest)
 			if wait > 0 {
 				c.mu.Unlock()
 				timer := time.NewTimer(wait)
@@ -326,8 +484,12 @@ func (c *Coalescer) run() {
 			}
 		}
 
-		reqs := slices.Clone(c.queue[:n])
-		c.queue = slices.Delete(c.queue, 0, n)
+		reqs := slices.Clone(cut)
+		for l, n := range counts {
+			if n > 0 {
+				c.lanes[l] = slices.Delete(c.lanes[l], 0, n)
+			}
+		}
 		c.queued -= nq
 		depth := c.queued
 		c.mu.Unlock()
@@ -335,6 +497,188 @@ func (c *Coalescer) run() {
 		c.m.QueueDepth.Set(int64(depth))
 		c.flush(op, reqs)
 	}
+}
+
+// cachePlan is one flush's cache consultation: which indices were served
+// from the cache, the per-query pooled cached contributions, and the
+// stripped hardware batch covering only the misses.
+type cachePlan struct {
+	// partial holds, per original query, the cached rows pooled under the
+	// batch op (nil when the query had no cache hits). Mean accumulates as
+	// a sum; merge finalizes with the true operand count.
+	partial []tensor.Vector
+	// cachedN is the per-original-query count of indices served from cache.
+	cachedN []int
+	// backPos maps each original query to its position in the stripped
+	// batch; -1 when every index was cached (or the query was empty) and
+	// the hardware batch never sees it.
+	backPos []int
+	// origOf maps each stripped-batch query back to its original position,
+	// for remapping degraded reports into caller coordinates.
+	origOf []int
+	// stripped is the hardware batch of cache misses. Mean batches are
+	// rewritten to sum — the engine would otherwise finalize by the
+	// stripped query's length, not the true operand count.
+	stripped embedding.Batch
+	// missed collects every miss across the batch for post-flush admission.
+	missed []header.Index
+	// hits/misses are the flush's consultation totals.
+	hits, misses int
+}
+
+// shardOf reports the cache partition owning idx.
+func (c *Coalescer) shardOf(idx header.Index) int {
+	if c.owner == nil {
+		return 0
+	}
+	return c.owner.OwnerOf(idx)
+}
+
+// consult runs the batch through the hot-embedding cache, pooling cached
+// rows host-side and building the stripped hardware batch of misses.
+// Returns nil when the cache is off.
+func (c *Coalescer) consult(b embedding.Batch) *cachePlan {
+	if c.caches == nil {
+		return nil
+	}
+	nq := len(b.Queries)
+	p := &cachePlan{
+		partial: make([]tensor.Vector, nq),
+		cachedN: make([]int, nq),
+		backPos: make([]int, nq),
+	}
+	p.stripped.Op = b.Op
+	if b.Op == tensor.OpMean {
+		p.stripped.Op = tensor.OpSum
+	}
+	for qi, q := range b.Queries {
+		p.backPos[qi] = -1
+		var missed header.IndexSet
+		for _, idx := range q.Indices {
+			shard := c.shardOf(idx)
+			v, ok := c.caches[shard].Get(cache.Key{Table: uint32(shard), Op: uint8(b.Op), Index: idx})
+			if !ok {
+				// Appending in iteration order preserves the sorted,
+				// duplicate-free IndexSet invariant.
+				missed = append(missed, idx)
+				continue
+			}
+			if p.partial[qi] == nil {
+				p.partial[qi] = v.Clone()
+			} else {
+				// Dimensions always agree (one store, one dim); Apply cannot
+				// fail here.
+				_ = b.Op.Apply(p.partial[qi], v)
+			}
+			p.cachedN[qi]++
+		}
+		p.hits += p.cachedN[qi]
+		p.misses += len(missed)
+		if len(missed) > 0 {
+			p.backPos[qi] = len(p.stripped.Queries)
+			p.origOf = append(p.origOf, qi)
+			p.stripped.Queries = append(p.stripped.Queries, embedding.Query{Indices: missed})
+			p.missed = append(p.missed, missed...)
+		}
+	}
+	return p
+}
+
+// merge folds the cached partials back into the stripped batch's outputs,
+// returning the output slice in original batch order. It also remaps the
+// result's degraded report (if any) from stripped coordinates back to
+// original batch coordinates, in place.
+//
+// Bit-exactness: store values are integer-valued float32, so sums are exact
+// and order-independent; min/max are idempotent and order-independent by
+// construction; mean is a sum finalized by one multiply with the same
+// operand count the unstripped batch would use. The merged outputs are
+// therefore bit-identical to a cache-off run (docs/ARCHITECTURE.md §14).
+func (c *Coalescer) merge(b embedding.Batch, p *cachePlan, res *core.TimedResult) []tensor.Vector {
+	nq := len(b.Queries)
+	lostCount := make([]int, nq)
+	if res.Degraded != nil {
+		for i, sq := range res.Degraded.LostQueries {
+			oq := p.origOf[sq]
+			n := 1
+			if i < len(res.Degraded.LostIndexCounts) {
+				n = res.Degraded.LostIndexCounts[i]
+			}
+			lostCount[oq] = n
+			// origOf is strictly increasing, so the remap keeps LostQueries
+			// sorted.
+			res.Degraded.LostQueries[i] = oq
+		}
+	}
+	outs := make([]tensor.Vector, nq)
+	for qi, q := range b.Queries {
+		total := q.Indices.Len()
+		switch {
+		case total == 0:
+			outs[qi] = tensor.New(c.dim)
+		case p.backPos[qi] < 0:
+			// Fully cached: the hardware batch never saw this query.
+			out := p.partial[qi]
+			b.Op.FinalizeMean(out, total)
+			outs[qi] = out
+		default:
+			out := res.Outputs[p.backPos[qi]]
+			strippedLen := total - p.cachedN[qi]
+			if lostCount[qi] >= strippedLen && p.partial[qi] != nil {
+				// Every index the hardware batch was asked for was lost
+				// downstream; its placeholder output is a zero vector, which
+				// is not op-neutral for min/max. Serve the cached partial
+				// alone.
+				out = p.partial[qi]
+			} else if p.partial[qi] != nil {
+				_ = b.Op.Apply(out, p.partial[qi])
+			}
+			b.Op.FinalizeMean(out, total-lostCount[qi])
+			outs[qi] = out
+		}
+	}
+	return outs
+}
+
+// fill admits the flush's missed rows into the cache, deduplicated, after
+// the batch completed — the rows just left DRAM, so the next batch that
+// wants them strips them instead.
+func (c *Coalescer) fill(op tensor.ReduceOp, missed []header.Index) {
+	for _, idx := range header.NewIndexSet(missed...) {
+		shard := c.shardOf(idx)
+		v, err := c.rows.Row(idx)
+		if err != nil {
+			continue
+		}
+		// Dim is construction-checked; Put cannot fail here.
+		_ = c.caches[shard].Put(cache.Key{Table: uint32(shard), Op: uint8(op), Index: idx}, v)
+	}
+}
+
+// foldCacheStats publishes one flush's cache work: consultation counts
+// directly, eviction/admission counters delta-folded from the rings'
+// cumulative stats, and the instantaneous resident footprint. Flusher
+// goroutine only.
+func (c *Coalescer) foldCacheStats(p *cachePlan) {
+	c.m.CacheHits.Add(uint64(p.hits))
+	c.m.CacheMisses.Add(uint64(p.misses))
+	var evict, ins uint64
+	var resident int64
+	for _, ca := range c.caches {
+		st := ca.Stats()
+		evict += st.Evictions
+		ins += st.InsertedBytes
+		resident += ca.Bytes()
+	}
+	if evict > c.lastCacheEvict {
+		c.m.CacheEvictions.Add(evict - c.lastCacheEvict)
+		c.lastCacheEvict = evict
+	}
+	if ins > c.lastCacheIns {
+		c.m.CacheBytes.Add(ins - c.lastCacheIns)
+		c.lastCacheIns = ins
+	}
+	c.m.CacheResident.Set(resident)
 }
 
 // flush executes one shared batch and demultiplexes per-request results.
@@ -361,29 +705,53 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 		wantTrace = wantTrace || r.debug
 	}
 	b := embedding.Batch{Queries: queries, Op: op}
+	plan := c.consult(b)
 
-	// A debug request gets the engine + DRAM trace of its whole batch: a
-	// fresh collector is attached around the lookup (flusher-only access,
-	// honouring the backend's single-goroutine contract) and the rendered
-	// JSON rides back on the result.
 	var batchTrace *telemetry.Trace
-	if wantTrace && c.attacher != nil {
-		batchTrace = telemetry.NewTrace()
-		c.attacher.AttachTracer(batchTrace)
-	}
+	var res *core.TimedResult
+	var err error
 	flushStart := time.Now()
-	res, err := c.be.Lookup(b)
-	if batchTrace != nil {
-		c.attacher.AttachTracer(nil)
+	if plan != nil && len(plan.stripped.Queries) == 0 {
+		// The whole batch was served from cache: no hardware work at all.
+		res = &core.TimedResult{}
+	} else {
+		hw := b
+		if plan != nil {
+			hw = plan.stripped
+		}
+		// A debug request gets the engine + DRAM trace of its whole batch: a
+		// fresh collector is attached around the lookup (flusher-only access,
+		// honouring the backend's single-goroutine contract) and the rendered
+		// JSON rides back on the result.
+		if wantTrace && c.attacher != nil {
+			batchTrace = telemetry.NewTrace()
+			c.attacher.AttachTracer(batchTrace)
+		}
+		res, err = c.be.Lookup(hw)
+		if batchTrace != nil {
+			c.attacher.AttachTracer(nil)
+		}
 	}
 	if c.tracer != nil {
-		c.emit("flush", 1, telemetry.PhaseSpan, flushStart, time.Since(flushStart),
+		c.emit("flush", telemetry.TIDServeFlusher, telemetry.PhaseSpan, flushStart, time.Since(flushStart),
 			telemetry.Arg{Key: "queries", Int: int64(len(queries))},
 			telemetry.Arg{Key: "requests", Int: int64(len(live))})
 	}
 	if err != nil {
 		c.isolate(op, live, err)
 		return
+	}
+	outputs := res.Outputs
+	if plan != nil {
+		outputs = c.merge(b, plan, res)
+		c.fill(op, plan.missed)
+		c.foldCacheStats(plan)
+		if c.tracer != nil {
+			c.emit("cache", telemetry.TIDServeCache, telemetry.PhaseSpan, flushStart, time.Since(flushStart),
+				telemetry.Arg{Key: "hits", Int: int64(plan.hits)},
+				telemetry.Arg{Key: "misses", Int: int64(plan.misses)},
+				telemetry.Arg{Key: "stripped_queries", Int: int64(len(plan.stripped.Queries))})
+		}
 	}
 	stats := BatchStats{
 		BatchQueries: len(queries),
@@ -394,6 +762,10 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 		BytesRead:    res.BytesRead,
 		Reduces:      res.PETotals.Reduces,
 		Compares:     res.PETotals.Compares,
+	}
+	if plan != nil {
+		stats.CacheHits = plan.hits
+		stats.CacheMisses = plan.misses
 	}
 	if !res.Degraded.Empty() {
 		stats.Degraded = res.Degraded
@@ -406,7 +778,7 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 	}
 	off := 0
 	for _, r := range live {
-		out := res.Outputs[off : off+len(r.queries)]
+		out := outputs[off : off+len(r.queries)]
 		rr := result{outputs: out, stats: stats}
 		rr.stats.QueryOffset = off
 		off += len(r.queries)
@@ -415,7 +787,7 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 		}
 		r.deliver(rr)
 		if c.tracer != nil {
-			c.emit("respond", 0, telemetry.PhaseInstant, time.Now(), 0,
+			c.emit("respond", telemetry.TIDServeRequests, telemetry.PhaseInstant, time.Now(), 0,
 				telemetry.Arg{Key: "queries", Int: int64(len(r.queries))})
 		}
 	}
@@ -446,7 +818,9 @@ func (c *Coalescer) foldMemoryStats() {
 // isolate handles a failed shared batch: each request is re-run alone, so a
 // structured engine error (a dark rank, exhausted retries) reaches only the
 // caller whose queries actually trip it, and innocent co-travellers still
-// get their answers.
+// get their answers. Isolation retries bypass the cache entirely — the
+// failure may implicate any part of the original batch, so each retry is
+// the full, unstripped request.
 func (c *Coalescer) isolate(op tensor.ReduceOp, reqs []*request, batchErr error) {
 	if len(reqs) == 1 {
 		reqs[0].deliver(result{err: batchErr})

@@ -104,6 +104,19 @@ type Metrics struct {
 	RowHits      *telemetry.Counter
 	RowMisses    *telemetry.Counter
 	RowConflicts *telemetry.Counter
+
+	// CacheHits/CacheMisses count hot-embedding cache consultations at
+	// batch build time; CacheEvictions counts CLOCK evictions and
+	// CacheBytes accumulates bytes admitted (slot-sized, cumulative —
+	// CacheResident is the instantaneous footprint).
+	CacheHits      *telemetry.Counter
+	CacheMisses    *telemetry.Counter
+	CacheEvictions *telemetry.Counter
+	CacheBytes     *telemetry.Counter
+	CacheResident  *telemetry.Gauge
+	// Shed counts submissions rejected by QoS admission control, by lane;
+	// index with Shed.At(int(priority)).
+	Shed *telemetry.CounterVec
 }
 
 // requestBuckets are the wall-clock latency bounds in seconds. The three
@@ -145,6 +158,16 @@ func NewMetrics() *Metrics {
 	m.RowHits = reg.Counter("fafnir_serve_row_hits_total", "DRAM row-buffer hits attributed to flushed batches.")
 	m.RowMisses = reg.Counter("fafnir_serve_row_misses_total", "DRAM row-buffer misses attributed to flushed batches.")
 	m.RowConflicts = reg.Counter("fafnir_serve_row_conflicts_total", "DRAM row-buffer conflicts attributed to flushed batches.")
+	m.CacheHits = reg.Counter("fafnir_cache_hits_total", "Hot-embedding cache hits at batch build time.")
+	m.CacheMisses = reg.Counter("fafnir_cache_misses_total", "Hot-embedding cache misses at batch build time.")
+	m.CacheEvictions = reg.Counter("fafnir_cache_evictions_total", "Hot-embedding cache CLOCK evictions.")
+	m.CacheBytes = reg.Counter("fafnir_cache_bytes_total", "Cumulative bytes admitted into the hot-embedding cache.")
+	m.CacheResident = reg.Gauge("fafnir_cache_resident_bytes", "Instantaneous hot-embedding cache footprint in bytes.")
+	lanes := make([]string, numLanes)
+	for p := Priority(0); p < numLanes; p++ {
+		lanes[p] = p.String()
+	}
+	m.Shed = reg.CounterVec("fafnir_serve_shed_total", "Submissions rejected by QoS admission control, by lane.", "lane", lanes...)
 	return m
 }
 

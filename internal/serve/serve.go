@@ -21,6 +21,7 @@ import (
 
 	"fafnir/internal/embedding"
 	core "fafnir/internal/fafnir"
+	"fafnir/internal/header"
 	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
 )
@@ -55,6 +56,75 @@ type MetricsRegistrar interface {
 	RegisterMetrics(*telemetry.Registry)
 }
 
+// RowSource is the backend capability behind the hot-embedding cache: raw
+// access to embedding rows, so the coalescer can admit the rows a flushed
+// batch just read. *fafnir.System and *router.Fleet implement it; a backend
+// without it cannot host the cache (Config.CacheBytes is rejected).
+type RowSource interface {
+	// Row returns the raw embedding row at idx.
+	Row(idx header.Index) (tensor.Vector, error)
+	// Dim reports the embedding dimensionality of every row.
+	Dim() int
+}
+
+// ShardOwner is the optional capability a sharded backend exposes so the
+// cache partitions its byte budget per shard: each owner shard gets an
+// independent CLOCK ring, and cached rows are keyed by their owning shard.
+// *router.Fleet implements it; a single System caches in one partition.
+type ShardOwner interface {
+	// Shards reports the fleet width.
+	Shards() int
+	// OwnerOf reports the shard storing the primary copy of idx.
+	OwnerOf(idx header.Index) int
+}
+
+// Priority is a request's QoS lane. The zero value is the highest lane so
+// the constants order by urgency; the wire default is PriorityNormal (see
+// ParsePriority).
+type Priority int
+
+// The QoS lanes, in scheduling order.
+const (
+	// PriorityHigh is latency-critical traffic: scheduled first, shed last.
+	PriorityHigh Priority = iota
+	// PriorityNormal is the default lane; with QoS disabled every request
+	// travels here and the coalescer behaves exactly as a single queue.
+	PriorityNormal
+	// PriorityLow is best-effort traffic: shed first once the admission
+	// queue passes the low-water mark, scheduled last otherwise.
+	PriorityLow
+	numLanes
+)
+
+// String returns the lane's metric label value.
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityNormal:
+		return "normal"
+	case PriorityLow:
+		return "low"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// ParsePriority maps a wire-format priority name to its lane. The empty
+// string selects normal, the default lane.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "high":
+		return PriorityHigh, nil
+	case "", "normal":
+		return PriorityNormal, nil
+	case "low":
+		return PriorityLow, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown priority %q (want high, normal, or low)", s)
+	}
+}
+
 // Config parameterizes the serving layer. The zero value of every field
 // selects a sensible default; negative values are rejected by Validate with
 // an error naming the offending field.
@@ -85,6 +155,28 @@ type Config struct {
 	// small window instead of synchronizing them into a thundering herd.
 	// Equal seeds give equal jitter sequences; zero selects seed 1.
 	RetryJitterSeed uint64
+	// CacheBytes is the host-side hot-embedding cache budget in bytes.
+	// Zero — the default — disables the cache entirely; when positive the
+	// backend must implement RowSource or NewCoalescer fails. With a
+	// sharded backend (ShardOwner) the budget is split evenly per shard.
+	CacheBytes int64
+	// CacheSeed seeds the cache's deterministic CLOCK eviction (the hand's
+	// starting slot). Equal seeds and equal traffic give bit-identical
+	// cache contents; zero selects seed 1.
+	CacheSeed uint64
+	// QoS enables priority-lane scheduling and shed-low-first admission.
+	// Off — the default — every request travels the normal lane and the
+	// coalescer behaves exactly as a single FIFO queue.
+	QoS bool
+	// ShedLowWater is the fraction of MaxQueued above which PriorityLow
+	// submissions are shed (QoS mode only). High and normal traffic is
+	// only rejected at the full MaxQueued bound. Default 0.5.
+	ShedLowWater float64
+	// DeadlineSlack is the lane-escape threshold (QoS mode only): a
+	// lower-priority request whose deadline slack has shrunk below this
+	// is scheduled ahead of healthier higher-priority work, bounding
+	// starvation. Default 1ms.
+	DeadlineSlack time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -103,6 +195,15 @@ func (c *Config) fillDefaults() {
 	if c.RetryJitterSeed == 0 {
 		c.RetryJitterSeed = 1
 	}
+	if c.CacheSeed == 0 {
+		c.CacheSeed = 1
+	}
+	if c.ShedLowWater == 0 {
+		c.ShedLowWater = 0.5
+	}
+	if c.DeadlineSlack == 0 {
+		c.DeadlineSlack = time.Millisecond
+	}
 }
 
 // Validate reports a descriptive error naming the offending field and value
@@ -119,6 +220,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: Config.DefaultTimeout = %v: must be non-negative", c.DefaultTimeout)
 	case c.MaxQueriesPerRequest < 0:
 		return fmt.Errorf("serve: Config.MaxQueriesPerRequest = %d: must be positive (or 0 for the default of 4 x BatchCapacity)", c.MaxQueriesPerRequest)
+	case c.CacheBytes < 0:
+		return fmt.Errorf("serve: Config.CacheBytes = %d: must be non-negative (0 disables the cache)", c.CacheBytes)
+	case c.ShedLowWater < 0 || c.ShedLowWater > 1:
+		return fmt.Errorf("serve: Config.ShedLowWater = %v: must be in [0, 1] (or 0 for the default of 0.5)", c.ShedLowWater)
+	case c.DeadlineSlack < 0:
+		return fmt.Errorf("serve: Config.DeadlineSlack = %v: must be non-negative", c.DeadlineSlack)
 	}
 	return nil
 }

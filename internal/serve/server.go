@@ -31,6 +31,9 @@ type LookupRequest struct {
 	Queries [][]uint64 `json:"queries,omitempty"`
 	// Op is the pooling operation: sum (default), min, max, or mean.
 	Op string `json:"op,omitempty"`
+	// Priority is the QoS lane: high, normal (default), or low. Ignored
+	// unless the server runs with Config.QoS enabled.
+	Priority string `json:"priority,omitempty"`
 	// TimeoutMS overrides the server's default per-request deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
@@ -303,6 +306,12 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Kind: "bad_request"})
 		return
 	}
+	pri, err := ParsePriority(req.Priority)
+	if err != nil {
+		finish(OutcomeBadRequest)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Kind: "bad_request"})
+		return
+	}
 	queries, err := s.parseQueries(&req)
 	if err != nil {
 		finish(OutcomeBadRequest)
@@ -321,9 +330,9 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	var stats BatchStats
 	var trace []byte
 	if r.URL.Query().Get("debug") == "trace" {
-		outputs, stats, trace, err = s.co.SubmitTraced(ctx, op, queries)
+		outputs, stats, trace, err = s.co.SubmitTracedPriority(ctx, op, queries, pri)
 	} else {
-		outputs, stats, err = s.co.Submit(ctx, op, queries)
+		outputs, stats, err = s.co.SubmitPriority(ctx, op, queries, pri)
 	}
 	if err != nil {
 		outcome, status, kind := classify(err)

@@ -48,6 +48,16 @@ const (
 	PIDDRAMBase = 1000
 )
 
+// Lane (thread) IDs inside PIDServe. The serving layer emits request
+// lifecycle instants on the requests lane, flush spans on the flusher lane,
+// and hot-embedding cache consultations (strip-and-merge windows with
+// hit/miss counts) on the cache lane.
+const (
+	TIDServeRequests = 0
+	TIDServeFlusher  = 1
+	TIDServeCache    = 2
+)
+
 // maxArgs bounds the per-event annotations; a fixed array keeps Event a
 // plain value with no heap footprint.
 const maxArgs = 8

@@ -3,7 +3,7 @@
 # machine-readable perf snapshot, so each PR leaves a trajectory point future
 # changes can be compared against.
 #
-#   ./scripts/bench.sh                 # writes BENCH_6.json at the repo root
+#   ./scripts/bench.sh                 # writes BENCH_8.json at the repo root
 #   BENCH_OUT=perf.json ./scripts/bench.sh
 #   BENCH_TIME=1s BENCH_COUNT=5 ./scripts/bench.sh   # slower, tighter numbers
 #
@@ -16,7 +16,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_7.json}
+OUT=${BENCH_OUT:-BENCH_8.json}
 COUNT=${BENCH_COUNT:-3}
 TIME=${BENCH_TIME:-1x}
 

@@ -14,8 +14,9 @@
 #                      exercised both fully serialized and fully interleaved
 #   6. conformance   — the oracle sweep once more with -count=1, so the gate
 #                      never passes on a cached test result
-#   7. fuzz corpus   — FuzzCodec's and FuzzBatchBuild's seed corpora replayed
-#                      in -run mode (no fuzzing; deterministic and fast)
+#   7. fuzz corpus   — FuzzCodec's, FuzzBatchBuild's, and FuzzCacheOps' seed
+#                      corpora replayed in -run mode (no fuzzing;
+#                      deterministic and fast)
 #   8. coverage      — every internal/ package must keep statement coverage
 #                      at or above the floor (80%)
 #   9. telemetry     — run fafnir-sim with -trace-out and validate the
@@ -34,7 +35,15 @@
 #                      failover), degraded responses surfaced to clients,
 #                      the shard_dark metric tripped on /metrics, and a
 #                      clean SIGTERM drain
-#  12. speedup gate  — BenchmarkRunTree/parallel must beat /serial by at
+#  12. qos gate      — boot with -qos, fire a seeded open-loop burst at 2x
+#                      the queue bound with a 20/80 high/low priority mix,
+#                      and require zero high-priority sheds, at least one
+#                      low-priority shed, and the shed_total{lane} counters
+#                      agreeing with the client's view
+#  13. cache gate    — run the same seeded Zipf workload against a cache-off
+#                      and a cache-on server; the cache must cut backend
+#                      reads per query by >= 25% at a >= 50% hit ratio
+#  14. speedup gate  — BenchmarkRunTree/parallel must beat /serial by at
 #                      least 1.3x when the host has >= 4 CPUs (the async
 #                      scheduler's reason to exist); skipped with a notice
 #                      on smaller runners, where the scheduler cannot win
@@ -80,7 +89,7 @@ echo "==> oracle conformance sweep (-race, -count=1)"
 go test -race -count=1 -run 'TestConformance' ./internal/oracle
 
 echo "==> fuzz corpus (replay, -run mode)"
-go test -run 'Fuzz' ./internal/header/ ./internal/batch/
+go test -run 'Fuzz' ./internal/header/ ./internal/batch/ ./internal/cache/
 
 echo "==> coverage floor (internal packages >= ${COVER_FLOOR}%)"
 go test -cover ./internal/... | awk -v floor="$COVER_FLOOR" '
@@ -102,7 +111,12 @@ echo "==> telemetry: traced fafnir-sim run validates as Chrome trace JSON"
 SMOKE=$(mktemp -d)
 SERVE_PID=
 FLEET_PID=
-trap 'kill "$SERVE_PID" "$FLEET_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
+QOS_PID=
+CACHE_PID=
+# The kill must not decide the script's exit status: with every PID already
+# empty (the normal clean path) it fails, and a failing EXIT trap overrides
+# the exit code under set -e.
+trap 'kill "$SERVE_PID" "$FLEET_PID" "$QOS_PID" "$CACHE_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 go build -o "$SMOKE/fafnir-sim" ./cmd/fafnir-sim
 go build -o "$SMOKE/fafnir-trace" ./cmd/fafnir-trace
 "$SMOKE/fafnir-sim" -mode lookup -engine fafnir -batch 8 -q 8 -rows 4096 \
@@ -194,6 +208,87 @@ grep -q 'drained cleanly' "$SMOKE/fleet.log" \
     || { cat "$SMOKE/fleet.log"; echo "chaos: no clean drain line"; exit 1; }
 grep 'drained cleanly' "$SMOKE/fleet.log"
 FLEET_PID=
+
+# wait_addr LOGFILE PID LABEL: poll LOGFILE for the startup handshake line
+# and print the announced host:port.
+wait_addr() {
+    _addr=
+    _i=0
+    while [ $_i -lt 100 ]; do
+        _addr=$(awk '/^listening on /{print $3; exit}' "$1" 2>/dev/null || true)
+        [ -n "$_addr" ] && break
+        kill -0 "$2" 2>/dev/null || { cat "$1" >&2; echo "$3: server died on startup" >&2; return 1; }
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    [ -n "$_addr" ] || { cat "$1" >&2; echo "$3: server never announced its port" >&2; return 1; }
+    echo "$_addr"
+}
+
+echo "==> qos gate: overload sheds low-priority traffic first"
+# Batch capacity above the queue bound makes every flush linger-bound, and
+# the 200ms linger lets the whole burst land inside one window — so admission,
+# not service speed, decides who sheds: the low lane caps at 32 queued queries
+# (0.5 x 64) while the burst's 25 high-priority requests always fit the full
+# bound (25 + 32 < 64), whatever the arrival timing.
+"$SMOKE/fafnir-serve" -addr 127.0.0.1:0 -rows 4096 -batch 128 -queue 64 \
+    -linger 200ms -qos -cache-mb 16 > "$SMOKE/qos-serve.log" 2>&1 &
+QOS_PID=$!
+QADDR=$(wait_addr "$SMOKE/qos-serve.log" "$QOS_PID" "qos") || exit 1
+
+# Seeded open-loop burst at 2x the queue bound, 20/80 high/low mix.
+"$SMOKE/fafnir-loadgen" -url "http://$QADDR" -qps 8000 -requests 128 \
+    -duration 5s -rows 4096 -seed 11 -mix "high=20,low=80" \
+    > "$SMOKE/qos.log" 2>&1 \
+    || { cat "$SMOKE/qos.log"; echo "qos: loadgen failed"; exit 1; }
+grep -Eq 'lane high: [1-9][0-9]* ok, 0 shed \(503\), 0 other' "$SMOKE/qos.log" \
+    || { cat "$SMOKE/qos.log"; echo "qos: high-priority traffic was shed (or failed)"; exit 1; }
+grep -Eq 'lane low: [0-9]+ ok, [1-9][0-9]* shed \(503\)' "$SMOKE/qos.log" \
+    || { cat "$SMOKE/qos.log"; echo "qos: overload at 2x queue capacity shed no low-priority traffic"; exit 1; }
+grep -Eq 'server: shed high=0 normal=0 low=[1-9]' "$SMOKE/qos.log" \
+    || { cat "$SMOKE/qos.log"; echo "qos: shed_total counters disagree with the client's view"; exit 1; }
+grep -E 'lane (high|low):|server: shed' "$SMOKE/qos.log"
+
+kill -TERM "$QOS_PID"
+QOS_RC=0
+wait "$QOS_PID" || QOS_RC=$?
+[ "$QOS_RC" -eq 0 ] || { cat "$SMOKE/qos-serve.log"; echo "qos: server exited $QOS_RC on SIGTERM"; exit 1; }
+QOS_PID=
+
+echo "==> cache gate: hot-embedding cache cuts backend reads per query"
+run_cache_pass() { # run_cache_pass LABEL EXTRA_SERVE_FLAGS...
+    _label=$1; shift
+    "$SMOKE/fafnir-serve" -addr 127.0.0.1:0 -rows 4096 -linger 500us "$@" \
+        > "$SMOKE/cache-$_label-serve.log" 2>&1 &
+    CACHE_PID=$!
+    _caddr=$(wait_addr "$SMOKE/cache-$_label-serve.log" "$CACHE_PID" "cache($_label)") || return 1
+    "$SMOKE/fafnir-loadgen" -url "http://$_caddr" -clients 2 -requests 256 \
+        -duration 20s -rows 4096 -zipf 1.3 -seed 3 -dump-metrics \
+        > "$SMOKE/cache-$_label.log" 2>&1 \
+        || { cat "$SMOKE/cache-$_label.log"; echo "cache($_label): loadgen failed"; return 1; }
+    kill -TERM "$CACHE_PID"
+    wait "$CACHE_PID" || { cat "$SMOKE/cache-$_label-serve.log"; echo "cache($_label): bad exit"; return 1; }
+    CACHE_PID=
+}
+run_cache_pass off || exit 1
+run_cache_pass on -cache-mb 64 || exit 1
+awk '
+FILENAME ~ /cache-off/ && /^fafnir_serve_dram_reads_total /  { offreads = $2 }
+FILENAME ~ /cache-off/ && /^fafnir_serve_queries_total /     { offq = $2 }
+FILENAME ~ /cache-on/  && /^fafnir_serve_dram_reads_total /  { onreads = $2 }
+FILENAME ~ /cache-on/  && /^fafnir_serve_queries_total /     { onq = $2 }
+FILENAME ~ /cache-on/  && /^fafnir_cache_hits_total /        { hits = $2 }
+FILENAME ~ /cache-on/  && /^fafnir_cache_misses_total /      { misses = $2 }
+END {
+    if (!offq || !onq) { print "cache gate: missing metrics"; exit 1 }
+    off = offreads / offq; on = onreads / onq
+    ratio = hits / (hits + misses)
+    printf "cache gate: %.2f reads/query off, %.2f on (%.0f%% saved), hit ratio %.2f\n", \
+        off, on, 100 * (1 - on / off), ratio
+    if (on > 0.75 * off) { print "cache gate: reads/query reduction below 25%"; exit 1 }
+    if (ratio < 0.5)     { print "cache gate: hit ratio below 0.5"; exit 1 }
+}' "$SMOKE/cache-off.log" "$SMOKE/cache-on.log" \
+    || { echo "cache gate failed"; exit 1; }
 
 echo "==> speedup gate: async scheduler vs serial tree walk"
 CORES=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
