@@ -27,6 +27,7 @@ import (
 	"fafnir/internal/fault"
 	"fafnir/internal/header"
 	"fafnir/internal/memmap"
+	"fafnir/internal/rnet"
 	"fafnir/internal/router"
 	"fafnir/internal/serve"
 	"fafnir/internal/sim"
@@ -535,4 +536,40 @@ func NewFleetServer(f *Fleet, cfg ServeConfig) (*Server, error) {
 		cfg.BatchCapacity = f.Config().BatchCapacity
 	}
 	return serve.New(f, cfg)
+}
+
+// Cross-shard reduction network and multi-fleet federation (internal/rnet,
+// internal/router), re-exported. With FleetConfig.Rnet.Radix >= 2 a fleet
+// reduces its per-shard partial pools through a simulated in-network switch
+// tree instead of the serial host fold: a switch fires the moment its last
+// live child's partial lands (a lost shard is simply an absent leaf), link
+// and combine latency are charged in simulated cycles, and outputs stay
+// bit-identical to the host fold. A Federation stacks M such fleets behind
+// one Lookup front-end and reduces the fleet partials through the same
+// switch-tree machinery.
+type (
+	// RnetConfig shapes a reduction tree: fan-in radix (0 = legacy host
+	// fold), per-hop link cycles, switch latency, and per-combine cost.
+	RnetConfig = rnet.Config
+	// FederationConfig parameterizes a multi-fleet federation: fleet count,
+	// the shared member-fleet template, and the cross-fleet tree shape.
+	FederationConfig = router.FederationConfig
+	// Federation is M fleets behind one Lookup front-end; it implements the
+	// same serving surface as Fleet, so NewFederationServer serves it over
+	// HTTP unchanged.
+	Federation = router.Federation
+)
+
+// NewFederation builds a multi-fleet federation; the zero config selects
+// two default fleets reduced through a radix-2 cross-fleet tree.
+func NewFederation(cfg FederationConfig) (*Federation, error) { return router.NewFederation(cfg) }
+
+// NewFederationServer builds the online serving front-end over a
+// federation: the same HTTP surface as NewServer, with the federation's
+// per-fleet and cross-fleet rnet metric families registered onto /metrics.
+func NewFederationServer(fd *Federation, cfg ServeConfig) (*Server, error) {
+	if cfg.BatchCapacity == 0 {
+		cfg.BatchCapacity = fd.Config().Fleet.BatchCapacity
+	}
+	return serve.New(fd, cfg)
 }

@@ -293,6 +293,46 @@ func TestFleetServerFacade(t *testing.T) {
 	}
 }
 
+func TestFederationFacade(t *testing.T) {
+	fd, err := NewFederation(FederationConfig{
+		Fleets: 2,
+		Fleet:  FleetConfig{Rows: 4096, Parallelism: 1, Rnet: RnetConfig{Radix: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Shards() != 8 {
+		t.Fatalf("Shards = %d, want 2 fleets x 4 shards", fd.Shards())
+	}
+	b, err := fd.GenerateBatch(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Op = OpMean
+	res, err := fd.Lookup(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded.Empty() {
+		t.Fatalf("healthy federation degraded: %+v", res.Degraded)
+	}
+	srv, err := NewFederationServer(fd, ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	srv.Metrics().Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"fafnir_federation_fleet_lookups_total", "fafnir_rnet_combines_total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("federation server /metrics missing %q", want)
+		}
+	}
+	if topo := srv.Topology(); !strings.Contains(topo, "2 fleets x 4 shards") {
+		t.Fatalf("Topology() = %q, want the federation shape", topo)
+	}
+}
+
 func TestSystemConfigValidation(t *testing.T) {
 	cases := []struct {
 		name string

@@ -13,6 +13,8 @@
 //	fafnir-loadgen -url http://127.0.0.1:8080 -clients 8 -duration 5s
 //	fafnir-loadgen -url http://127.0.0.1:8080 -qps 10000 -duration 2s
 //	fafnir-loadgen -clients 4 -requests 64 -dump-metrics
+//	fafnir-loadgen -users 1000000 -clients 8            # per-user hot sets
+//	fafnir-loadgen -qps 20000 -capacity 8 -duration 8s  # capacity sweep to the knee
 package main
 
 import (
@@ -129,6 +131,8 @@ func run() error {
 		retries  = flag.Int("retries", 0, "max retries per request after a 503, honoring its Retry-After")
 		retryU   = flag.Duration("retry-unit", time.Second, "how long one Retry-After second sleeps (compress for tests)")
 		mixFlag  = flag.String("mix", "", `QoS priority mix, e.g. "high=20,low=80" (percent; the rest travels normal)`)
+		users    = flag.Int64("users", 0, "simulated user population: each request belongs to a seeded user whose Zipf hot set is rotated to a user-specific region of the row space (0 = one shared hot set)")
+		capSteps = flag.Int("capacity", 0, "capacity planning: sweep this many offered-QPS steps up to -qps, reporting p99 and shed per step and the saturation knee (requires -qps)")
 		dump     = flag.Bool("dump-metrics", false, "print the raw /metrics body after the run")
 	)
 	flag.Parse()
@@ -161,7 +165,16 @@ func run() error {
 	fire := func(rng *rand.Rand, z *rand.Zipf) {
 		start := time.Now()
 		pri := mix.pick(rng)
-		payload := body(rng, z, *q, *rows, *op, pri, *timeout)
+		var off uint64
+		if *users > 0 {
+			// Each request belongs to one of -users simulated users; the
+			// user identity hashes (splitmix64) to an offset that rotates
+			// the Zipf hot set into a user-specific region of the row
+			// space, so the aggregate stream carries a long per-user tail
+			// instead of one shared global head.
+			off = splitmix64(uint64(*seed) ^ uint64(rng.Int63n(*users))) % *rows
+		}
+		payload := body(rng, z, *q, *rows, off, *op, pri, *timeout)
 		var retried int
 		for {
 			status, degraded, retryAfter, err := post(client, *url, payload)
@@ -179,22 +192,27 @@ func run() error {
 		}
 	}
 
-	begin := time.Now()
-	deadline := begin.Add(*duration)
-	if *qps > 0 {
-		// Open loop: arrivals at a fixed interval, bounded in-flight.
-		interval := time.Duration(float64(time.Second) / *qps)
+	// openLoop offers requests at a fixed rate for dur, independent of
+	// completions, with bounded in-flight. The launch counter persists
+	// across calls so per-request seeds stay unique through a capacity
+	// sweep's steps.
+	var launched int64
+	openLoop := func(offered float64, dur time.Duration) {
+		begin := time.Now()
+		deadline := begin.Add(dur)
+		interval := time.Duration(float64(time.Second) / offered)
 		if interval <= 0 {
 			interval = time.Microsecond
 		}
 		sem := make(chan struct{}, 4096)
 		var wg sync.WaitGroup
-		var launched int64
+		var stepLaunched int64
 		for now := time.Now(); now.Before(deadline); now = time.Now() {
 			if !admit() {
 				break
 			}
 			launched++
+			stepLaunched++
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(i int64) {
@@ -204,13 +222,37 @@ func run() error {
 				z := newZipf(rng, *zipf, *rows)
 				fire(rng, z)
 			}(launched)
-			next := begin.Add(time.Duration(launched) * interval)
+			next := begin.Add(time.Duration(stepLaunched) * interval)
 			if d := time.Until(next); d > 0 {
 				time.Sleep(d)
 			}
 		}
 		wg.Wait()
-	} else {
+	}
+
+	begin := time.Now()
+	switch {
+	case *capSteps > 0:
+		// Capacity sweep: step the offered rate up to -qps, measuring each
+		// step in isolation, then report the saturation knee.
+		if *qps <= 0 {
+			return fmt.Errorf("-capacity requires -qps (the sweep ceiling)")
+		}
+		stepDur := *duration / time.Duration(*capSteps)
+		var steps []capStep
+		for s := 1; s <= *capSteps; s++ {
+			offered := *qps * float64(s) / float64(*capSteps)
+			mark := len(outcomes)
+			stepBegin := time.Now()
+			openLoop(offered, stepDur)
+			steps = append(steps, summarizeStep(offered, outcomes[mark:], time.Since(stepBegin)))
+		}
+		reportCapacity(steps)
+		return scrape(client, *url, *dump)
+	case *qps > 0:
+		openLoop(*qps, *duration)
+	default:
+		deadline := begin.Add(*duration)
 		var wg sync.WaitGroup
 		for c := 0; c < *clients; c++ {
 			wg.Add(1)
@@ -231,6 +273,70 @@ func run() error {
 	return scrape(client, *url, *dump)
 }
 
+// capStep is one measured rung of a -capacity sweep.
+type capStep struct {
+	offered  float64
+	achieved float64
+	ok       int
+	shed     int
+	other    int
+	p50, p99 time.Duration
+}
+
+func summarizeStep(offered float64, outcomes []outcome, elapsed time.Duration) capStep {
+	st := capStep{offered: offered}
+	var lat []time.Duration
+	for _, o := range outcomes {
+		switch o.status {
+		case http.StatusOK:
+			st.ok++
+			lat = append(lat, o.latency)
+		case http.StatusServiceUnavailable:
+			st.shed++
+		default:
+			st.other++
+		}
+	}
+	if elapsed > 0 {
+		st.achieved = float64(st.ok) / elapsed.Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
+		st.p50, st.p99 = pct(0.50), pct(0.99)
+	}
+	return st
+}
+
+// reportCapacity prints the sweep table and locates the capacity knee: the
+// first step that sheds load or whose p99 blows past 3x the first step's —
+// the offered rate a deployment should plan under.
+func reportCapacity(steps []capStep) {
+	fmt.Println("capacity sweep:")
+	fmt.Println("  offered qps  achieved qps    ok   shed  other       p50       p99")
+	for _, st := range steps {
+		fmt.Printf("  %11.0f  %12.0f  %4d  %5d  %5d  %8v  %8v\n",
+			st.offered, st.achieved, st.ok, st.shed, st.other,
+			st.p50.Round(time.Microsecond), st.p99.Round(time.Microsecond))
+	}
+	if len(steps) == 0 {
+		return
+	}
+	base := steps[0].p99
+	for _, st := range steps {
+		if st.shed > 0 || (base > 0 && st.p99 > 3*base) {
+			why := "sheds load"
+			if st.shed == 0 {
+				why = fmt.Sprintf("p99 %v > 3x baseline %v", st.p99.Round(time.Microsecond), base.Round(time.Microsecond))
+			}
+			fmt.Printf("capacity knee: ~%.0f offered qps (%s); plan below this rate\n", st.offered, why)
+			return
+		}
+	}
+	fmt.Printf("no knee within sweep: clean through %.0f offered qps; raise -qps to find saturation\n",
+		steps[len(steps)-1].offered)
+}
+
 func newZipf(rng *rand.Rand, s float64, rows uint64) *rand.Zipf {
 	if s <= 1 {
 		return nil
@@ -238,7 +344,7 @@ func newZipf(rng *rand.Rand, s float64, rows uint64) *rand.Zipf {
 	return rand.NewZipf(rng, s, 1, rows-1)
 }
 
-func body(rng *rand.Rand, z *rand.Zipf, q int, rows uint64, op, pri string, timeoutMS int) []byte {
+func body(rng *rand.Rand, z *rand.Zipf, q int, rows, off uint64, op, pri string, timeoutMS int) []byte {
 	seen := make(map[uint64]struct{}, q)
 	idx := make([]uint64, 0, q)
 	for len(idx) < q {
@@ -248,6 +354,7 @@ func body(rng *rand.Rand, z *rand.Zipf, q int, rows uint64, op, pri string, time
 		} else {
 			v = uint64(rng.Int63n(int64(rows)))
 		}
+		v = (v + off) % rows // rotate into the drawing user's hot region
 		if _, dup := seen[v]; dup {
 			continue
 		}
@@ -256,6 +363,15 @@ func body(rng *rand.Rand, z *rand.Zipf, q int, rows uint64, op, pri string, time
 	}
 	b, _ := json.Marshal(lookupRequest{Indices: idx, Op: op, Priority: pri, TimeoutMS: timeoutMS})
 	return b
+}
+
+// splitmix64 is the standard 64-bit finalizer: a cheap, well-mixed hash
+// from user identity to hot-set offset, stable across runs under one seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // post issues one lookup and reports (status, degraded, retryAfterSeconds).
@@ -413,10 +529,63 @@ func scrape(client *http.Client, base string, dump bool) error {
 	if sh+sn+sl > 0 {
 		fmt.Printf("server: shed high=%.0f normal=%.0f low=%.0f\n", sh, sn, sl)
 	}
+	rollup(vals, "fafnir_federation_fleet_lookups_total", "fleet", "fleet lookups")
+	rollup(vals, "fafnir_router_shard_lookups_total", "shard", "shard lookups")
+	if c := vals["fafnir_rnet_combines_total"]; c > 0 {
+		fmt.Printf("server: rnet combine — %.0f switch combines in %.0f fires, %.0f link hops, last critical path %.0f cycles\n",
+			c, vals["fafnir_rnet_switch_fires_total"], vals["fafnir_rnet_link_transfers_total"],
+			vals["fafnir_rnet_critical_path_cycles"])
+	}
 	if dump {
 		os.Stdout.Write(raw)
 	}
 	return nil
+}
+
+// rollup prints the per-member traffic distribution of one labelled family
+// (per-shard lookups in fleet mode, per-fleet lookups under a federation):
+// total traffic, each member's share, and the hottest/coldest imbalance —
+// the placement-skew view capacity planning reads first.
+func rollup(vals map[string]float64, family, label, what string) {
+	prefix := family + "{" + label + `="`
+	type member struct {
+		id int
+		v  float64
+	}
+	var members []member
+	var total float64
+	for k, v := range vals {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(k, prefix), `"}`))
+		if err != nil {
+			continue
+		}
+		members = append(members, member{id: id, v: v})
+		total += v
+	}
+	if len(members) == 0 || total == 0 {
+		return
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].id < members[j].id })
+	minM, maxM := members[0], members[0]
+	var parts []string
+	for _, m := range members {
+		parts = append(parts, fmt.Sprintf("%d=%.0f", m.id, m.v))
+		if m.v < minM.v {
+			minM = m
+		}
+		if m.v > maxM.v {
+			maxM = m
+		}
+	}
+	line := fmt.Sprintf("server: %s %.0f total (%s)", what, total, strings.Join(parts, " "))
+	if minM.v > 0 {
+		line += fmt.Sprintf(", imbalance %.2fx (%s %d hottest, %s %d coldest)",
+			maxM.v/minM.v, label, maxM.id, label, minM.id)
+	}
+	fmt.Println(line)
 }
 
 // parseMetrics reads sample lines of the Prometheus text format. Unlabelled

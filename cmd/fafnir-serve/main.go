@@ -10,6 +10,8 @@
 //	fafnir-serve -faults "rank=3@0;ecc=0.0005;seed=9"
 //	fafnir-serve -shards 4                                    # fault-tolerant fleet router
 //	fafnir-serve -shards 4 -fault-storm "shard=1@40000;seed=7"
+//	fafnir-serve -shards 4 -radix 2                           # in-network shard combine (rnet)
+//	fafnir-serve -fleets 2 -shards 4 -verify                  # multi-fleet federation, oracle-checked
 //	fafnir-serve -debug-addr 127.0.0.1:6060   # adds /debug/pprof and /debug/vars
 //
 // Endpoints:
@@ -59,6 +61,9 @@ func run() error {
 		par       = flag.Int("j", 0, "simulator parallelism (0 = all cores)")
 		faults    = flag.String("faults", "", `fault plan, e.g. "rank=3@0;ecc=0.001;seed=9"`)
 		shards    = flag.Int("shards", 1, "shard count; >1 serves through the fault-tolerant fleet router")
+		fleets    = flag.Int("fleets", 1, "fleet count; >1 serves a multi-fleet federation (implies the fleet router)")
+		radix     = flag.Int("radix", 0, "rnet combine radix: >=2 reduces shard partials through the in-network switch tree, 0 keeps the host fold (federation mode defaults the cross-fleet tree to 2)")
+		verify    = flag.Bool("verify", false, "federation mode: re-check every healthy batch bit-for-bit against the reference oracle")
 		storm     = flag.String("fault-storm", "", `fleet fault plan, e.g. "shard=1@40000;flap=2@1-300000;storm=6@20000;seed=7" (implies the fleet router)`)
 		cacheMB   = flag.Int("cache-mb", 0, "hot-embedding cache budget in MiB (0 disables; split per shard in fleet mode)")
 		cacheSeed = flag.Uint64("cache-seed", 1, "cache CLOCK-eviction seed")
@@ -83,10 +88,12 @@ func run() error {
 		totalRows uint64
 		topology  string
 	)
-	if *shards > 1 || *storm != "" {
-		// Fleet mode: N shards behind the health-checked router. Per-shard
-		// rank/ecc clauses ride inside the fleet plan, so the single-system
-		// -faults flag is rejected to keep one source of truth.
+	if *fleets > 1 || *shards > 1 || *storm != "" || *radix != 0 {
+		// Fleet or federation mode: shards behind the health-checked
+		// router, optionally stacked into a multi-fleet federation.
+		// Per-shard rank/ecc clauses ride inside the fleet plan, so the
+		// single-system -faults flag is rejected to keep one source of
+		// truth.
 		if *faults != "" {
 			return fmt.Errorf("-faults is single-system only; in fleet mode put rank/ecc clauses in -fault-storm")
 		}
@@ -97,7 +104,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fleet, err := fafnir.NewFleet(fafnir.FleetConfig{
+		fcfg := fafnir.FleetConfig{
 			Shards:        *shards,
 			RanksPerShard: *ranks / *shards,
 			BatchCapacity: *batch,
@@ -105,17 +112,41 @@ func run() error {
 			Seed:          *seed,
 			Parallelism:   *par,
 			Fleet:         fplan,
-		})
-		if err != nil {
-			return err
+			Rnet:          fafnir.RnetConfig{Radix: *radix},
 		}
-		srv, err = fafnir.NewFleetServer(fleet, scfg)
-		if err != nil {
-			return err
+		if *fleets > 1 {
+			fd, err := fafnir.NewFederation(fafnir.FederationConfig{
+				Fleets: *fleets,
+				Fleet:  fcfg,
+				Verify: *verify,
+			})
+			if err != nil {
+				return err
+			}
+			srv, err = fafnir.NewFederationServer(fd, scfg)
+			if err != nil {
+				return err
+			}
+			totalRows = fd.TotalRows()
+		} else {
+			if *verify {
+				return fmt.Errorf("-verify is federation-only; run with -fleets > 1")
+			}
+			fleet, err := fafnir.NewFleet(fcfg)
+			if err != nil {
+				return err
+			}
+			srv, err = fafnir.NewFleetServer(fleet, scfg)
+			if err != nil {
+				return err
+			}
+			totalRows = fleet.TotalRows()
 		}
-		totalRows = fleet.TotalRows()
-		topology = fmt.Sprintf("fleet: %d shards x %d ranks", *shards, *ranks / *shards)
+		topology = srv.Topology()
 	} else {
+		if *verify {
+			return fmt.Errorf("-verify is federation-only; run with -fleets > 1")
+		}
 		plan, err := fafnir.ParseFaultPlan(*faults)
 		if err != nil {
 			return err

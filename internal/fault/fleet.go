@@ -47,6 +47,19 @@ type RankStorm struct {
 	Ranks int
 }
 
+// SwitchStall schedules a slow switch in the in-network reduction tree
+// (internal/rnet): switch node Switch (numbered 0..Interior-1, bottom-up
+// level order, left to right) adds Cycles extra cycles every time it fires,
+// modelling a congested or degraded network switch. The reduction stays
+// exact — a stalled switch delays its subtree's partials, it never drops
+// them — so only cycle counts change, never outputs.
+type SwitchStall struct {
+	// Switch is the interior-switch ordinal in the rnet tree.
+	Switch int
+	// Cycles is the extra firing latency.
+	Cycles sim.Cycle
+}
+
 // FleetPlan is a complete, serializable fleet-level fault schedule: shard
 // losses and flaps evaluated against the router's fleet clock, correlated
 // rank storms compiled into per-shard rank failures, and a base per-shard
@@ -62,6 +75,9 @@ type FleetPlan struct {
 	ShardFlaps []ShardFlap
 	// RankStorms lists correlated rank-failure bursts.
 	RankStorms []RankStorm
+	// SwitchStalls lists slow rnet switches; ignored by a fleet whose
+	// combine path is the legacy host fold (no switches exist).
+	SwitchStalls []SwitchStall
 	// Shard is the base plan applied to every shard (rank failures listed
 	// here strike the same local rank on every shard; ECC and retry policy
 	// apply per shard with a derived seed).
@@ -71,7 +87,7 @@ type FleetPlan struct {
 // Empty reports whether the plan injects nothing at any level.
 func (p FleetPlan) Empty() bool {
 	return len(p.ShardFailures) == 0 && len(p.ShardFlaps) == 0 &&
-		len(p.RankStorms) == 0 && p.Shard.Empty()
+		len(p.RankStorms) == 0 && len(p.SwitchStalls) == 0 && p.Shard.Empty()
 }
 
 // Validate reports a descriptive error for an unusable plan.
@@ -92,6 +108,14 @@ func (p FleetPlan) Validate() error {
 	for _, s := range p.RankStorms {
 		if s.Ranks <= 0 {
 			return fmt.Errorf("fault: rank storm at cycle %d kills %d ranks; must be positive", s.At, s.Ranks)
+		}
+	}
+	for _, s := range p.SwitchStalls {
+		if s.Switch < 0 {
+			return fmt.Errorf("fault: switch stall on negative switch %d", s.Switch)
+		}
+		if s.Cycles == 0 {
+			return fmt.Errorf("fault: switch %d stall of 0 cycles; must add latency", s.Switch)
 		}
 	}
 	return p.Shard.Validate()
@@ -172,6 +196,9 @@ func (p FleetPlan) String() string {
 	for _, s := range p.RankStorms {
 		parts = append(parts, fmt.Sprintf("storm=%d@%d", s.Ranks, s.At))
 	}
+	for _, s := range p.SwitchStalls {
+		parts = append(parts, fmt.Sprintf("swstall=%d+%d", s.Switch, s.Cycles))
+	}
 	if base := p.Shard.String(); base != "" {
 		parts = append(parts, base)
 	}
@@ -185,6 +212,7 @@ func (p FleetPlan) String() string {
 //	shard=S@C      shard S goes down at fleet cycle C and stays down
 //	flap=S@D-U     shard S is down in fleet-cycle window [D,U)
 //	storm=N@C      N seed-drawn (shard, rank) pairs go dark at cycle C
+//	swstall=K+N    rnet switch K fires N cycles late (rnet combine path only)
 //	rank=R@C       local rank R goes dark at cycle C on every shard
 //	ecc=P          per-shard transient read-fault probability
 //	stall=PE+N     tree node PE gains N extra cycles on every shard
@@ -231,6 +259,12 @@ func ParseFleet(spec string) (FleetPlan, error) {
 				return FleetPlan{}, fmt.Errorf("fault: bad storm clause %q (want RANKS@CYCLE): %v", val, err)
 			}
 			p.RankStorms = append(p.RankStorms, s)
+		case "swstall":
+			var s SwitchStall
+			if _, err := fmt.Sscanf(val, "%d+%d", &s.Switch, &s.Cycles); err != nil {
+				return FleetPlan{}, fmt.Errorf("fault: bad swstall clause %q (want SWITCH+CYCLES): %v", val, err)
+			}
+			p.SwitchStalls = append(p.SwitchStalls, s)
 		case "rank", "ecc", "stall":
 			baseClauses = append(baseClauses, clause)
 		default:

@@ -229,7 +229,7 @@ type chaosRun struct {
 	Health []State
 }
 
-func runChaos(t *testing.T, parallelism int) chaosRun {
+func runChaos(t *testing.T, parallelism int, muts ...func(*Config)) chaosRun {
 	t.Helper()
 	plan, err := fault.ParseFleet("shard=1@40000;flap=2@1-300000;storm=6@20000;ecc=0.001;seed=7")
 	if err != nil {
@@ -239,6 +239,9 @@ func runChaos(t *testing.T, parallelism int) chaosRun {
 		c.Parallelism = parallelism
 		c.Fleet = plan
 		c.ProbeBackoff = 2_000
+		for _, mut := range muts {
+			mut(c)
+		}
 	})
 	var out chaosRun
 	for round := 0; round < 12; round++ {

@@ -1,0 +1,462 @@
+package router
+
+// Multi-fleet federation: shards-of-fleets behind one Lookup front-end. A
+// Federation owns M member fleets, scatters every batch's indices by fleet
+// (index i belongs to fleet i mod M; the member's owner-stride addressing
+// keeps its internal shards balanced at (i/M) mod Shards), runs the member
+// lookups concurrently, and reduces the fleet partials through the same
+// in-network reduction tree (internal/rnet) the fleets use internally — the
+// FAFNIR combine argument applied recursively: shard partials reduce inside
+// each fleet, fleet partials reduce across the machine room, and the host
+// only ever receives one fully reduced pool.
+//
+// Every member fleet is built from the same template (rows, seed, fault
+// plan), so all members hold bit-identical copies of the global store and
+// the federation's outputs are bit-identical to a single fleet's — and to
+// the reference oracle — for every pooling op (the integer-valued store
+// makes re-association exact; docs/ARCHITECTURE.md §15). A degraded member
+// (dark shard pairs inside it) contributes its partial pool and its
+// DegradedReport; shard entries are re-labelled with global shard IDs
+// (fleet*Shards + shard) so callers see one flat fleet of M*Shards shards.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fafnir/internal/embedding"
+	core "fafnir/internal/fafnir"
+	"fafnir/internal/header"
+	"fafnir/internal/oracle"
+	"fafnir/internal/rnet"
+	"fafnir/internal/sim"
+	"fafnir/internal/telemetry"
+	"fafnir/internal/tensor"
+)
+
+// FederationConfig shapes a multi-fleet deployment.
+type FederationConfig struct {
+	// Fleets is the federation width M. Default 2.
+	Fleets int
+	// Fleet is the member template: shard count, rows (the GLOBAL row
+	// space — every member holds a full copy of the store), seed, fault
+	// plan, breaker knobs, and the intra-fleet combine path. OwnerStride
+	// and OwnerPhase must be left zero; the federation assigns them.
+	Fleet Config
+	// Rnet shapes the cross-fleet reduction tree. Radix 0 inherits the
+	// member radix, or 2 when members run the legacy host fold — a
+	// federation always combines through the network.
+	Rnet rnet.Config
+	// Verify re-checks every non-degraded batch bit-for-bit against the
+	// reference oracle before returning it, turning any combine-path
+	// divergence into a hard error. Meant for CI smoke gates; it costs a
+	// full naive gather per batch.
+	Verify bool
+}
+
+func (c *FederationConfig) fillDefaults() {
+	if c.Fleets == 0 {
+		c.Fleets = 2
+	}
+	// Resolve the member template's defaults here too, so capability
+	// accessors (Shards, OwnerOf) read real values; stride and phase stay
+	// zero — the federation assigns them per member in NewFederation.
+	c.Fleet.fillDefaults()
+	c.Fleet.OwnerStride, c.Fleet.OwnerPhase = 0, 0
+	if c.Rnet.Radix == 0 {
+		if c.Fleet.Rnet.Enabled() {
+			c.Rnet.Radix = c.Fleet.Rnet.Radix
+		} else {
+			c.Rnet.Radix = 2
+		}
+	}
+}
+
+// Validate reports a descriptive error naming the offending field for an
+// unusable configuration.
+func (c FederationConfig) Validate() error {
+	switch {
+	case c.Fleets < 0:
+		return fmt.Errorf("router: FederationConfig.Fleets = %d: must be positive (or 0 for the default of 2)", c.Fleets)
+	case c.Fleet.OwnerStride != 0 || c.Fleet.OwnerPhase != 0:
+		return fmt.Errorf("router: FederationConfig.Fleet sets OwnerStride/OwnerPhase; the federation assigns member addressing")
+	}
+	if err := c.Rnet.Validate(); err != nil {
+		return err
+	}
+	return c.Fleet.Validate()
+}
+
+// Federation is M fleets behind one Lookup front-end. Like Fleet it is not
+// safe for concurrent use; the serving layer's single flusher goroutine is
+// its intended caller.
+type Federation struct {
+	cfg    FederationConfig
+	fleets []*Fleet
+	rtree  *rnet.Tree
+	clock  sim.Cycle
+	tracer telemetry.Tracer
+	m      *fedMetrics
+}
+
+// NewFederation builds the federation: Fleets member fleets from the shared
+// template with stride/phase addressing assigned, plus the cross-fleet
+// reduction tree.
+func NewFederation(cfg FederationConfig) (*Federation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	fed := &Federation{cfg: cfg}
+	for fm := 0; fm < cfg.Fleets; fm++ {
+		mcfg := cfg.Fleet
+		mcfg.OwnerStride = cfg.Fleets
+		mcfg.OwnerPhase = fm
+		fleet, err := New(mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("router: federation member %d: %w", fm, err)
+		}
+		fed.fleets = append(fed.fleets, fleet)
+	}
+	rcfg := cfg.Rnet
+	if rcfg.Parallelism == 0 {
+		rcfg.Parallelism = cfg.Fleet.Parallelism
+	}
+	tree, err := rnet.NewTree(cfg.Fleets, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	fed.rtree = tree
+	return fed, nil
+}
+
+// fleetOf returns the member fleet owning the primary copy of idx.
+func (fd *Federation) fleetOf(idx header.Index) int {
+	return int(uint64(idx) % uint64(fd.cfg.Fleets))
+}
+
+// Fleets reports the federation width.
+func (fd *Federation) Fleets() int { return len(fd.fleets) }
+
+// Fleet returns member fm, for health inspection in tests and tools.
+func (fd *Federation) Fleet(fm int) *Fleet { return fd.fleets[fm] }
+
+// Config returns the federation's configuration with defaults resolved.
+func (fd *Federation) Config() FederationConfig { return fd.cfg }
+
+// Topology returns the one-line deployment description the serving CLI
+// prints at startup: fleets x shards plus both combine tiers.
+func (fd *Federation) Topology() string {
+	mcfg := fd.fleets[0].Config() // member defaults resolved by New
+	member := "host fold"
+	if mcfg.Rnet.Enabled() {
+		member = fmt.Sprintf("rnet radix %d", mcfg.Rnet.Radix)
+	}
+	return fmt.Sprintf("federation: %d fleets x %d shards x %d ranks, fleet combine %s, cross-fleet rnet radix %d (%d switches, depth %d)",
+		fd.cfg.Fleets, mcfg.Shards, mcfg.RanksPerShard, member,
+		fd.rtree.Config().Radix, fd.rtree.Interior(), fd.rtree.Depth())
+}
+
+// Clock reports the federation's simulated cycle clock.
+func (fd *Federation) Clock() sim.Cycle { return fd.clock }
+
+// TotalRows reports the global embedding-vector count.
+func (fd *Federation) TotalRows() uint64 { return fd.cfg.Fleet.Rows }
+
+// Row returns the raw embedding row idx; every member holds an identical
+// full copy of the global store, so member 0 answers for all.
+func (fd *Federation) Row(idx header.Index) (tensor.Vector, error) {
+	return fd.fleets[0].Row(idx)
+}
+
+// Dim reports the embedding dimensionality of the global store.
+func (fd *Federation) Dim() int { return fd.fleets[0].Dim() }
+
+// Shards reports the federation's global shard count (Fleets x member
+// Shards); the serving layer's cache partitions its budget across it.
+func (fd *Federation) Shards() int { return fd.cfg.Fleets * fd.cfg.Fleet.Shards }
+
+// OwnerOf reports the global shard storing the primary copy of idx:
+// fleet*Shards + the member's owner shard.
+func (fd *Federation) OwnerOf(idx header.Index) int {
+	fm := fd.fleetOf(idx)
+	return fm*fd.cfg.Fleet.Shards + fd.fleets[fm].OwnerOf(idx)
+}
+
+// MemoryCounter sums one cumulative memory-system counter across every
+// member fleet's shards.
+func (fd *Federation) MemoryCounter(name string) uint64 {
+	var total uint64
+	for _, fl := range fd.fleets {
+		total += fl.MemoryCounter(name)
+	}
+	return total
+}
+
+// GenerateBatch draws n deterministic Zipf-skewed queries over the global
+// row space, for benchmarks and smoke tests.
+func (fd *Federation) GenerateBatch(n int, seed int64) (embedding.Batch, error) {
+	return fd.fleets[0].GenerateBatch(n, seed)
+}
+
+// AttachTracer threads a tracer through the federation: member-fleet
+// lookup windows land as spans on the PIDRouter timeline (one lane per
+// fleet) and the cross-fleet switch fires on the PIDRnet timeline. Member
+// fleets stay detached — their per-shard lanes would collide across fleets.
+func (fd *Federation) AttachTracer(t telemetry.Tracer) {
+	fd.tracer = t
+	if t == nil {
+		return
+	}
+	t.NameProcess(telemetry.PIDRouter, "federation")
+	for fm := range fd.fleets {
+		t.NameLane(telemetry.PIDRouter, fm, fmt.Sprintf("fleet %d", fm))
+	}
+	t.NameProcess(telemetry.PIDRnet, "rnet")
+	for lvl := 1; lvl <= fd.rtree.Depth(); lvl++ {
+		t.NameLane(telemetry.PIDRnet, lvl, fmt.Sprintf("fleet switch level %d", lvl))
+	}
+}
+
+// Lookup scatters the batch across the member fleets, runs every owning
+// fleet's sub-batch (concurrently up to the template's Parallelism; folded
+// in fleet order), reduces the fleet partials through the cross-fleet rnet
+// tree, and returns the combined result. Member fleets absorb their own
+// faults (failover, degradation), so like Fleet.Lookup only programming
+// errors return a non-nil error; shard losses inside a member surface as a
+// merged DegradedReport with global shard IDs.
+func (fd *Federation) Lookup(b embedding.Batch) (*core.TimedResult, error) {
+	if len(b.Queries) == 0 {
+		return nil, fmt.Errorf("router: empty batch")
+	}
+	if !b.Op.Valid() {
+		return nil, fmt.Errorf("router: invalid reduce op %d", b.Op)
+	}
+	m := fd.cfg.Fleets
+	dim := fd.Dim()
+	op := b.Op
+	subOp := op
+	if op == tensor.OpMean {
+		// Members accumulate raw sums; the federation finalizes the mean
+		// once over the global surviving operand count.
+		subOp = tensor.OpSum
+	}
+
+	// Scatter by owning fleet, preserving index order within sub-queries.
+	subs := make([]embedding.Batch, m)
+	refs := make([][]subref, m)
+	survivors := make([]int, len(b.Queries))
+	res := &core.TimedResult{}
+	res.Outputs = make([]tensor.Vector, len(b.Queries))
+	for qi, q := range b.Queries {
+		survivors[qi] = q.Indices.Len()
+		if q.Indices.Len() == 0 {
+			res.Outputs[qi] = tensor.New(dim)
+			continue
+		}
+		per := make(map[int][]header.Index)
+		for _, idx := range q.Indices {
+			fm := fd.fleetOf(idx)
+			per[fm] = append(per[fm], idx)
+		}
+		for fm := 0; fm < m; fm++ {
+			indices, ok := per[fm]
+			if !ok {
+				continue
+			}
+			subs[fm].Op = subOp
+			subs[fm].Queries = append(subs[fm].Queries, embedding.Query{Indices: header.NewIndexSet(indices...)})
+			refs[fm] = append(refs[fm], subref{query: qi, indices: len(indices)})
+		}
+	}
+
+	// Dispatch: member fleets are fully independent (own stores, engines,
+	// clocks), so sub-lookups run concurrently; everything folds in fleet
+	// order below.
+	type attempt struct {
+		res *core.TimedResult
+		err error
+	}
+	attempts := make([]attempt, m)
+	var run []int
+	for fm := 0; fm < m; fm++ {
+		if len(subs[fm].Queries) > 0 {
+			run = append(run, fm)
+		}
+	}
+	par := fd.cfg.Fleet.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > 1 && len(run) > 1 {
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for _, fm := range run {
+			wg.Add(1)
+			go func(fm int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				r, err := fd.fleets[fm].Lookup(subs[fm])
+				attempts[fm] = attempt{res: r, err: err}
+			}(fm)
+		}
+		wg.Wait()
+	} else {
+		for _, fm := range run {
+			r, err := fd.fleets[fm].Lookup(subs[fm])
+			attempts[fm] = attempt{res: r, err: err}
+		}
+	}
+
+	// Fold, strictly in fleet order: stage each member's partial pool as an
+	// rnet leaf, accumulate statistics, and merge degraded reports onto
+	// global shard IDs. A member query that lost every index delivered a
+	// zero vector, not a partial — it must stay out of the pool or it would
+	// poison min/max pooling — so losses mark their slot absent.
+	deg := &core.DegradedReport{}
+	leaves := make([]*rnet.Partial, m)
+	for fm := 0; fm < m; fm++ {
+		if len(subs[fm].Queries) == 0 {
+			continue
+		}
+		a := attempts[fm]
+		if a.err != nil {
+			return nil, fmt.Errorf("router: federation member %d: %w", fm, a.err)
+		}
+		fd.countFleetLookup(fm)
+		r := a.res
+		pool := make([]tensor.Vector, len(b.Queries))
+		lost := make(map[int]int) // member-local query -> lost index count
+		if !r.Degraded.Empty() {
+			fd.countFleetDegraded(fm)
+			for i, lq := range r.Degraded.LostQueries {
+				lost[lq] = r.Degraded.LostIndexCounts[i]
+			}
+		}
+		for li, out := range r.Outputs {
+			ref := refs[fm][li]
+			n := lost[li]
+			if n > 0 {
+				survivors[ref.query] -= n
+				deg.AddLost(ref.query, n)
+			}
+			if n >= ref.indices {
+				continue // full loss: no partial from this member
+			}
+			pool[ref.query] = out
+		}
+		leaves[fm] = &rnet.Partial{Vectors: pool, Ready: r.TotalCycles}
+		fd.emitFleetSpan(fm, r)
+
+		res.MemoryReads += r.MemoryReads
+		res.BytesRead += r.BytesRead
+		res.PETotals.Add(r.PETotals)
+		res.HWBatches += r.HWBatches
+		if r.MaxOccupancy > res.MaxOccupancy {
+			res.MaxOccupancy = r.MaxOccupancy
+		}
+		res.MemCycles = sim.Max(res.MemCycles, r.MemCycles)
+		if !r.Degraded.Empty() {
+			deg.RemappedReads += r.Degraded.RemappedReads
+			deg.RemappedQueries += r.Degraded.RemappedQueries
+			deg.Retries += r.Degraded.Retries
+			deg.RetryCycles += r.Degraded.RetryCycles
+			for _, e := range r.Degraded.Shards {
+				ge := e
+				ge.Shard = fm*fd.cfg.Fleet.Shards + e.Shard
+				deg.Shards = append(deg.Shards, ge)
+			}
+		}
+	}
+
+	// Cross-fleet reduce: member pools are the leaves, member completion
+	// times their network-injection times. Only the root pool crosses the
+	// host link.
+	rres, err := fd.rtree.Reduce(op, len(b.Queries), leaves)
+	if err != nil {
+		return nil, err
+	}
+	rootQueries := 0
+	for qi, v := range rres.Outputs {
+		if v != nil {
+			res.Outputs[qi] = v
+			rootQueries++
+		}
+	}
+	for qi := range res.Outputs {
+		if res.Outputs[qi] == nil {
+			res.Outputs[qi] = tensor.New(dim)
+			continue
+		}
+		if op == tensor.OpMean {
+			op.FinalizeMean(res.Outputs[qi], survivors[qi])
+		}
+	}
+
+	host := fd.fleets[0]
+	xfer := host.cfg.Host.DRAMToHost(host.mcfg.TransferCycles(rootQueries * 512))
+	res.TransferCycles = xfer
+	res.TotalCycles = rres.CriticalPath + xfer
+	res.ComputeCycles = res.TotalCycles - res.MemCycles - xfer
+	fd.countBatch(rres)
+	fd.emitRnetSpans(fd.clock, rres)
+	fd.clock += res.TotalCycles
+
+	if !deg.Empty() {
+		res.Degraded = deg
+	}
+	if fd.cfg.Verify && deg.Empty() {
+		want, err := oracle.Lookup(host.Store(), b)
+		if err != nil {
+			return nil, fmt.Errorf("router: federation verify: %w", err)
+		}
+		if diff := oracle.Diff(res.Outputs, want); diff != "" {
+			return nil, fmt.Errorf("router: federation output diverges from oracle: %s", diff)
+		}
+		fd.countVerified()
+	}
+	return res, nil
+}
+
+// emitFleetSpan records one member fleet's lookup window on the federation
+// timeline.
+func (fd *Federation) emitFleetSpan(fm int, r *core.TimedResult) {
+	if fd.tracer == nil {
+		return
+	}
+	ev := telemetry.Event{
+		Name: "fleet.lookup", Cat: "router", Phase: telemetry.PhaseSpan,
+		PID: telemetry.PIDRouter, TID: fm,
+		TS: uint64(fd.clock), Dur: uint64(r.TotalCycles), ClockMHz: 200,
+	}
+	ev.AddArg(telemetry.Arg{Key: "degraded", Int: int64(boolInt(!r.Degraded.Empty()))})
+	fd.tracer.Emit(ev)
+}
+
+// emitRnetSpans mirrors Fleet.emitRnetSpans for the cross-fleet tree.
+func (fd *Federation) emitRnetSpans(base sim.Cycle, r *rnet.Result) {
+	if fd.tracer == nil {
+		return
+	}
+	for _, sp := range r.Spans {
+		ev := telemetry.Event{
+			Name: "fleet-switch", Cat: "rnet", Phase: telemetry.PhaseSpan,
+			PID: telemetry.PIDRnet, TID: sp.Level,
+			TS: uint64(base + sp.Fire), Dur: uint64(sp.Done - sp.Fire), ClockMHz: 200,
+		}
+		ev.AddArg(telemetry.Arg{Key: "node", Int: int64(sp.Node)})
+		ev.AddArg(telemetry.Arg{Key: "combines", Int: int64(sp.Combines)})
+		if sp.Missing > 0 {
+			ev.AddArg(telemetry.Arg{Key: "missing_children", Int: int64(sp.Missing)})
+		}
+		fd.tracer.Emit(ev)
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,86 @@
+package router
+
+import (
+	"strconv"
+
+	"fafnir/internal/rnet"
+	"fafnir/internal/telemetry"
+)
+
+// fedMetrics is the federation's family set: per-fleet traffic and
+// degradation counters (the "fleet" label is loadgen's per-fleet roll-up
+// key), batch/verify totals, and the cross-fleet rnet switch families. The
+// member fleets' own per-shard families are deliberately NOT registered —
+// their shard-labelled names would collide across members — so in
+// federation mode the fafnir_rnet_* families describe the cross-fleet tree.
+type fedMetrics struct {
+	fleetLookups  *telemetry.CounterVec
+	fleetDegraded *telemetry.CounterVec
+	batches       *telemetry.Counter
+	verified      *telemetry.Counter
+
+	rnetCombines *telemetry.Counter
+	rnetFires    *telemetry.Counter
+	rnetMissing  *telemetry.Counter
+	rnetLinks    *telemetry.Counter
+	rnetCritical *telemetry.Gauge
+}
+
+// RegisterMetrics publishes the federation's metric families into reg. Call
+// at most once per registry; the registry panics on duplicate names.
+func (fd *Federation) RegisterMetrics(reg *telemetry.Registry) {
+	labels := make([]string, fd.cfg.Fleets)
+	for fm := range labels {
+		labels[fm] = strconv.Itoa(fm)
+	}
+	fd.m = &fedMetrics{
+		fleetLookups: reg.CounterVec("fafnir_federation_fleet_lookups_total",
+			"Member-fleet sub-lookups dispatched, per fleet.", "fleet", labels...),
+		fleetDegraded: reg.CounterVec("fafnir_federation_fleet_degraded_total",
+			"Member-fleet sub-lookups returning a degraded report, per fleet.", "fleet", labels...),
+		batches: reg.Counter("fafnir_federation_batches_total",
+			"Batches combined across the federation."),
+		verified: reg.Counter("fafnir_federation_verified_total",
+			"Batches re-checked bit-for-bit against the reference oracle."),
+		rnetCombines: reg.Counter("fafnir_rnet_combines_total",
+			"Vector combines performed at cross-fleet rnet switch nodes."),
+		rnetFires: reg.Counter("fafnir_rnet_switch_fires_total",
+			"Cross-fleet rnet switch firings (one per live switch per batch)."),
+		rnetMissing: reg.Counter("fafnir_rnet_missing_children_total",
+			"Cross-fleet rnet switch children absent at fire time."),
+		rnetLinks: reg.Counter("fafnir_rnet_link_transfers_total",
+			"Fleet-to-switch partial-pool hops through the cross-fleet tree."),
+		rnetCritical: reg.Gauge("fafnir_rnet_critical_path_cycles",
+			"Cross-fleet combine critical path of the most recent batch."),
+	}
+}
+
+func (fd *Federation) countFleetLookup(fm int) {
+	if fd.m != nil {
+		fd.m.fleetLookups.At(fm).Add(1)
+	}
+}
+
+func (fd *Federation) countFleetDegraded(fm int) {
+	if fd.m != nil {
+		fd.m.fleetDegraded.At(fm).Add(1)
+	}
+}
+
+func (fd *Federation) countBatch(r *rnet.Result) {
+	if fd.m == nil {
+		return
+	}
+	fd.m.batches.Add(1)
+	fd.m.rnetCombines.Add(uint64(r.Combines))
+	fd.m.rnetFires.Add(uint64(r.Fires))
+	fd.m.rnetMissing.Add(uint64(r.MissingChildren))
+	fd.m.rnetLinks.Add(uint64(r.LinkTransfers))
+	fd.m.rnetCritical.Set(int64(r.CriticalPath))
+}
+
+func (fd *Federation) countVerified() {
+	if fd.m != nil {
+		fd.m.verified.Add(1)
+	}
+}

@@ -3,6 +3,7 @@ package router
 import (
 	"strconv"
 
+	"fafnir/internal/rnet"
 	"fafnir/internal/telemetry"
 )
 
@@ -45,6 +46,25 @@ type Metrics struct {
 	// lostQueries counts queries whose pooled output is missing at least one
 	// shard's contribution.
 	lostQueries *telemetry.Counter
+	// lookups counts sub-lookups each shard served (primary and failover),
+	// the per-shard traffic family loadgen's roll-up reads.
+	lookups *telemetry.CounterVec
+
+	// The rnet families exist only on the in-network combine path
+	// (Config.Rnet.Radix >= 2); a legacy host-fold fleet never registers
+	// them, so their absence on /metrics identifies the combine path.
+
+	// rnetCombines counts vector combines performed at rnet switches.
+	rnetCombines *telemetry.Counter
+	// rnetFires counts switch firings (one per live switch per batch).
+	rnetFires *telemetry.Counter
+	// rnetMissing counts switch children that never arrived (dark subtrees).
+	rnetMissing *telemetry.Counter
+	// rnetLinks counts child-to-parent partial-pool hops.
+	rnetLinks *telemetry.Counter
+	// rnetCritical publishes the last batch's combine critical path, in
+	// fleet-clock cycles.
+	rnetCritical *telemetry.Gauge
 }
 
 // RegisterMetrics publishes the router's metric families into reg (the
@@ -80,6 +100,20 @@ func (f *Fleet) RegisterMetrics(reg *telemetry.Registry) {
 			"Batches returned with a populated degraded report."),
 		lostQueries: reg.Counter("fafnir_router_lost_queries_total",
 			"Queries whose pooled output lost at least one shard's contribution."),
+		lookups: reg.CounterVec("fafnir_router_shard_lookups_total",
+			"Sub-lookups served per shard (primary and failover).", "shard", labels...),
+	}
+	if f.rtree != nil {
+		m.rnetCombines = reg.Counter("fafnir_rnet_combines_total",
+			"Vector combines performed at rnet switch nodes.")
+		m.rnetFires = reg.Counter("fafnir_rnet_switch_fires_total",
+			"Rnet switch firings (one per live switch per batch).")
+		m.rnetMissing = reg.Counter("fafnir_rnet_missing_children_total",
+			"Rnet switch children absent at fire time (dark subtrees).")
+		m.rnetLinks = reg.Counter("fafnir_rnet_link_transfers_total",
+			"Child-to-parent partial-pool hops through the rnet tree.")
+		m.rnetCritical = reg.Gauge("fafnir_rnet_critical_path_cycles",
+			"Combine critical path of the most recent batch, in fleet cycles.")
 	}
 	f.m = m
 }
@@ -148,4 +182,23 @@ func (f *Fleet) countDegraded(lostQueries int) {
 		f.m.degradedBatches.Add(1)
 		f.m.lostQueries.Add(uint64(lostQueries))
 	}
+}
+
+// countShardLookup records one served sub-lookup on shard s.
+func (f *Fleet) countShardLookup(s int) {
+	if f.m != nil {
+		f.m.lookups.At(s).Add(1)
+	}
+}
+
+// countRnet folds one reduction's switch activity into the rnet families.
+func (f *Fleet) countRnet(r *rnet.Result) {
+	if f.m == nil || f.m.rnetCombines == nil {
+		return
+	}
+	f.m.rnetCombines.Add(uint64(r.Combines))
+	f.m.rnetFires.Add(uint64(r.Fires))
+	f.m.rnetMissing.Add(uint64(r.MissingChildren))
+	f.m.rnetLinks.Add(uint64(r.LinkTransfers))
+	f.m.rnetCritical.Set(int64(r.CriticalPath))
 }

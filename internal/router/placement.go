@@ -29,13 +29,18 @@ import (
 // any fleet-level failover is needed.
 type primaryView struct {
 	shards int    // fleet width N
+	stride int    // federation owner stride M (1 standalone)
 	ranks  int    // this shard's rank count
 	bytes  int    // vector size
 	slots  uint64 // primary rows on this shard
 }
 
+// slot maps a global index onto the shard-local primary slot. The owning
+// shard of idx is (idx/stride) mod N and its k-th owned row is
+// phase + stride*(s + N*k), so the local slot is idx / (stride*N) — the
+// stride-1 case reduces to the classic idx / N.
 func (v primaryView) slot(idx header.Index) uint64 {
-	return uint64(idx) / uint64(v.shards)
+	return uint64(idx) / (uint64(v.stride) * uint64(v.shards))
 }
 
 func (v primaryView) Rank(idx header.Index) int {

@@ -44,6 +44,7 @@ import (
 	core "fafnir/internal/fafnir"
 	"fafnir/internal/fault"
 	"fafnir/internal/header"
+	"fafnir/internal/rnet"
 	"fafnir/internal/sim"
 	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
@@ -88,6 +89,20 @@ type Config struct {
 	RetryDeadline sim.Cycle
 	// Host models the partial-pool combine (zero value: cpu.Default()).
 	Host cpu.Config
+	// Rnet selects the combine path. The zero value (Radix 0) keeps the
+	// legacy serial host fold; Radix >= 2 reduces the per-shard partial
+	// pools through an in-network reduction tree (internal/rnet) whose
+	// leaves are the shards. Outputs are bit-identical on both paths — only
+	// the cycle charging differs (tree critical path vs serial host fold).
+	Rnet rnet.Config
+	// OwnerStride and OwnerPhase generalize index ownership so a federation
+	// can stack fleets without skewing shards: this fleet serves the global
+	// indices congruent to OwnerPhase modulo OwnerStride, and the owning
+	// shard of index i is (i / OwnerStride) mod Shards. The defaults
+	// (stride 1, phase 0) are the standalone fleet: every index is served
+	// and the owner is i mod Shards, unchanged.
+	OwnerStride int
+	OwnerPhase  int
 }
 
 func (c *Config) fillDefaults() {
@@ -118,6 +133,9 @@ func (c *Config) fillDefaults() {
 	if c.Host == (cpu.Config{}) {
 		c.Host = cpu.Default()
 	}
+	if c.OwnerStride == 0 {
+		c.OwnerStride = 1
+	}
 }
 
 // Validate reports a descriptive error naming the offending field and value
@@ -134,9 +152,19 @@ func (c Config) Validate() error {
 		return fmt.Errorf("router: Config.FailureThreshold = %d: must be positive (or 0 for the default of 2)", c.FailureThreshold)
 	case c.Parallelism < 0:
 		return fmt.Errorf("router: Config.Parallelism = %d: must be non-negative (0 uses every core)", c.Parallelism)
+	case c.OwnerStride < 0:
+		return fmt.Errorf("router: Config.OwnerStride = %d: must be positive (or 0 for the default of 1)", c.OwnerStride)
+	case c.OwnerPhase < 0 || c.OwnerStride > 0 && c.OwnerPhase >= c.OwnerStride:
+		return fmt.Errorf("router: Config.OwnerPhase = %d: must be in [0, OwnerStride %d)", c.OwnerPhase, max(c.OwnerStride, 1))
 	}
-	if c.Rows != 0 && c.Shards != 0 && c.Rows < uint64(c.Shards) {
-		return fmt.Errorf("router: Config.Rows = %d: must be at least Shards (%d) so every shard owns a canary row", c.Rows, c.Shards)
+	if c.Rows != 0 && c.Shards != 0 {
+		stride := uint64(max(c.OwnerStride, 1))
+		if need := uint64(c.Shards-1)*stride + uint64(c.OwnerPhase) + 1; c.Rows < need {
+			return fmt.Errorf("router: Config.Rows = %d: must be at least %d so every shard owns a canary row", c.Rows, need)
+		}
+	}
+	if err := c.Rnet.Validate(); err != nil {
+		return err
 	}
 	if err := c.Fleet.Validate(); err != nil {
 		return err
@@ -169,6 +197,7 @@ type Fleet struct {
 	breakers []*breaker
 	host     *cpu.Engine
 	mcfg     dram.Config
+	rtree    *rnet.Tree // nil on the legacy host-fold path (Rnet.Radix 0)
 	clock    sim.Cycle
 	tracer   telemetry.Tracer
 	m        *Metrics
@@ -203,6 +232,25 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 	f := &Fleet{cfg: cfg, store: store, host: host, mcfg: mcfg}
+	if cfg.Rnet.Enabled() {
+		rcfg := cfg.Rnet
+		if rcfg.Parallelism == 0 {
+			rcfg.Parallelism = cfg.Parallelism
+		}
+		if len(cfg.Fleet.SwitchStalls) > 0 {
+			rcfg.Stalls = make(map[int]sim.Cycle, len(cfg.Fleet.SwitchStalls))
+			for _, st := range cfg.Fleet.SwitchStalls {
+				// Plan clauses number switches 0..Interior-1; tree node IDs
+				// start past the leaves.
+				rcfg.Stalls[cfg.Shards+st.Switch] += st.Cycles
+			}
+		}
+		tree, err := rnet.NewTree(cfg.Shards, rcfg)
+		if err != nil {
+			return nil, err
+		}
+		f.rtree = tree
+	}
 	for s := 0; s < cfg.Shards; s++ {
 		ecfg := core.Default()
 		ecfg.NumRanks = cfg.RanksPerShard
@@ -243,16 +291,31 @@ func New(cfg Config) (*Fleet, error) {
 	return f, nil
 }
 
-// viewOf builds shard s's primary placement view.
+// viewOf builds shard s's primary placement view. Under stride/phase
+// addressing shard s owns the rows phase + stride*(s + Shards*k), so its
+// first row is s*stride + phase and consecutive owned rows are stride*Shards
+// apart.
 func (f *Fleet) viewOf(s int) primaryView {
+	stride := uint64(f.cfg.OwnerStride)
 	n := uint64(f.cfg.Shards)
-	owned := (f.cfg.Rows - uint64(s) + n - 1) / n
-	return primaryView{shards: f.cfg.Shards, ranks: f.cfg.RanksPerShard, bytes: 512, slots: owned}
+	first := uint64(s)*stride + uint64(f.cfg.OwnerPhase)
+	var owned uint64
+	if f.cfg.Rows > first {
+		owned = (f.cfg.Rows - first + stride*n - 1) / (stride * n)
+	}
+	return primaryView{shards: f.cfg.Shards, stride: f.cfg.OwnerStride, ranks: f.cfg.RanksPerShard, bytes: 512, slots: owned}
 }
 
 // ownerOf returns the shard storing the primary copy of idx.
 func (f *Fleet) ownerOf(idx header.Index) int {
-	return int(uint64(idx) % uint64(f.cfg.Shards))
+	return int(uint64(idx) / uint64(f.cfg.OwnerStride) % uint64(f.cfg.Shards))
+}
+
+// canaryRow is the first row shard s owns under the fleet's stride/phase
+// addressing; the probe path reads it as the one-query canary. Validate
+// guarantees it exists.
+func (f *Fleet) canaryRow(s int) header.Index {
+	return header.Index(uint64(s)*uint64(f.cfg.OwnerStride) + uint64(f.cfg.OwnerPhase))
 }
 
 // OwnerOf reports the shard storing the primary copy of idx. The serving
@@ -307,6 +370,17 @@ func (f *Fleet) Shards() int { return f.cfg.Shards }
 // Config returns the fleet's configuration with defaults resolved.
 func (f *Fleet) Config() Config { return f.cfg }
 
+// Topology returns the one-line deployment description the serving CLI
+// prints at startup: shard and rank counts plus the combine path.
+func (f *Fleet) Topology() string {
+	combine := "host fold"
+	if f.rtree != nil {
+		combine = fmt.Sprintf("rnet radix %d (%d switches, depth %d)",
+			f.rtree.Config().Radix, f.rtree.Interior(), f.rtree.Depth())
+	}
+	return fmt.Sprintf("fleet: %d shards x %d ranks, %s", f.cfg.Shards, f.cfg.RanksPerShard, combine)
+}
+
 // Clock reports the fleet's simulated cycle clock, advanced by every batch.
 func (f *Fleet) Clock() sim.Cycle { return f.clock }
 
@@ -329,6 +403,12 @@ func (f *Fleet) AttachTracer(t telemetry.Tracer) {
 		t.NameLane(telemetry.PIDRouter, s, fmt.Sprintf("shard %d", s))
 	}
 	t.NameLane(telemetry.PIDRouter, len(f.shards), "combine")
+	if f.rtree != nil {
+		t.NameProcess(telemetry.PIDRnet, "rnet")
+		for lvl := 1; lvl <= f.rtree.Depth(); lvl++ {
+			t.NameLane(telemetry.PIDRnet, lvl, fmt.Sprintf("switch level %d", lvl))
+		}
+	}
 }
 
 // MemoryCounter sums one cumulative memory-system counter across the fleet
@@ -444,7 +524,7 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 		}
 		f.countProbe(s)
 		canary := embedding.Batch{Op: tensor.OpSum, Queries: []embedding.Query{
-			{Indices: header.NewIndexSet(header.Index(s))},
+			{Indices: header.NewIndexSet(f.canaryRow(s))},
 		}}
 		r, err := f.lookupShard(s, f.shards[s].primary, canary, start)
 		switch {
@@ -550,6 +630,23 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 	var shardCycles sim.Cycle
 	var failovers []failover
 	delivered := make([]bool, n)
+	// On the rnet path each delivered sub-lookup stages its partial pool
+	// (dense over the batch's queries) and its network-injection time
+	// instead of folding into res.Outputs — the switch tree combines below.
+	var pools [][]tensor.Vector
+	var readys []sim.Cycle
+	if f.rtree != nil {
+		pools = make([][]tensor.Vector, n)
+		readys = make([]sim.Cycle, n)
+	}
+	poolFor := func(s int, ready sim.Cycle) []tensor.Vector {
+		if f.rtree == nil {
+			return nil
+		}
+		pools[s] = make([]tensor.Vector, len(b.Queries))
+		readys[s] = ready
+		return pools[s]
+	}
 	for s := 0; s < n; s++ {
 		if len(subs[s].Queries) == 0 {
 			continue
@@ -560,7 +657,8 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 		case a.err == nil:
 			f.breakers[s].onSuccess()
 			f.setShardState(s, Healthy)
-			if err := f.fold(res, deg, entry, s, a.res, refs[s], op); err != nil {
+			f.countShardLookup(s)
+			if err := f.fold(res, deg, entry, s, a.res, refs[s], op, poolFor(s, a.res.TotalCycles)); err != nil {
 				return nil, err
 			}
 			delivered[s] = true
@@ -607,8 +705,13 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 			switch {
 			case err == nil:
 				f.countFailover(s)
+				f.countShardLookup(target)
 				e.FailedOver = true
-				if err := f.fold(res, deg, entry, target, r, refs[s], op); err != nil {
+				// A failed-over partial is just a late leaf: it enters the
+				// network when its serial retry completes, after the scatter
+				// window and every earlier retry.
+				if err := f.fold(res, deg, entry, target, r, refs[s], op,
+					poolFor(s, shardCycles+failoverCycles+r.TotalCycles)); err != nil {
 					return nil, err
 				}
 				delivered[s] = true
@@ -631,22 +734,16 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 		}
 	}
 
-	// Finalize outputs: queries that lost everything (or arrived empty)
-	// produce zero vectors like the engines; mean scales by the surviving
-	// operand count, the single-tree root's exact finalize operation.
-	for qi := range res.Outputs {
-		if res.Outputs[qi] == nil {
-			res.Outputs[qi] = tensor.New(dim)
-			continue
-		}
-		if op == tensor.OpMean {
-			op.FinalizeMean(res.Outputs[qi], survivors[qi])
-		}
-	}
-
-	// Host combine: one handled vector per delivered partial beyond each
-	// query's first, plus channel transfer of every partial pool. Lost
-	// sub-batches delivered nothing, so they cost (and contribute) nothing.
+	// Combine phase. Legacy (Radix 0): the fold above already merged the
+	// outputs serially; charge one handled vector per delivered partial
+	// beyond each query's first, plus channel transfer of every partial
+	// pool — the host waits for the slowest shard, then combines O(Shards)
+	// pools one after another. Rnet (Radix >= 2): reduce the staged pools
+	// through the switch tree — every partial takes O(log_radix Shards)
+	// link hops, a switch fires the moment its last live child lands, lost
+	// shards are simply absent leaves, and only the root pool crosses the
+	// host link. Lost sub-batches delivered nothing, so on both paths they
+	// cost (and contribute) nothing.
 	partials := 0
 	combines := 0
 	partialsPer := make(map[int]int, len(b.Queries))
@@ -664,14 +761,59 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 			combines += p - 1
 		}
 	}
-	combineCycles := f.host.HandleVectors(combines)
-	xfer := f.cfg.Host.DRAMToHost(f.mcfg.TransferCycles(partials * 512))
+	var xfer sim.Cycle
+	if f.rtree == nil {
+		combineCycles := f.host.HandleVectors(combines)
+		xfer = f.cfg.Host.DRAMToHost(f.mcfg.TransferCycles(partials * 512))
+		res.TotalCycles = probeCycles + shardCycles + failoverCycles + combineCycles + xfer
+		f.emit("combine", n, telemetry.PhaseSpan, start+probeCycles+shardCycles+failoverCycles, combineCycles+xfer,
+			telemetry.Arg{Key: "partials", Int: int64(partials)})
+	} else {
+		leavesIn := make([]*rnet.Partial, n)
+		for s := 0; s < n; s++ {
+			if delivered[s] {
+				leavesIn[s] = &rnet.Partial{Vectors: pools[s], Ready: readys[s]}
+			}
+		}
+		rres, err := f.rtree.Reduce(op, len(b.Queries), leavesIn)
+		if err != nil {
+			return nil, err
+		}
+		rootQueries := 0
+		for qi, v := range rres.Outputs {
+			if v != nil {
+				res.Outputs[qi] = v
+				rootQueries++
+			}
+		}
+		// The critical path already contains the slowest contributing
+		// shard's (or retry's) completion on its leaf, so it replaces the
+		// scatter + failover + combine terms wholesale.
+		xfer = f.cfg.Host.DRAMToHost(f.mcfg.TransferCycles(rootQueries * 512))
+		res.TotalCycles = probeCycles + rres.CriticalPath + xfer
+		f.countRnet(rres)
+		f.emitRnetSpans(start+probeCycles, rres)
+		f.emit("combine", n, telemetry.PhaseSpan, start+probeCycles+shardCycles+failoverCycles,
+			res.TotalCycles-(shardCycles+failoverCycles)-probeCycles,
+			telemetry.Arg{Key: "partials", Int: int64(partials)},
+			telemetry.Arg{Key: "switch_fires", Int: int64(rres.Fires)})
+	}
+
+	// Finalize outputs: queries that lost everything (or arrived empty)
+	// produce zero vectors like the engines; mean scales by the surviving
+	// operand count, the single-tree root's exact finalize operation.
+	for qi := range res.Outputs {
+		if res.Outputs[qi] == nil {
+			res.Outputs[qi] = tensor.New(dim)
+			continue
+		}
+		if op == tensor.OpMean {
+			op.FinalizeMean(res.Outputs[qi], survivors[qi])
+		}
+	}
 
 	res.TransferCycles = xfer
-	res.TotalCycles = probeCycles + shardCycles + failoverCycles + combineCycles + xfer
 	res.ComputeCycles = res.TotalCycles - res.MemCycles - xfer
-	f.emit("combine", n, telemetry.PhaseSpan, start+probeCycles+shardCycles+failoverCycles, combineCycles+xfer,
-		telemetry.Arg{Key: "partials", Int: int64(partials)})
 	f.clock = start + res.TotalCycles
 
 	for _, e := range entries {
@@ -690,17 +832,24 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 }
 
 // fold merges one successful sub-lookup into the batch result, in shard
-// order: partial vectors combine per query, statistics accumulate, and the
+// order. Statistics always accumulate here; the partial vectors either
+// combine into res.Outputs per query (legacy host fold, pool nil) or stage
+// into the sub-lookup's dense pool for the rnet switch tree to reduce. The
 // sub-lookup's own degraded work (in-shard rank remaps, ECC retries) lands
-// on the shard's report entry.
+// on the shard's report entry either way.
 func (f *Fleet) fold(res *core.TimedResult, deg *core.DegradedReport, entry func(int) *core.ShardDegraded,
-	s int, r *core.TimedResult, refs []subref, op tensor.ReduceOp) error {
+	s int, r *core.TimedResult, refs []subref, op tensor.ReduceOp, pool []tensor.Vector) error {
 	for i, out := range r.Outputs {
 		qi := refs[i].query
-		if res.Outputs[qi] == nil {
+		switch {
+		case pool != nil:
+			pool[qi] = out
+		case res.Outputs[qi] == nil:
 			res.Outputs[qi] = out.Clone()
-		} else if err := op.Apply(res.Outputs[qi], out); err != nil {
-			return err
+		default:
+			if err := op.Apply(res.Outputs[qi], out); err != nil {
+				return err
+			}
 		}
 	}
 	res.MemoryReads += r.MemoryReads
@@ -734,6 +883,29 @@ func (f *Fleet) lose(res *core.TimedResult, deg *core.DegradedReport, e *core.Sh
 		deg.AddLost(ref.query, ref.indices)
 	}
 	f.countLostShard(e.Shard)
+}
+
+// emitRnetSpans records every switch firing on the rnet timeline, one lane
+// per switch level. Spans arrive in node-ID order from the reduction (the
+// deterministic post-hoc fold), so traced streams are bit-identical at every
+// Parallelism.
+func (f *Fleet) emitRnetSpans(base sim.Cycle, r *rnet.Result) {
+	if f.tracer == nil {
+		return
+	}
+	for _, sp := range r.Spans {
+		ev := telemetry.Event{
+			Name: "switch", Cat: "rnet", Phase: telemetry.PhaseSpan,
+			PID: telemetry.PIDRnet, TID: sp.Level,
+			TS: uint64(base + sp.Fire), Dur: uint64(sp.Done - sp.Fire), ClockMHz: 200,
+		}
+		ev.AddArg(telemetry.Arg{Key: "node", Int: int64(sp.Node)})
+		ev.AddArg(telemetry.Arg{Key: "combines", Int: int64(sp.Combines)})
+		if sp.Missing > 0 {
+			ev.AddArg(telemetry.Arg{Key: "missing_children", Int: int64(sp.Missing)})
+		}
+		f.tracer.Emit(ev)
+	}
 }
 
 func (f *Fleet) parallelism() int {

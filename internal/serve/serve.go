@@ -78,6 +78,15 @@ type ShardOwner interface {
 	OwnerOf(idx header.Index) int
 }
 
+// TopologyDescriber is the optional capability a backend exposes so the
+// serving CLI's startup line can report the full deployment shape — fleets,
+// shards, combine radix — without the CLI reconstructing it from flags.
+// *router.Fleet and *router.Federation implement it.
+type TopologyDescriber interface {
+	// Topology returns a one-line human-readable deployment description.
+	Topology() string
+}
+
 // Priority is a request's QoS lane. The zero value is the highest lane so
 // the constants order by urgency; the wire default is PriorityNormal (see
 // ParsePriority).

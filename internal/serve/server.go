@@ -200,6 +200,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns the live metrics set.
 func (s *Server) Metrics() *Metrics { return s.m }
 
+// Topology returns the backend's one-line deployment description, or ""
+// when the backend does not describe itself (plain single systems).
+func (s *Server) Topology() string {
+	if td, ok := s.sys.(TopologyDescriber); ok {
+		return td.Topology()
+	}
+	return ""
+}
+
 // Coalescer returns the server's coalescer (tests and embedders drive it
 // directly).
 func (s *Server) Coalescer() *Coalescer { return s.co }

@@ -42,6 +42,9 @@ const (
 	// PIDRouter groups fleet-router lanes (per-shard scatter windows,
 	// failover retries, probes, and the host-side combine).
 	PIDRouter = 3
+	// PIDRnet groups the in-network reduction lanes: one lane per switch
+	// level of the rnet tree, carrying switch-fire spans (internal/rnet).
+	PIDRnet = 4
 	// PIDPELevelBase + level groups the PE lanes of one tree level.
 	PIDPELevelBase = 10
 	// PIDDRAMBase + globalRank groups one rank's per-bank lanes.

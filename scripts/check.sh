@@ -43,7 +43,13 @@
 #  13. cache gate    — run the same seeded Zipf workload against a cache-off
 #                      and a cache-on server; the cache must cut backend
 #                      reads per query by >= 25% at a >= 50% hit ratio
-#  14. speedup gate  — BenchmarkRunTree/parallel must beat /serial by at
+#  14. federation    — boot a 2-fleet x 4-shard federation with -verify
+#      gate            (every batch re-checked bit-for-bit against the
+#                      reference oracle server-side), fire a seeded burst,
+#                      and require zero non-200s, the federation_* and
+#                      rnet_combines_total families live on /metrics, and a
+#                      clean SIGTERM drain
+#  15. speedup gate  — BenchmarkRunTree/parallel must beat /serial by at
 #                      least 1.3x when the host has >= 4 CPUs (the async
 #                      scheduler's reason to exist); skipped with a notice
 #                      on smaller runners, where the scheduler cannot win
@@ -113,10 +119,11 @@ SERVE_PID=
 FLEET_PID=
 QOS_PID=
 CACHE_PID=
+FED_PID=
 # The kill must not decide the script's exit status: with every PID already
 # empty (the normal clean path) it fails, and a failing EXIT trap overrides
 # the exit code under set -e.
-trap 'kill "$SERVE_PID" "$FLEET_PID" "$QOS_PID" "$CACHE_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
+trap 'kill "$SERVE_PID" "$FLEET_PID" "$QOS_PID" "$CACHE_PID" "$FED_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 go build -o "$SMOKE/fafnir-sim" ./cmd/fafnir-sim
 go build -o "$SMOKE/fafnir-trace" ./cmd/fafnir-trace
 "$SMOKE/fafnir-sim" -mode lookup -engine fafnir -batch 8 -q 8 -rows 4096 \
@@ -289,6 +296,45 @@ END {
     if (ratio < 0.5)     { print "cache gate: hit ratio below 0.5"; exit 1 }
 }' "$SMOKE/cache-off.log" "$SMOKE/cache-on.log" \
     || { echo "cache gate failed"; exit 1; }
+
+echo "==> federation gate: 2-fleet x 4-shard federation, oracle-verified"
+# -verify makes the server re-check every healthy batch bit-for-bit against
+# the reference oracle before responding: a combine-path divergence anywhere
+# in the shard or fleet reduction trees turns into a 5xx, so the "0 other"
+# assertion below doubles as an end-to-end oracle-exactness gate.
+"$SMOKE/fafnir-serve" -addr 127.0.0.1:0 -fleets 2 -shards 4 -radix 2 \
+    -rows 4096 -linger 500us -verify > "$SMOKE/fed-serve.log" 2>&1 &
+FED_PID=$!
+FEDADDR=$(wait_addr "$SMOKE/fed-serve.log" "$FED_PID" "federation") || exit 1
+grep -q '^federation: 2 fleets x 4 shards' "$SMOKE/fed-serve.log" \
+    || { cat "$SMOKE/fed-serve.log"; echo "federation: startup line missing the topology"; exit 1; }
+
+# -rows matches the federation's index space (4096 rows x 32 tables).
+"$SMOKE/fafnir-loadgen" -url "http://$FEDADDR" -clients 4 -requests 64 \
+    -duration 10s -rows 131072 -seed 5 -op mean -dump-metrics \
+    > "$SMOKE/fed.log" 2>&1 \
+    || { cat "$SMOKE/fed.log"; echo "federation: loadgen failed"; exit 1; }
+grep -q ' 64 ok, 0 overload (503), 0 deadline (504), 0 other$' "$SMOKE/fed.log" \
+    || { cat "$SMOKE/fed.log"; echo "federation: requests failed (oracle verify rejects on divergence)"; exit 1; }
+grep -q '^fafnir_federation_batches_total [1-9]' "$SMOKE/fed.log" \
+    || { cat "$SMOKE/fed.log"; echo "federation: no batches counted on /metrics"; exit 1; }
+grep -q '^fafnir_federation_verified_total [1-9]' "$SMOKE/fed.log" \
+    || { cat "$SMOKE/fed.log"; echo "federation: verify mode never checked a batch"; exit 1; }
+grep -Eq '^fafnir_federation_fleet_lookups_total\{fleet="0"\} [1-9]' "$SMOKE/fed.log" \
+    || { cat "$SMOKE/fed.log"; echo "federation: fleet 0 served no sub-lookups"; exit 1; }
+grep -Eq '^fafnir_federation_fleet_lookups_total\{fleet="1"\} [1-9]' "$SMOKE/fed.log" \
+    || { cat "$SMOKE/fed.log"; echo "federation: fleet 1 served no sub-lookups"; exit 1; }
+grep -q '^fafnir_rnet_combines_total [1-9]' "$SMOKE/fed.log" \
+    || { cat "$SMOKE/fed.log"; echo "federation: cross-fleet rnet tree performed no combines"; exit 1; }
+
+kill -TERM "$FED_PID"
+FED_RC=0
+wait "$FED_PID" || FED_RC=$?
+[ "$FED_RC" -eq 0 ] || { cat "$SMOKE/fed-serve.log"; echo "federation: server exited $FED_RC on SIGTERM"; exit 1; }
+grep -q 'drained cleanly' "$SMOKE/fed-serve.log" \
+    || { cat "$SMOKE/fed-serve.log"; echo "federation: no clean drain line"; exit 1; }
+grep 'drained cleanly' "$SMOKE/fed-serve.log"
+FED_PID=
 
 echo "==> speedup gate: async scheduler vs serial tree walk"
 CORES=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
