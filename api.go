@@ -20,6 +20,7 @@ package fafnir
 
 import (
 	"fmt"
+	"io"
 
 	"fafnir/internal/dram"
 	"fafnir/internal/embedding"
@@ -51,7 +52,24 @@ type (
 	TraceEvent = telemetry.Event
 	// MetricsRegistry is the typed counter/gauge/histogram registry.
 	MetricsRegistry = telemetry.Registry
+	// Logger is the small shared leveled logger the CLIs print through
+	// (text mode is byte-compatible with fmt.Printf; json mode wraps each
+	// line in a {"ts","level","msg"} object).
+	Logger = telemetry.Logger
+	// SLOConfig parameterizes the serving layer's SLO flight recorder:
+	// rolling window, per-lane latency objectives, error-budget fraction,
+	// and the slowest/degraded-request ring bound K.
+	SLOConfig = telemetry.SLOConfig
+	// SLOSnapshot is the flight-recorder state served on /debug/slo.
+	SLOSnapshot = telemetry.SLOSnapshot
+	// StageCycles is the exact per-stage latency attribution every timed
+	// lookup carries (LookupResult.Stages); the stages sum to TotalCycles.
+	StageCycles = core.StageCycles
 )
+
+// NewLogger builds a leveled logger writing to w in the given format
+// ("text" or "json").
+func NewLogger(w io.Writer, format string) (*Logger, error) { return telemetry.NewLogger(w, format) }
 
 // NewTrace returns an empty trace collector, ready to attach.
 func NewTrace() *Trace { return telemetry.NewTrace() }
@@ -276,6 +294,12 @@ func (s *System) AttachTracer(t Tracer) {
 	s.mem.AttachTracer(t)
 }
 
+// SetSpanContext installs the parent span ID that subsequent hardware-batch
+// trace spans link under (0 detaches). The serving layer uses this hook to
+// chain engine spans under the request that paid for them; it only annotates
+// events and never perturbs timing.
+func (s *System) SetSpanContext(parent uint64) { s.engine.SetSpanContext(parent) }
+
 // MemoryCounter reads one of the memory system's cumulative statistics
 // counters by name (e.g. "dram.row_hits", "dram.row_misses",
 // "dram.row_conflicts", "dram.reads"). Unknown names read zero. The serving
@@ -455,7 +479,25 @@ type (
 	Server = serve.Server
 	// ServeMetrics is the serving layer's live instrumentation.
 	ServeMetrics = serve.Metrics
+	// Priority is a request's QoS lane: high, normal, or low.
+	Priority = serve.Priority
+	// RequestBreakdown is the per-request latency attribution the serving
+	// layer returns on ?debug=trace and files in the SLO flight recorder:
+	// queue/coalesce/cache/backend/combine/transfer, in exact simulated
+	// cycles and measured wall microseconds.
+	RequestBreakdown = serve.Breakdown
 )
+
+// The QoS lanes, re-exported for serving configuration.
+const (
+	PriorityHigh   = serve.PriorityHigh
+	PriorityNormal = serve.PriorityNormal
+	PriorityLow    = serve.PriorityLow
+)
+
+// ParsePriority maps a wire-format lane name — high, normal, low, or the
+// empty string for the normal default — to its Priority.
+func ParsePriority(s string) (Priority, error) { return serve.ParsePriority(s) }
 
 // Serving-layer failure modes; match with errors.Is.
 var (

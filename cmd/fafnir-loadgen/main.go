@@ -15,9 +15,12 @@
 //	fafnir-loadgen -clients 4 -requests 64 -dump-metrics
 //	fafnir-loadgen -users 1000000 -clients 8            # per-user hot sets
 //	fafnir-loadgen -qps 20000 -capacity 8 -duration 8s  # capacity sweep to the knee
+//	fafnir-loadgen -qps 5000 -duration 2s -record w.jsonl   # capture the workload
+//	fafnir-loadgen -replay w.jsonl                          # re-offer it verbatim
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -32,7 +35,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fafnir/internal/telemetry"
 )
+
+// logger carries the run's summary output; text mode renders byte-identically
+// to the fmt.Printf lines it replaced, json mode emits one object per line.
+var logger *telemetry.Logger
+
+// logf prints one summary line through the shared logger.
+func logf(format string, args ...any) { logger.Infof(format, args...) }
 
 type lookupRequest struct {
 	Indices   []uint64 `json:"indices"`
@@ -134,9 +146,17 @@ func run() error {
 		users    = flag.Int64("users", 0, "simulated user population: each request belongs to a seeded user whose Zipf hot set is rotated to a user-specific region of the row space (0 = one shared hot set)")
 		capSteps = flag.Int("capacity", 0, "capacity planning: sweep this many offered-QPS steps up to -qps, reporting p99 and shed per step and the saturation knee (requires -qps)")
 		dump     = flag.Bool("dump-metrics", false, "print the raw /metrics body after the run")
+		logFmt   = flag.String("log-format", "text", "summary output format: text or json")
+		recPath  = flag.String("record", "", "capture the offered workload to this JSONL file (arrival offset, op, indices, lane, deadline per request)")
+		rePath   = flag.String("replay", "", "replay a -record capture verbatim instead of generating load (workload flags are ignored)")
 	)
 	flag.Parse()
 
+	var err error
+	logger, err = telemetry.NewLogger(os.Stdout, *logFmt)
+	if err != nil {
+		return err
+	}
 	mix, err := parseMix(*mixFlag)
 	if err != nil {
 		return err
@@ -162,19 +182,10 @@ func run() error {
 		mu.Unlock()
 	}
 
-	fire := func(rng *rand.Rand, z *rand.Zipf) {
+	// fireReq posts one ready payload, honoring the 503 retry budget, and
+	// records the outcome. Both generated and replayed requests funnel here.
+	fireReq := func(payload []byte, pri string) {
 		start := time.Now()
-		pri := mix.pick(rng)
-		var off uint64
-		if *users > 0 {
-			// Each request belongs to one of -users simulated users; the
-			// user identity hashes (splitmix64) to an offset that rotates
-			// the Zipf hot set into a user-specific region of the row
-			// space, so the aggregate stream carries a long per-user tail
-			// instead of one shared global head.
-			off = splitmix64(uint64(*seed) ^ uint64(rng.Int63n(*users))) % *rows
-		}
-		payload := body(rng, z, *q, *rows, off, *op, pri, *timeout)
 		var retried int
 		for {
 			status, degraded, retryAfter, err := post(client, *url, payload)
@@ -190,6 +201,39 @@ func run() error {
 			record(outcome{status: status, latency: time.Since(start), pri: pri, degraded: degraded, retries: retried})
 			return
 		}
+	}
+
+	// The workload capture: every generated request appends one record at
+	// fire time (arrival offset, op, indices, lane, deadline), written as
+	// sorted JSONL after the run so -replay can re-offer it verbatim.
+	var (
+		recMu    sync.Mutex
+		captured []recordedRequest
+	)
+	begin := time.Now()
+	fire := func(rng *rand.Rand, z *rand.Zipf) {
+		pri := mix.pick(rng)
+		var off uint64
+		if *users > 0 {
+			// Each request belongs to one of -users simulated users; the
+			// user identity hashes (splitmix64) to an offset that rotates
+			// the Zipf hot set into a user-specific region of the row
+			// space, so the aggregate stream carries a long per-user tail
+			// instead of one shared global head.
+			off = splitmix64(uint64(*seed) ^ uint64(rng.Int63n(*users))) % *rows
+		}
+		idx := drawIndices(rng, z, *q, *rows, off)
+		if *recPath != "" {
+			rr := recordedRequest{
+				TUS: time.Since(begin).Microseconds(), Op: *op,
+				Indices: idx, Lane: pri, TimeoutMS: *timeout,
+			}
+			recMu.Lock()
+			captured = append(captured, rr)
+			recMu.Unlock()
+		}
+		payload, _ := json.Marshal(lookupRequest{Indices: idx, Op: *op, Priority: pri, TimeoutMS: *timeout})
+		fireReq(payload, pri)
 	}
 
 	// openLoop offers requests at a fixed rate for dur, independent of
@@ -230,8 +274,33 @@ func run() error {
 		wg.Wait()
 	}
 
-	begin := time.Now()
 	switch {
+	case *rePath != "":
+		// Replay: re-offer a captured workload verbatim — same arrival
+		// offsets, ops, indices, lanes, and deadlines; every workload flag
+		// is ignored.
+		reqs, err := loadRecorded(*rePath)
+		if err != nil {
+			return err
+		}
+		logf("replaying %d requests from %s", len(reqs), *rePath)
+		sem := make(chan struct{}, 4096)
+		var wg sync.WaitGroup
+		for i := range reqs {
+			rr := reqs[i]
+			if d := time.Until(begin.Add(time.Duration(rr.TUS) * time.Microsecond)); d > 0 {
+				time.Sleep(d)
+			}
+			payload, _ := json.Marshal(lookupRequest{Indices: rr.Indices, Op: rr.Op, Priority: rr.Lane, TimeoutMS: rr.TimeoutMS})
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(p []byte, lane string) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fireReq(p, lane)
+			}(payload, rr.Lane)
+		}
+		wg.Wait()
 	case *capSteps > 0:
 		// Capacity sweep: step the offered rate up to -qps, measuring each
 		// step in isolation, then report the saturation knee.
@@ -269,8 +338,82 @@ func run() error {
 	}
 	elapsed := time.Since(begin)
 
+	if *recPath != "" {
+		if err := saveRecorded(*recPath, captured); err != nil {
+			return err
+		}
+		logf("recorded %d requests to %s", len(captured), *recPath)
+	}
 	report(outcomes, elapsed, *qps)
 	return scrape(client, *url, *dump)
+}
+
+// recordedRequest is one captured workload request, one JSONL line per
+// request: when it was offered (microseconds after the run began), what it
+// asked for, and which lane and deadline it carried.
+type recordedRequest struct {
+	TUS       int64    `json:"t_us"`
+	Op        string   `json:"op,omitempty"`
+	Indices   []uint64 `json:"indices"`
+	Lane      string   `json:"lane,omitempty"`
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
+}
+
+// saveRecorded writes the capture as JSONL sorted by arrival offset.
+func saveRecorded(path string, reqs []recordedRequest) error {
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].TUS < reqs[j].TUS })
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for i := range reqs {
+		if err := enc.Encode(&reqs[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadRecorded reads a -record capture, sorted by arrival offset.
+func loadRecorded(path string) ([]recordedRequest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var reqs []recordedRequest
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rr recordedRequest
+		if err := json.Unmarshal(sc.Bytes(), &rr); err != nil {
+			return nil, fmt.Errorf("%s:%d: bad record: %w", path, line, err)
+		}
+		if len(rr.Indices) == 0 {
+			return nil, fmt.Errorf("%s:%d: record carries no indices", path, line)
+		}
+		reqs = append(reqs, rr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%s: empty capture", path)
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].TUS < reqs[j].TUS })
+	return reqs, nil
 }
 
 // capStep is one measured rung of a -capacity sweep.
@@ -312,10 +455,10 @@ func summarizeStep(offered float64, outcomes []outcome, elapsed time.Duration) c
 // first step that sheds load or whose p99 blows past 3x the first step's —
 // the offered rate a deployment should plan under.
 func reportCapacity(steps []capStep) {
-	fmt.Println("capacity sweep:")
-	fmt.Println("  offered qps  achieved qps    ok   shed  other       p50       p99")
+	logf("capacity sweep:")
+	logf("  offered qps  achieved qps    ok   shed  other       p50       p99")
 	for _, st := range steps {
-		fmt.Printf("  %11.0f  %12.0f  %4d  %5d  %5d  %8v  %8v\n",
+		logf("  %11.0f  %12.0f  %4d  %5d  %5d  %8v  %8v",
 			st.offered, st.achieved, st.ok, st.shed, st.other,
 			st.p50.Round(time.Microsecond), st.p99.Round(time.Microsecond))
 	}
@@ -329,11 +472,11 @@ func reportCapacity(steps []capStep) {
 			if st.shed == 0 {
 				why = fmt.Sprintf("p99 %v > 3x baseline %v", st.p99.Round(time.Microsecond), base.Round(time.Microsecond))
 			}
-			fmt.Printf("capacity knee: ~%.0f offered qps (%s); plan below this rate\n", st.offered, why)
+			logf("capacity knee: ~%.0f offered qps (%s); plan below this rate", st.offered, why)
 			return
 		}
 	}
-	fmt.Printf("no knee within sweep: clean through %.0f offered qps; raise -qps to find saturation\n",
+	logf("no knee within sweep: clean through %.0f offered qps; raise -qps to find saturation",
 		steps[len(steps)-1].offered)
 }
 
@@ -344,7 +487,7 @@ func newZipf(rng *rand.Rand, s float64, rows uint64) *rand.Zipf {
 	return rand.NewZipf(rng, s, 1, rows-1)
 }
 
-func body(rng *rand.Rand, z *rand.Zipf, q int, rows, off uint64, op, pri string, timeoutMS int) []byte {
+func drawIndices(rng *rand.Rand, z *rand.Zipf, q int, rows, off uint64) []uint64 {
 	seen := make(map[uint64]struct{}, q)
 	idx := make([]uint64, 0, q)
 	for len(idx) < q {
@@ -361,8 +504,7 @@ func body(rng *rand.Rand, z *rand.Zipf, q int, rows, off uint64, op, pri string,
 		seen[v] = struct{}{}
 		idx = append(idx, v)
 	}
-	b, _ := json.Marshal(lookupRequest{Indices: idx, Op: op, Priority: pri, TimeoutMS: timeoutMS})
-	return b
+	return idx
 }
 
 // splitmix64 is the standard 64-bit finalizer: a cheap, well-mixed hash
@@ -424,21 +566,21 @@ func report(outcomes []outcome, elapsed time.Duration, qps float64) {
 			retries += o.retries
 		}
 	}
-	fmt.Printf("sent %d in %v: %d ok, %d overload (503), %d deadline (504), %d other\n",
+	logf("sent %d in %v: %d ok, %d overload (503), %d deadline (504), %d other",
 		len(outcomes), elapsed.Round(time.Millisecond), ok, overload, deadline, errs)
 	if degraded > 0 || retried > 0 {
-		fmt.Printf("robustness: %d degraded (200 with partial or failed-over results), %d requests retried %d 503s\n",
+		logf("robustness: %d degraded (200 with partial or failed-over results), %d requests retried %d 503s",
 			degraded, retried, retries)
 	}
 	if qps > 0 {
-		fmt.Printf("offered %.0f qps, achieved %.0f qps\n", qps, float64(ok)/elapsed.Seconds())
+		logf("offered %.0f qps, achieved %.0f qps", qps, float64(ok)/elapsed.Seconds())
 	} else {
-		fmt.Printf("achieved %.0f requests/sec\n", float64(ok)/elapsed.Seconds())
+		logf("achieved %.0f requests/sec", float64(ok)/elapsed.Seconds())
 	}
 	if len(lat) > 0 {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
-		fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v\n",
+		logf("latency p50 %v  p95 %v  p99 %v  max %v",
 			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 			pct(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
 	}
@@ -486,7 +628,7 @@ func reportLanes(outcomes []outcome) {
 			line += fmt.Sprintf("  p50 %v  p99 %v",
 				pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 		}
-		fmt.Println(line)
+		logf("%s", line)
 	}
 }
 
@@ -510,16 +652,16 @@ func scrape(client *http.Client, base string, dump bool) error {
 	reads := vals["fafnir_serve_dram_reads_total"]
 	naive := vals["fafnir_serve_naive_reads_total"]
 	if queries > 0 && batches > 0 {
-		fmt.Printf("server: %.0f queries in %.0f batches (coalesce factor %.2f), %.2f reads/query (naive %.2f, saved %.0f%%)\n",
+		logf("server: %.0f queries in %.0f batches (coalesce factor %.2f), %.2f reads/query (naive %.2f, saved %.0f%%)",
 			queries, batches, queries/batches, reads/queries, naive/queries,
 			100*(1-reads/naive))
 	}
 	if d := vals["fafnir_serve_degraded_total"]; d > 0 {
-		fmt.Printf("server: %.0f degraded responses from %.0f degraded batches\n",
+		logf("server: %.0f degraded responses from %.0f degraded batches",
 			d, vals["fafnir_serve_degraded_batches_total"])
 	}
 	if hits, misses := vals["fafnir_cache_hits_total"], vals["fafnir_cache_misses_total"]; hits+misses > 0 {
-		fmt.Printf("server: cache %.0f hits / %.0f misses (hit ratio %.2f), %.0f evictions, %.0f resident bytes\n",
+		logf("server: cache %.0f hits / %.0f misses (hit ratio %.2f), %.0f evictions, %.0f resident bytes",
 			hits, misses, hits/(hits+misses), vals["fafnir_cache_evictions_total"],
 			vals["fafnir_cache_resident_bytes"])
 	}
@@ -527,12 +669,12 @@ func scrape(client *http.Client, base string, dump bool) error {
 		vals[`fafnir_serve_shed_total{lane="normal"}`],
 		vals[`fafnir_serve_shed_total{lane="low"}`]
 	if sh+sn+sl > 0 {
-		fmt.Printf("server: shed high=%.0f normal=%.0f low=%.0f\n", sh, sn, sl)
+		logf("server: shed high=%.0f normal=%.0f low=%.0f", sh, sn, sl)
 	}
 	rollup(vals, "fafnir_federation_fleet_lookups_total", "fleet", "fleet lookups")
 	rollup(vals, "fafnir_router_shard_lookups_total", "shard", "shard lookups")
 	if c := vals["fafnir_rnet_combines_total"]; c > 0 {
-		fmt.Printf("server: rnet combine — %.0f switch combines in %.0f fires, %.0f link hops, last critical path %.0f cycles\n",
+		logf("server: rnet combine — %.0f switch combines in %.0f fires, %.0f link hops, last critical path %.0f cycles",
 			c, vals["fafnir_rnet_switch_fires_total"], vals["fafnir_rnet_link_transfers_total"],
 			vals["fafnir_rnet_critical_path_cycles"])
 	}
@@ -585,7 +727,7 @@ func rollup(vals map[string]float64, family, label, what string) {
 		line += fmt.Sprintf(", imbalance %.2fx (%s %d hottest, %s %d coldest)",
 			maxM.v/minM.v, label, maxM.id, label, minM.id)
 	}
-	fmt.Println(line)
+	logf("%s", line)
 }
 
 // parseMetrics reads sample lines of the Prometheus text format. Unlabelled

@@ -19,6 +19,8 @@
 //	POST /v1/lookup   {"indices":[1,2,3]} or {"queries":[[1,2],[3]],"op":"sum"}
 //	GET  /metrics     Prometheus text format
 //	GET  /healthz     ok / draining
+//	GET  /debug/slo   SLO flight recorder snapshot: per-lane burn rates plus
+//	                  the K slowest and degraded requests (JSON)
 //
 // SIGINT/SIGTERM drains gracefully: the listener stops, queued and in-flight
 // batches finish, then the process exits 0.
@@ -35,6 +37,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,8 +73,19 @@ func run() error {
 		qos       = flag.Bool("qos", false, "enable priority lanes: shed-low-first admission and deadline-aware scheduling")
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
 		debugAddr = flag.String("debug-addr", "", "optional debug listener serving /debug/pprof and /debug/vars (off when empty)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		slo       = flag.String("slo", "", `per-lane latency objectives, e.g. "high=50ms,normal=250ms,low=1s" (empty keeps the defaults)`)
 	)
 	flag.Parse()
+
+	logger, err := fafnir.NewLogger(os.Stdout, *logFormat)
+	if err != nil {
+		return err
+	}
+	objectives, err := parseSLO(*slo)
+	if err != nil {
+		return err
+	}
 
 	scfg := fafnir.ServeConfig{
 		BatchCapacity:  *batch,
@@ -81,6 +95,7 @@ func run() error {
 		CacheBytes:     int64(*cacheMB) << 20,
 		CacheSeed:      *cacheSeed,
 		QoS:            *qos,
+		SLOObjectives:  objectives,
 	}
 
 	var (
@@ -175,8 +190,9 @@ func run() error {
 		return err
 	}
 	// The literal "listening on host:port" line is the startup handshake:
-	// scripts (check.sh's smoke gate) parse the chosen port from it.
-	fmt.Printf("listening on %s\n", ln.Addr())
+	// scripts (check.sh's smoke gate) parse the chosen port from it. The
+	// logger's text mode renders it byte-identically to the old Printf.
+	logger.Infof("listening on %s", ln.Addr())
 	cacheInfo := "off"
 	if *cacheMB > 0 {
 		cacheInfo = fmt.Sprintf("%d MiB", *cacheMB)
@@ -185,7 +201,7 @@ func run() error {
 	if *qos {
 		qosInfo = "on"
 	}
-	fmt.Printf("%s, %d vectors, batch capacity %d, linger %v, queue bound %d, cache %s, qos %s\n",
+	logger.Infof("%s, %d vectors, batch capacity %d, linger %v, queue bound %d, cache %s, qos %s",
 		topology, totalRows, *batch, *linger, srv.Coalescer().Config().MaxQueued, cacheInfo, qosInfo)
 
 	// The debug listener is a separate socket so profiling endpoints never
@@ -203,7 +219,7 @@ func run() error {
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("/debug/vars", expvar.Handler())
-		fmt.Printf("debug listening on %s\n", dln.Addr())
+		logger.Infof("debug listening on %s", dln.Addr())
 		go http.Serve(dln, dmux)
 	}
 
@@ -219,7 +235,7 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	fmt.Println("draining...")
+	logger.Infof("draining...")
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(dctx); err != nil {
@@ -232,7 +248,36 @@ func run() error {
 		return err
 	}
 	m := srv.Metrics()
-	fmt.Printf("drained cleanly: %d queries in %d batches (coalesce factor %.2f, %.2f reads/query)\n",
+	logger.Infof("drained cleanly: %d queries in %d batches (coalesce factor %.2f, %.2f reads/query)",
 		m.Queries.Value(), m.Batches.Value(), m.CoalesceFactor(), m.ReadsPerQuery())
 	return nil
+}
+
+// parseSLO parses the -slo flag: comma-separated lane=duration clauses, e.g.
+// "high=50ms,normal=250ms,low=1s". Lanes left out keep the serving layer's
+// defaults; an empty flag keeps all of them.
+func parseSLO(s string) (map[fafnir.Priority]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := make(map[fafnir.Priority]time.Duration)
+	for _, clause := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(clause), "=")
+		if !ok {
+			return nil, fmt.Errorf(`bad -slo clause %q (want lane=duration, e.g. "high=50ms")`, clause)
+		}
+		pri, err := fafnir.ParsePriority(strings.TrimSpace(k))
+		if err != nil {
+			return nil, fmt.Errorf("bad -slo lane in %q: %w", clause, err)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(v))
+		if err != nil {
+			return nil, fmt.Errorf("bad -slo duration in %q: %w", clause, err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("bad -slo duration in %q: must be positive", clause)
+		}
+		m[pri] = d
+	}
+	return m, nil
 }

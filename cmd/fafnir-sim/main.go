@@ -49,12 +49,18 @@ func main() {
 		seed   = flag.Int64("seed", 1, "workload seed")
 		matrix = flag.String("matrix", "banded", "spmv: banded|graph|uniform")
 		size     = flag.Int("size", 8192, "spmv: matrix dimension")
-		faults   = flag.String("faults", "", `lookup (fafnir): fault plan, e.g. "rank=3@0;ecc=0.001;stall=5+200;seed=9"`)
-		traceOut = flag.String("trace-out", "", "lookup: write a Chrome trace-event JSON file of the run (load at ui.perfetto.dev)")
+		faults    = flag.String("faults", "", `lookup (fafnir): fault plan, e.g. "rank=3@0;ecc=0.001;stall=5+200;seed=9"`)
+		traceOut  = flag.String("trace-out", "", "lookup: write a Chrome trace-event JSON file of the run (load at ui.perfetto.dev)")
+		logFormat = flag.String("log-format", "text", "summary output format: text or json")
 	)
 	flag.Parse()
 
-	var err error
+	l, err := telemetry.NewLogger(os.Stdout, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fafnir-sim:", err)
+		os.Exit(1)
+	}
+	logger = l
 	if *traceOut != "" && *mode != "lookup" {
 		err = fmt.Errorf("-trace-out is only supported in lookup mode, not %q", *mode)
 		fmt.Fprintln(os.Stderr, "fafnir-sim:", err)
@@ -77,6 +83,13 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// logger carries the -log-format choice to every summary line; the text
+// format renders each line byte-identically to the fmt.Printf output it
+// replaced, so scripted consumers keep working.
+var logger *telemetry.Logger
+
+func logf(format string, args ...any) { logger.Infof(format, args...) }
 
 func usSeconds(c sim.Cycle) float64 { return sim.Seconds(c, 200) * 1e6 }
 
@@ -115,7 +128,7 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 	b := gen.Batch(tensor.OpSum)
 	golden := b.MustGolden(store)
 
-	fmt.Printf("embedding lookup: engine=%s batch=%d q=%d dedup=%v\n", engine, batchN, q, dedup)
+	logf("embedding lookup: engine=%s batch=%d q=%d dedup=%v", engine, batchN, q, dedup)
 	switch engine {
 	case "interactive":
 		e, err := fafnir.NewEngine(fafnir.Default())
@@ -126,9 +139,9 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  memory   %8.2f us  (%d reads, no dedup in interactive mode)\n", usSeconds(res.MemCycles), res.MemoryReads)
-		fmt.Printf("  compute  %8.2f us  (comparison-free stage)\n", usSeconds(res.ComputeCycles))
-		fmt.Printf("  total    %8.2f us  (%d queries served one at a time)\n", usSeconds(res.TotalCycles), res.HWBatches)
+		logf("  memory   %8.2f us  (%d reads, no dedup in interactive mode)", usSeconds(res.MemCycles), res.MemoryReads)
+		logf("  compute  %8.2f us  (comparison-free stage)", usSeconds(res.ComputeCycles))
+		logf("  total    %8.2f us  (%d queries served one at a time)", usSeconds(res.TotalCycles), res.HWBatches)
 		if i := fafnir.VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
 			return fmt.Errorf("query %d mismatches golden", i)
 		}
@@ -152,15 +165,15 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  memory   %8.2f us  (%d reads, %d bytes)\n", usSeconds(res.MemCycles), res.MemoryReads, res.BytesRead)
-		fmt.Printf("  compute  %8.2f us  (tree of %d PEs, max occupancy %d)\n",
+		logf("  memory   %8.2f us  (%d reads, %d bytes)", usSeconds(res.MemCycles), res.MemoryReads, res.BytesRead)
+		logf("  compute  %8.2f us  (tree of %d PEs, max occupancy %d)",
 			usSeconds(res.ComputeCycles), e.Tree().NumPEs(), res.MaxOccupancy)
-		fmt.Printf("  transfer %8.2f us\n", usSeconds(res.TransferCycles))
-		fmt.Printf("  total    %8.2f us\n", usSeconds(res.TotalCycles))
-		fmt.Printf("  PE actions: %d reduces, %d forwards, %d merged duplicates\n",
+		logf("  transfer %8.2f us", usSeconds(res.TransferCycles))
+		logf("  total    %8.2f us", usSeconds(res.TotalCycles))
+		logf("  PE actions: %d reduces, %d forwards, %d merged duplicates",
 			res.PETotals.Reduces, res.PETotals.Forwards, res.PETotals.MergedDuplicates)
 		if d := res.Degraded; d != nil {
-			fmt.Printf("  degraded: ranks dark %v, %d reads remapped (%d queries), %d retries costing %d mem cycles\n",
+			logf("  degraded: ranks dark %v, %d reads remapped (%d queries), %d retries costing %d mem cycles",
 				d.FailedRanks, d.RemappedReads, d.RemappedQueries, d.Retries, d.RetryCycles)
 		}
 		if i := fafnir.VerifyAgainstGolden(res.Outputs, golden, 1e-3); i >= 0 {
@@ -175,11 +188,11 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  memory    %8.2f us  (%d reads, %d cache hits)\n", usSeconds(res.MemCycles), res.MemoryReads, res.CacheHits)
-		fmt.Printf("  NDP       %8.2f us  (%d reduced at NDP, %d forwarded raw, NDP fraction %.0f%%)\n",
+		logf("  memory    %8.2f us  (%d reads, %d cache hits)", usSeconds(res.MemCycles), res.MemoryReads, res.CacheHits)
+		logf("  NDP       %8.2f us  (%d reduced at NDP, %d forwarded raw, NDP fraction %.0f%%)",
 			usSeconds(res.NDPComputeCycles), res.ReducedAtNDP, res.ForwardedRaw, 100*res.NDPFraction())
-		fmt.Printf("  host      %8.2f us\n", usSeconds(res.HostComputeCycles))
-		fmt.Printf("  total     %8.2f us\n", usSeconds(res.TotalCycles))
+		logf("  host      %8.2f us", usSeconds(res.HostComputeCycles))
+		logf("  total     %8.2f us", usSeconds(res.TotalCycles))
 	case "tensordimm":
 		e, err := tensordimm.NewEngine(tensordimm.Default())
 		if err != nil {
@@ -189,9 +202,9 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  memory   %8.2f us  (%d slice reads)\n", usSeconds(res.MemCycles), res.MemoryReads)
-		fmt.Printf("  compute  %8.2f us\n", usSeconds(res.ComputeCycles))
-		fmt.Printf("  total    %8.2f us\n", usSeconds(res.TotalCycles))
+		logf("  memory   %8.2f us  (%d slice reads)", usSeconds(res.MemCycles), res.MemoryReads)
+		logf("  compute  %8.2f us", usSeconds(res.ComputeCycles))
+		logf("  total    %8.2f us", usSeconds(res.TotalCycles))
 	case "cpu":
 		e, err := cpu.NewEngine(cpu.Default())
 		if err != nil {
@@ -201,22 +214,22 @@ func runLookup(engine string, batchN, q, rowsPer int, zipf float64, dedup bool, 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  memory   %8.2f us  (%d reads, %d bytes to host)\n", usSeconds(res.MemCycles), res.MemoryReads, res.BytesToHost)
-		fmt.Printf("  compute  %8.2f us\n", usSeconds(res.ComputeCycles))
-		fmt.Printf("  total    %8.2f us\n", usSeconds(res.TotalCycles))
+		logf("  memory   %8.2f us  (%d reads, %d bytes to host)", usSeconds(res.MemCycles), res.MemoryReads, res.BytesToHost)
+		logf("  compute  %8.2f us", usSeconds(res.ComputeCycles))
+		logf("  total    %8.2f us", usSeconds(res.TotalCycles))
 	default:
 		return fmt.Errorf("unknown lookup engine %q", engine)
 	}
-	fmt.Printf("  row buffer: %d hits, %d misses, %d conflicts\n",
+	logf("  row buffer: %d hits, %d misses, %d conflicts",
 		mem.Stats().Counter("dram.row_hits"),
 		mem.Stats().Counter("dram.row_misses"),
 		mem.Stats().Counter("dram.row_conflicts"))
-	fmt.Println("  functional result verified against golden reference")
+	logf("  functional result verified against golden reference")
 	if tr != nil {
 		if err := tr.WriteChromeFile(traceOut); err != nil {
 			return err
 		}
-		fmt.Printf("  trace: %d events written to %s (open at ui.perfetto.dev)\n", tr.Len(), traceOut)
+		logf("  trace: %d events written to %s (open at ui.perfetto.dev)", tr.Len(), traceOut)
 	}
 	return nil
 }
@@ -246,28 +259,28 @@ func runGraph(algo string, size int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph %s: %d nodes, %d edges (power-law), SpMVs on the Fafnir tree\n", algo, g.Nodes(), g.Edges())
+	logf("graph %s: %d nodes, %d edges (power-law), SpMVs on the Fafnir tree", algo, g.Nodes(), g.Edges())
 	switch algo {
 	case "bfs":
 		res, err := g.BFS(0, mul)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  reached %d vertices in %d frontiers (%.1f us on Fafnir)\n",
+		logf("  reached %d vertices in %d frontiers (%.1f us on Fafnir)",
 			res.Reached, res.Frontiers, usSeconds(res.SpMVCycles))
 	case "pagerank":
 		res, err := g.PageRank(0.85, 1e-4, 100, mul)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  converged=%v after %d iterations, delta %.2e (%.1f us on Fafnir)\n",
+		logf("  converged=%v after %d iterations, delta %.2e (%.1f us on Fafnir)",
 			res.Converged, res.Iterations, res.Delta, usSeconds(res.SpMVCycles))
 	case "cc":
 		res, err := g.ConnectedComponents(mul)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %d components after %d rounds (%.1f us on Fafnir)\n",
+		logf("  %d components after %d rounds (%.1f us on Fafnir)",
 			res.Count, res.Iterations, usSeconds(res.SpMVCycles))
 	default:
 		return fmt.Errorf("unknown graph algorithm %q", algo)
@@ -287,7 +300,7 @@ func runSolver(algo string, size int, seed int64) error {
 		return err
 	}
 	opts := solver.Options{MaxIterations: 500, Tolerance: 1e-2}
-	fmt.Printf("solver %s: %dx%d SPD system (nnz %d), SpMVs on the Fafnir tree\n", algo, size, size, a.NNZ())
+	logf("solver %s: %dx%d SPD system (nnz %d), SpMVs on the Fafnir tree", algo, size, size, a.NNZ())
 	var res *solver.Result
 	switch algo {
 	case "jacobi":
@@ -300,7 +313,7 @@ func runSolver(algo string, size int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  converged=%v after %d iterations, residual %.3g (%d SpMVs, %.1f us on Fafnir)\n",
+	logf("  converged=%v after %d iterations, residual %.3g (%d SpMVs, %.1f us on Fafnir)",
 		res.Converged, res.Iterations, res.Residual, res.SpMVCount, usSeconds(res.SpMVCycles))
 	return nil
 }
@@ -324,7 +337,7 @@ func runSpMV(engine, matrix string, size int, seed int64) error {
 	}
 	mem := dram.MustSystem(dram.DDR4())
 
-	fmt.Printf("SpMV: engine=%s matrix=%s %dx%d nnz=%d density=%.2e\n",
+	logf("SpMV: engine=%s matrix=%s %dx%d nnz=%d density=%.2e",
 		engine, matrix, m.Rows, m.Cols, m.NNZ(), m.Density())
 	switch engine {
 	case "fafnir":
@@ -336,10 +349,10 @@ func runSpMV(engine, matrix string, size int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  plan: %s\n", res.Plan)
-		fmt.Printf("  multiply %8.2f us\n", usSeconds(res.MultiplyCycles))
-		fmt.Printf("  merge    %8.2f us\n", usSeconds(res.MergeCycles))
-		fmt.Printf("  total    %8.2f us  (%d elements streamed)\n", usSeconds(res.TotalCycles), res.ElementsStreamed)
+		logf("  plan: %s", res.Plan)
+		logf("  multiply %8.2f us", usSeconds(res.MultiplyCycles))
+		logf("  merge    %8.2f us", usSeconds(res.MergeCycles))
+		logf("  total    %8.2f us  (%d elements streamed)", usSeconds(res.TotalCycles), res.ElementsStreamed)
 		if !res.Y.Equal(want) {
 			return fmt.Errorf("result mismatches reference SpMV")
 		}
@@ -352,15 +365,15 @@ func runSpMV(engine, matrix string, size int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  step 1   %8.2f us\n", usSeconds(res.Step1Cycles))
-		fmt.Printf("  merge    %8.2f us\n", usSeconds(res.MergeCycles))
-		fmt.Printf("  total    %8.2f us  (%d elements streamed)\n", usSeconds(res.TotalCycles), res.ElementsStreamed)
+		logf("  step 1   %8.2f us", usSeconds(res.Step1Cycles))
+		logf("  merge    %8.2f us", usSeconds(res.MergeCycles))
+		logf("  total    %8.2f us  (%d elements streamed)", usSeconds(res.TotalCycles), res.ElementsStreamed)
 		if !res.Y.Equal(want) {
 			return fmt.Errorf("result mismatches reference SpMV")
 		}
 	default:
 		return fmt.Errorf("unknown spmv engine %q", engine)
 	}
-	fmt.Println("  functional result verified against reference SpMV")
+	logf("  functional result verified against reference SpMV")
 	return nil
 }

@@ -8,6 +8,7 @@
 //	fafnir-trace run -engine fafnir workload.json
 //	fafnir-trace run -engine recnmp workload.json
 //	fafnir-trace validate run-trace.json   # checks a fafnir-sim -trace-out file
+//	fafnir-trace report run-trace.json     # critical-path latency attribution
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fail(fmt.Errorf("usage: fafnir-trace gen|stats|run|validate ..."))
+		fail(fmt.Errorf("usage: fafnir-trace gen|stats|run|validate|report ..."))
 	}
 	var err error
 	switch os.Args[1] {
@@ -40,6 +41,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}

@@ -48,6 +48,10 @@ type Engine struct {
 	// tracer receives timing events when attached (see trace.go); nil — the
 	// default — costs one pointer check per hardware batch.
 	tracer telemetry.Tracer
+	// spanCtx is the parent span ID for request-linked tracing: when the
+	// serving layer sets it (see SetSpanContext), every hw_batch span derives
+	// its own ID from it and carries the parentage as span/parent args.
+	spanCtx uint64
 	// stallHook, when non-nil, is called by every scheduler worker before it
 	// evaluates a node. Tests use it to inject adversarial scheduling delays;
 	// nil in production.
@@ -98,9 +102,37 @@ type TimedResult struct {
 	TotalCycles sim.Cycle
 	// BytesRead is the DRAM traffic of the batch.
 	BytesRead uint64
+	// Stages attributes TotalCycles to named pipeline stages; every timed
+	// path fills it so that Stages.Sum() == TotalCycles exactly.
+	Stages StageCycles
 	// Degraded reports the graceful-degradation work of a fault-injected run;
 	// nil for a fault-free run.
 	Degraded *DegradedReport
+}
+
+// StageCycles is the exact latency attribution of one timed lookup: every
+// producer (the single-system engine, the fleet router, the federation)
+// splits its TotalCycles across these five stages so the parts sum to the
+// whole with no remainder. Cycle counts are in the producer's clock domain
+// (the 200 MHz PE/router clock everywhere in this repository).
+type StageCycles struct {
+	// Probe is breaker health-probe time ahead of dispatch (fleet only).
+	Probe sim.Cycle
+	// Backend is gather + reduce time inside the engines (for a fleet, the
+	// slowest healthy shard window; for a federation, the slowest member).
+	Backend sim.Cycle
+	// Failover is serial replay time on replica shards after primary failures.
+	Failover sim.Cycle
+	// Combine is partial-output combining: the host fold or the rnet switch
+	// tree's critical path beyond the moment the leaves were ready.
+	Combine sim.Cycle
+	// Transfer is the final root/combine-to-host transfer of the outputs.
+	Transfer sim.Cycle
+}
+
+// Sum is the five-way total; producers maintain Sum() == TotalCycles.
+func (s StageCycles) Sum() sim.Cycle {
+	return s.Probe + s.Backend + s.Failover + s.Combine + s.Transfer
 }
 
 // DegradedReport quantifies how much graceful-degradation work a
@@ -751,6 +783,15 @@ func (e *Engine) timedLookup(store *embedding.Store, layout Placement, mem *dram
 	if faulted {
 		deg.FailedRanks = inj.FailedRanks(clock)
 	}
+	// Stage attribution: a single-system lookup is gather+reduce plus the
+	// final host transfer. TransferCycles accumulates per hardware batch while
+	// TotalCycles is the absolute end time, so clamp defensively to keep the
+	// Sum() == TotalCycles invariant even in pathological many-batch shapes.
+	xferStage := res.TransferCycles
+	if xferStage > res.TotalCycles {
+		xferStage = res.TotalCycles
+	}
+	res.Stages = StageCycles{Backend: res.TotalCycles - xferStage, Transfer: xferStage}
 	return res, nil
 }
 
@@ -867,5 +908,8 @@ func (e *Engine) InteractiveLookup(store *embedding.Store, layout Placement, mem
 		res.HWBatches++
 		clock = memDone
 	}
+	// Interactive mode folds the per-query transfer into TotalCycles without
+	// tracking it separately, so the whole latency attributes to the backend.
+	res.Stages = StageCycles{Backend: res.TotalCycles}
 	return res, nil
 }

@@ -40,6 +40,13 @@ func (e *Engine) AttachTracer(t telemetry.Tracer) {
 // Tracer returns the attached tracer (nil when none).
 func (e *Engine) Tracer() telemetry.Tracer { return e.tracer }
 
+// SetSpanContext installs the parent span ID that subsequent hw_batch spans
+// link under (0 detaches). The serving layer sets it to the flush span's ID
+// before each Lookup so a request's spans form one parent-linked chain from
+// the HTTP enqueue down to the hardware batch. The context only annotates
+// events — it never perturbs timing.
+func (e *Engine) SetSpanContext(parent uint64) { e.spanCtx = parent }
+
 // traceBatch emits the events of one timed hardware batch: the batch-level
 // span on the engine lane and one stage span per PE, with Table IV action
 // sub-spans. issue is the batch's read-issue time in the memory clock;
@@ -60,6 +67,8 @@ func (e *Engine) traceBatch(k, reads, queries int, issue sim.Cycle, leafReady, r
 	ev.AddArg(telemetry.Arg{Key: "batch", Int: int64(k)})
 	ev.AddArg(telemetry.Arg{Key: "reads", Int: int64(reads)})
 	ev.AddArg(telemetry.Arg{Key: "queries", Int: int64(queries)})
+	ev.AddArg(telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(telemetry.SpanID(e.spanCtx, "hw_batch", uint64(k)))})
+	ev.AddArg(telemetry.Arg{Key: telemetry.ArgParent, Int: int64(e.spanCtx)})
 	e.tracer.Emit(ev)
 
 	lat := e.cfg.Latency

@@ -108,22 +108,43 @@ func TestTraceValidatesAndCoversLanes(t *testing.T) {
 }
 
 // TestTracedMatchesUntraced pins the observational contract: attaching a
-// tracer must not change outputs, statistics, or a single cycle.
+// tracer must not change outputs, statistics, or a single cycle — at every
+// worker-pool width, fault-free and faulted.
 func TestTracedMatchesUntraced(t *testing.T) {
 	store, b := detWorkload(t, 96)
 	pl := modPlacement{ranks: 32, bytes: 64}
 
-	plain := parEngine(t, 1)
-	want, err := plain.TimedLookup(store, pl, dram.MustSystem(dram.DDR4()), b, true)
-	if err != nil {
-		t.Fatal(err)
-	}
+	for _, faults := range []string{"", "ecc=0.005;stall=5+200;seed=9"} {
+		for _, par := range parallelismLevels() {
+			plain := parEngine(t, par)
+			var inj *fault.Injector
+			if faults != "" {
+				plan, err := fault.Parse(faults)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if inj, err = fault.NewInjector(plan, dram.DDR4().TotalRanks()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := plain.TimedLookupFaulted(store, pl, dram.MustSystem(dram.DDR4()), b, true, inj)
+			if err != nil {
+				t.Fatal(err)
+			}
 
-	_, got := tracedRun(t, 1, "")
-	if got.TotalCycles != want.TotalCycles || got.MemCycles != want.MemCycles ||
-		got.ComputeCycles != want.ComputeCycles || got.PETotals != want.PETotals ||
-		got.MemoryReads != want.MemoryReads {
-		t.Fatalf("traced run diverges from untraced: %+v vs %+v", got, want)
+			_, got := tracedRun(t, par, faults)
+			if got.TotalCycles != want.TotalCycles || got.MemCycles != want.MemCycles ||
+				got.ComputeCycles != want.ComputeCycles || got.PETotals != want.PETotals ||
+				got.MemoryReads != want.MemoryReads {
+				t.Fatalf("faults=%q Parallelism=%d: traced run diverges from untraced: %+v vs %+v",
+					faults, par, got, want)
+			}
+			for q := range want.Outputs {
+				if !want.Outputs[q].Equal(got.Outputs[q]) {
+					t.Fatalf("faults=%q Parallelism=%d: output %d diverges bitwise", faults, par, q)
+				}
+			}
+		}
 	}
 }
 

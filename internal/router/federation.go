@@ -96,7 +96,10 @@ type Federation struct {
 	rtree  *rnet.Tree
 	clock  sim.Cycle
 	tracer telemetry.Tracer
-	m      *fedMetrics
+	// spanCtx is the parent span ID for request-linked tracing; see
+	// Fleet.SetSpanContext.
+	spanCtx uint64
+	m       *fedMetrics
 }
 
 // NewFederation builds the federation: Fleets member fleets from the shared
@@ -218,6 +221,10 @@ func (fd *Federation) AttachTracer(t telemetry.Tracer) {
 	}
 }
 
+// SetSpanContext installs the parent span ID that subsequent batch spans
+// link under (0 detaches). Annotation only — timing is never perturbed.
+func (fd *Federation) SetSpanContext(parent uint64) { fd.spanCtx = parent }
+
 // Lookup scatters the batch across the member fleets, runs every owning
 // fleet's sub-batch (concurrently up to the template's Parallelism; folded
 // in fleet order), reduces the fleet partials through the cross-fleet rnet
@@ -234,6 +241,9 @@ func (fd *Federation) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 	}
 	m := fd.cfg.Fleets
 	dim := fd.Dim()
+	// Span parentage for request-linked tracing (0 when standalone).
+	ctx := fd.spanCtx
+	combineID := telemetry.SpanID(ctx, "combine", 0)
 	op := b.Op
 	subOp := op
 	if op == tensor.OpMean {
@@ -316,6 +326,7 @@ func (fd *Federation) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 	// poison min/max pooling — so losses mark their slot absent.
 	deg := &core.DegradedReport{}
 	leaves := make([]*rnet.Partial, m)
+	var maxMember sim.Cycle // slowest member completion, the backend stage
 	for fm := 0; fm < m; fm++ {
 		if len(subs[fm].Queries) == 0 {
 			continue
@@ -347,7 +358,8 @@ func (fd *Federation) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 			pool[ref.query] = out
 		}
 		leaves[fm] = &rnet.Partial{Vectors: pool, Ready: r.TotalCycles}
-		fd.emitFleetSpan(fm, r)
+		maxMember = sim.Max(maxMember, r.TotalCycles)
+		fd.emitFleetSpan(fm, r, ctx)
 
 		res.MemoryReads += r.MemoryReads
 		res.BytesRead += r.BytesRead
@@ -399,8 +411,20 @@ func (fd *Federation) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 	res.TransferCycles = xfer
 	res.TotalCycles = rres.CriticalPath + xfer
 	res.ComputeCycles = res.TotalCycles - res.MemCycles - xfer
+	// Stage attribution: the slowest member's completion is the backend
+	// window; what the cross-fleet tree's critical path adds beyond it is the
+	// combine stage. Leaf readiness bounds the critical path from below, so
+	// the subtraction cannot underflow; the else arm is defensive.
+	backendStage := maxMember
+	var combineStage sim.Cycle
+	if rres.CriticalPath >= maxMember {
+		combineStage = rres.CriticalPath - maxMember
+	} else {
+		backendStage = rres.CriticalPath
+	}
+	res.Stages = core.StageCycles{Backend: backendStage, Combine: combineStage, Transfer: xfer}
 	fd.countBatch(rres)
-	fd.emitRnetSpans(fd.clock, rres)
+	fd.emitRnetSpans(fd.clock, rres, combineID)
 	fd.clock += res.TotalCycles
 
 	if !deg.Empty() {
@@ -420,8 +444,8 @@ func (fd *Federation) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 }
 
 // emitFleetSpan records one member fleet's lookup window on the federation
-// timeline.
-func (fd *Federation) emitFleetSpan(fm int, r *core.TimedResult) {
+// timeline, span-linked under the batch's request context.
+func (fd *Federation) emitFleetSpan(fm int, r *core.TimedResult, parent uint64) {
 	if fd.tracer == nil {
 		return
 	}
@@ -431,11 +455,14 @@ func (fd *Federation) emitFleetSpan(fm int, r *core.TimedResult) {
 		TS: uint64(fd.clock), Dur: uint64(r.TotalCycles), ClockMHz: 200,
 	}
 	ev.AddArg(telemetry.Arg{Key: "degraded", Int: int64(boolInt(!r.Degraded.Empty()))})
+	ev.AddArg(telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(telemetry.SpanID(parent, "fleet.lookup", uint64(fm)))})
+	ev.AddArg(telemetry.Arg{Key: telemetry.ArgParent, Int: int64(parent)})
 	fd.tracer.Emit(ev)
 }
 
-// emitRnetSpans mirrors Fleet.emitRnetSpans for the cross-fleet tree.
-func (fd *Federation) emitRnetSpans(base sim.Cycle, r *rnet.Result) {
+// emitRnetSpans mirrors Fleet.emitRnetSpans for the cross-fleet tree; spans
+// link under the batch's combine span.
+func (fd *Federation) emitRnetSpans(base sim.Cycle, r *rnet.Result, parent uint64) {
 	if fd.tracer == nil {
 		return
 	}
@@ -450,6 +477,8 @@ func (fd *Federation) emitRnetSpans(base sim.Cycle, r *rnet.Result) {
 		if sp.Missing > 0 {
 			ev.AddArg(telemetry.Arg{Key: "missing_children", Int: int64(sp.Missing)})
 		}
+		ev.AddArg(telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(telemetry.SpanID(parent, "fleet-switch", uint64(sp.Node)))})
+		ev.AddArg(telemetry.Arg{Key: telemetry.ArgParent, Int: int64(parent)})
 		fd.tracer.Emit(ev)
 	}
 }

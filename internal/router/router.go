@@ -200,7 +200,12 @@ type Fleet struct {
 	rtree    *rnet.Tree // nil on the legacy host-fold path (Rnet.Radix 0)
 	clock    sim.Cycle
 	tracer   telemetry.Tracer
-	m        *Metrics
+	// spanCtx is the parent span ID for request-linked tracing: the serving
+	// layer sets it to the flush span's ID before each Lookup (see
+	// SetSpanContext) so shard, failover, combine, and switch spans chain
+	// under the request that paid for them.
+	spanCtx uint64
+	m       *Metrics
 }
 
 // New builds the fleet: Shards independent systems over one content-seeded
@@ -411,6 +416,10 @@ func (f *Fleet) AttachTracer(t telemetry.Tracer) {
 	}
 }
 
+// SetSpanContext installs the parent span ID that subsequent batch spans
+// link under (0 detaches). Annotation only — timing is never perturbed.
+func (f *Fleet) SetSpanContext(parent uint64) { f.spanCtx = parent }
+
 // MemoryCounter sums one cumulative memory-system counter across the fleet
 // (e.g. "dram.row_hits"); the serving layer's per-flush attribution works
 // unchanged over a fleet backend.
@@ -502,6 +511,10 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 	start := f.clock
 	n := f.cfg.Shards
 	dim := f.store.Dim()
+	// Span parentage for request-linked tracing: every span this batch emits
+	// links under the installed context (0 when the router runs standalone).
+	ctx := f.spanCtx
+	combineID := telemetry.SpanID(ctx, "combine", 0)
 	res := &core.TimedResult{}
 	res.Outputs = make([]tensor.Vector, len(b.Queries))
 	deg := &core.DegradedReport{}
@@ -533,10 +546,14 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 			f.setShardState(s, Healthy)
 			probeCycles = sim.Max(probeCycles, r.TotalCycles)
 			f.countReopen(s)
-			f.emit("probe.ok", s, telemetry.PhaseInstant, start, 0)
+			f.emit("probe.ok", s, telemetry.PhaseInstant, start, 0,
+				telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(telemetry.SpanID(ctx, "probe", uint64(s)))},
+				telemetry.Arg{Key: telemetry.ArgParent, Int: int64(ctx)})
 		case structuredFault(err):
 			br.onProbeFailure(start)
-			f.emit("probe.fail", s, telemetry.PhaseInstant, start, 0)
+			f.emit("probe.fail", s, telemetry.PhaseInstant, start, 0,
+				telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(telemetry.SpanID(ctx, "probe", uint64(s)))},
+				telemetry.Arg{Key: telemetry.ArgParent, Int: int64(ctx)})
 		default:
 			return nil, err
 		}
@@ -664,7 +681,9 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 			delivered[s] = true
 			shardCycles = sim.Max(shardCycles, a.res.TotalCycles)
 			f.emit("shard.lookup", s, telemetry.PhaseSpan, start+probeCycles, a.res.TotalCycles,
-				telemetry.Arg{Key: "queries", Int: int64(len(subs[s].Queries))})
+				telemetry.Arg{Key: "queries", Int: int64(len(subs[s].Queries))},
+				telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(telemetry.SpanID(ctx, "shard.lookup", uint64(s)))},
+				telemetry.Arg{Key: telemetry.ArgParent, Int: int64(ctx)})
 		case structuredFault(a.err):
 			if !wasDark {
 				f.countFailure(s)
@@ -677,7 +696,9 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 			e.State = f.breakers[s].state.String()
 			e.Err = a.err.Error()
 			failovers = append(failovers, failover{shard: s, cause: a.err})
-			f.emit("shard.fail", s, telemetry.PhaseInstant, start+probeCycles, 0)
+			f.emit("shard.fail", s, telemetry.PhaseInstant, start+probeCycles, 0,
+				telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(telemetry.SpanID(ctx, "shard.fail", uint64(s)))},
+				telemetry.Arg{Key: telemetry.ArgParent, Int: int64(ctx)})
 		default:
 			return nil, a.err
 		}
@@ -717,7 +738,9 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 				delivered[s] = true
 				failoverCycles += r.TotalCycles
 				f.emit("shard.failover", target, telemetry.PhaseSpan, start+probeCycles+shardCycles, r.TotalCycles,
-					telemetry.Arg{Key: "for_shard", Int: int64(s)})
+					telemetry.Arg{Key: "for_shard", Int: int64(s)},
+					telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(telemetry.SpanID(ctx, "shard.failover", uint64(s)))},
+					telemetry.Arg{Key: telemetry.ArgParent, Int: int64(ctx)})
 			case structuredFault(err):
 				f.countFailure(target)
 				if f.breakers[target].onFailure(start) {
@@ -766,8 +789,14 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 		combineCycles := f.host.HandleVectors(combines)
 		xfer = f.cfg.Host.DRAMToHost(f.mcfg.TransferCycles(partials * 512))
 		res.TotalCycles = probeCycles + shardCycles + failoverCycles + combineCycles + xfer
+		res.Stages = core.StageCycles{
+			Probe: probeCycles, Backend: shardCycles, Failover: failoverCycles,
+			Combine: combineCycles, Transfer: xfer,
+		}
 		f.emit("combine", n, telemetry.PhaseSpan, start+probeCycles+shardCycles+failoverCycles, combineCycles+xfer,
-			telemetry.Arg{Key: "partials", Int: int64(partials)})
+			telemetry.Arg{Key: "partials", Int: int64(partials)},
+			telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(combineID)},
+			telemetry.Arg{Key: telemetry.ArgParent, Int: int64(ctx)})
 	} else {
 		leavesIn := make([]*rnet.Partial, n)
 		for s := 0; s < n; s++ {
@@ -791,12 +820,33 @@ func (f *Fleet) Lookup(b embedding.Batch) (*core.TimedResult, error) {
 		// scatter + failover + combine terms wholesale.
 		xfer = f.cfg.Host.DRAMToHost(f.mcfg.TransferCycles(rootQueries * 512))
 		res.TotalCycles = probeCycles + rres.CriticalPath + xfer
+		// The tree's critical path contains the leaf windows (shard scatter
+		// plus serial failovers); what it adds beyond them is the combine
+		// stage. Leaf readiness bounds the critical path from below, so the
+		// subtraction cannot underflow; the else arm is a defensive fold that
+		// preserves the Sum() == TotalCycles invariant regardless.
+		backendStage, failStage := shardCycles, failoverCycles
+		var combineStage sim.Cycle
+		if rres.CriticalPath >= shardCycles+failoverCycles {
+			combineStage = rres.CriticalPath - shardCycles - failoverCycles
+		} else {
+			backendStage, failStage = rres.CriticalPath, 0
+		}
+		res.Stages = core.StageCycles{
+			Probe:    probeCycles,
+			Backend:  backendStage,
+			Failover: failStage,
+			Combine:  combineStage,
+			Transfer: xfer,
+		}
 		f.countRnet(rres)
-		f.emitRnetSpans(start+probeCycles, rres)
+		f.emitRnetSpans(start+probeCycles, rres, combineID)
 		f.emit("combine", n, telemetry.PhaseSpan, start+probeCycles+shardCycles+failoverCycles,
 			res.TotalCycles-(shardCycles+failoverCycles)-probeCycles,
 			telemetry.Arg{Key: "partials", Int: int64(partials)},
-			telemetry.Arg{Key: "switch_fires", Int: int64(rres.Fires)})
+			telemetry.Arg{Key: "switch_fires", Int: int64(rres.Fires)},
+			telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(combineID)},
+			telemetry.Arg{Key: telemetry.ArgParent, Int: int64(ctx)})
 	}
 
 	// Finalize outputs: queries that lost everything (or arrived empty)
@@ -886,10 +936,10 @@ func (f *Fleet) lose(res *core.TimedResult, deg *core.DegradedReport, e *core.Sh
 }
 
 // emitRnetSpans records every switch firing on the rnet timeline, one lane
-// per switch level. Spans arrive in node-ID order from the reduction (the
-// deterministic post-hoc fold), so traced streams are bit-identical at every
-// Parallelism.
-func (f *Fleet) emitRnetSpans(base sim.Cycle, r *rnet.Result) {
+// per switch level, each span-linked under the batch's combine span. Spans
+// arrive in node-ID order from the reduction (the deterministic post-hoc
+// fold), so traced streams are bit-identical at every Parallelism.
+func (f *Fleet) emitRnetSpans(base sim.Cycle, r *rnet.Result, parent uint64) {
 	if f.tracer == nil {
 		return
 	}
@@ -904,6 +954,8 @@ func (f *Fleet) emitRnetSpans(base sim.Cycle, r *rnet.Result) {
 		if sp.Missing > 0 {
 			ev.AddArg(telemetry.Arg{Key: "missing_children", Int: int64(sp.Missing)})
 		}
+		ev.AddArg(telemetry.Arg{Key: telemetry.ArgSpan, Int: int64(telemetry.SpanID(parent, "switch", uint64(sp.Node)))})
+		ev.AddArg(telemetry.Arg{Key: telemetry.ArgParent, Int: int64(parent)})
 		f.tracer.Emit(ev)
 	}
 }

@@ -26,6 +26,16 @@ type TraceAttacher interface {
 	AttachTracer(telemetry.Tracer)
 }
 
+// SpanContexter is the optional backend capability behind span parentage: a
+// backend that can link the trace spans it emits under a serving-layer
+// parent span ID. *fafnir.System, *router.Fleet, and *router.Federation
+// implement it. The coalescer sets the context only from its single flusher
+// goroutine, immediately before each Lookup, so a request's spans form one
+// parent-linked chain from the HTTP enqueue down to the hardware batch.
+type SpanContexter interface {
+	SetSpanContext(parent uint64)
+}
+
 // MemoryStatsSource is the optional backend capability for row-buffer
 // attribution: a backend exposing its memory system's cumulative counters by
 // name ("dram.row_hits", "dram.row_misses", "dram.row_conflicts").
@@ -68,6 +78,15 @@ type BatchStats struct {
 	// batch; the HTTP layer uses it to map the batch-level degraded report's
 	// query indices back into request coordinates.
 	QueryOffset int
+	// RequestID is the coalescer-assigned ID of the request this stats copy
+	// was delivered to: 1, 2, … in admission order, deterministic for a
+	// deterministic arrival order. It is the span ID rooting the request's
+	// parent-linked trace chain and the key the SLO flight recorder files
+	// slow requests under.
+	RequestID uint64
+	// Breakdown is this request's per-stage latency attribution; nil only
+	// when the request never reached a flush (admission or decode errors).
+	Breakdown *Breakdown
 	// Degraded carries the batch's degraded report when the backend absorbed
 	// faults while serving it (rank remaps, shard failover, lost data); nil
 	// for a clean batch. Requests coalesced into the same flush share one
@@ -87,6 +106,7 @@ type result struct {
 // request is one queued Submit call.
 type request struct {
 	ctx     context.Context
+	id      uint64 // coalescer-assigned, in admission order; doubles as span ID
 	queries []embedding.Query
 	op      tensor.ReduceOp
 	pri     Priority
@@ -146,11 +166,14 @@ type Coalescer struct {
 	tracer telemetry.Tracer
 	t0     time.Time
 
-	// attacher/memStats are the backend's optional capabilities, resolved
-	// once at construction; both are exercised only from the flusher
-	// goroutine. lastRow* hold the previously folded cumulative counters.
+	// attacher/spanner/memStats are the backend's optional capabilities,
+	// resolved once at construction; all are exercised only from the flusher
+	// goroutine. lastRow* hold the previously folded cumulative counters;
+	// flushSeq numbers flushes for span-ID derivation.
 	attacher      TraceAttacher
+	spanner       SpanContexter
 	memStats      MemoryStatsSource
+	flushSeq      uint64
 	lastRowHits   uint64
 	lastRowMisses uint64
 	lastRowConfl  uint64
@@ -168,6 +191,7 @@ type Coalescer struct {
 	lastCacheIns   uint64
 
 	mu     sync.Mutex
+	nextID uint64 // last request ID handed out; admitted requests only
 	lanes  [numLanes][]*request
 	queued int // queries across all lanes
 	closed bool
@@ -199,6 +223,7 @@ func NewCoalescer(cfg Config, be Backend, m *Metrics) (*Coalescer, error) {
 		drained: make(chan struct{}),
 	}
 	c.attacher, _ = be.(TraceAttacher)
+	c.spanner, _ = be.(SpanContexter)
 	c.memStats, _ = be.(MemoryStatsSource)
 	if cfg.CacheBytes > 0 {
 		rows, ok := be.(RowSource)
@@ -243,6 +268,12 @@ func NewCoalescer(cfg Config, be Backend, m *Metrics) (*Coalescer, error) {
 // coalescer started; ClockMHz 1000 maps nanoseconds onto the microsecond
 // export timeline.
 func (c *Coalescer) emit(name string, tid int, phase byte, start time.Time, dur time.Duration, args ...telemetry.Arg) {
+	c.emitTo(c.tracer, name, tid, phase, start, dur, args...)
+}
+
+// emitTo is emit onto an explicit tracer — the global serve timeline or a
+// per-batch ?debug=trace echo collector.
+func (c *Coalescer) emitTo(t telemetry.Tracer, name string, tid int, phase byte, start time.Time, dur time.Duration, args ...telemetry.Arg) {
 	ev := telemetry.Event{
 		Name: name, Cat: "serve", Phase: phase,
 		PID: telemetry.PIDServe, TID: tid,
@@ -254,7 +285,15 @@ func (c *Coalescer) emit(name string, tid int, phase byte, start time.Time, dur 
 	for _, a := range args {
 		ev.AddArg(a)
 	}
-	c.tracer.Emit(ev)
+	t.Emit(ev)
+}
+
+// nameServeLanes names the serve process and lanes on a per-batch trace echo
+// so the request/flush spans it carries render like the global timeline's.
+func nameServeLanes(t telemetry.Tracer) {
+	t.NameProcess(telemetry.PIDServe, "serve")
+	t.NameLane(telemetry.PIDServe, telemetry.TIDServeRequests, "requests")
+	t.NameLane(telemetry.PIDServe, telemetry.TIDServeFlusher, "flusher")
 }
 
 // Metrics returns the live metrics the coalescer reports into.
@@ -330,6 +369,8 @@ func (c *Coalescer) submit(ctx context.Context, op tensor.ReduceOp, queries []em
 		c.m.Shed.At(int(pri)).Add(1)
 		return nil, BatchStats{}, nil, ErrOverloaded
 	}
+	c.nextID++
+	req.id = c.nextID
 	c.lanes[pri] = append(c.lanes[pri], req)
 	c.queued += len(queries)
 	depth := c.queued
@@ -337,6 +378,7 @@ func (c *Coalescer) submit(ctx context.Context, op tensor.ReduceOp, queries []em
 
 	if c.tracer != nil {
 		c.emit("enqueue", telemetry.TIDServeRequests, telemetry.PhaseInstant, req.enq, 0,
+			telemetry.Arg{Key: "req", Int: int64(req.id)},
 			telemetry.Arg{Key: "queries", Int: int64(len(queries))},
 			telemetry.Arg{Key: "lane", Str: pri.String()},
 			telemetry.Arg{Key: "depth", Int: int64(depth)})
@@ -705,12 +747,33 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 		wantTrace = wantTrace || r.debug
 	}
 	b := embedding.Batch{Queries: queries, Op: op}
+	buildStart := time.Now()
 	plan := c.consult(b)
+
+	// The flush span parents the backend's whole span tree. It is itself
+	// parent-linked under a rider: the first debug request when one is
+	// present — so the traced request's chain is unbroken — else the first
+	// request in the cut. Every other rider's request span records the flush
+	// it rode as a plain arg.
+	parent := live[0]
+	for _, r := range live {
+		if r.debug {
+			parent = r
+			break
+		}
+	}
+	c.flushSeq++
+	flushID := telemetry.SpanID(parent.id, "flush", c.flushSeq)
 
 	var batchTrace *telemetry.Trace
 	var res *core.TimedResult
 	var err error
+	var beWall time.Duration
 	flushStart := time.Now()
+	cacheWall := flushStart.Sub(buildStart) // cache-consult side of the cache stage
+	if plan == nil {
+		cacheWall = 0
+	}
 	if plan != nil && len(plan.stripped.Queries) == 0 {
 		// The whole batch was served from cache: no hardware work at all.
 		res = &core.TimedResult{}
@@ -725,17 +788,31 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 		// JSON rides back on the result.
 		if wantTrace && c.attacher != nil {
 			batchTrace = telemetry.NewTrace()
+			nameServeLanes(batchTrace)
 			c.attacher.AttachTracer(batchTrace)
 		}
+		if c.spanner != nil {
+			c.spanner.SetSpanContext(flushID)
+		}
+		beStart := time.Now()
 		res, err = c.be.Lookup(hw)
+		beWall = time.Since(beStart)
 		if batchTrace != nil {
 			c.attacher.AttachTracer(nil)
 		}
 	}
+	flushArgs := []telemetry.Arg{
+		{Key: "queries", Int: int64(len(queries))},
+		{Key: "requests", Int: int64(len(live))},
+		{Key: telemetry.ArgSpan, Int: int64(flushID)},
+		{Key: telemetry.ArgParent, Int: int64(parent.id)},
+	}
+	flushDur := time.Since(flushStart)
 	if c.tracer != nil {
-		c.emit("flush", telemetry.TIDServeFlusher, telemetry.PhaseSpan, flushStart, time.Since(flushStart),
-			telemetry.Arg{Key: "queries", Int: int64(len(queries))},
-			telemetry.Arg{Key: "requests", Int: int64(len(live))})
+		c.emit("flush", telemetry.TIDServeFlusher, telemetry.PhaseSpan, flushStart, flushDur, flushArgs...)
+	}
+	if batchTrace != nil {
+		c.emitTo(batchTrace, "flush", telemetry.TIDServeFlusher, telemetry.PhaseSpan, flushStart, flushDur, flushArgs...)
 	}
 	if err != nil {
 		c.isolate(op, live, err)
@@ -743,14 +820,24 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 	}
 	outputs := res.Outputs
 	if plan != nil {
+		mergeStart := time.Now()
 		outputs = c.merge(b, plan, res)
 		c.fill(op, plan.missed)
 		c.foldCacheStats(plan)
-		if c.tracer != nil {
-			c.emit("cache", telemetry.TIDServeCache, telemetry.PhaseSpan, flushStart, time.Since(flushStart),
-				telemetry.Arg{Key: "hits", Int: int64(plan.hits)},
-				telemetry.Arg{Key: "misses", Int: int64(plan.misses)},
-				telemetry.Arg{Key: "stripped_queries", Int: int64(len(plan.stripped.Queries))})
+		mergeWall := time.Since(mergeStart)
+		cacheWall += mergeWall
+		if c.tracer != nil || batchTrace != nil {
+			cacheArgs := []telemetry.Arg{
+				{Key: "hits", Int: int64(plan.hits)},
+				{Key: "misses", Int: int64(plan.misses)},
+				{Key: "stripped_queries", Int: int64(len(plan.stripped.Queries))},
+			}
+			if c.tracer != nil {
+				c.emit("cache", telemetry.TIDServeCache, telemetry.PhaseSpan, mergeStart, mergeWall, cacheArgs...)
+			}
+			if batchTrace != nil {
+				c.emitTo(batchTrace, "cache", telemetry.TIDServeCache, telemetry.PhaseSpan, mergeStart, mergeWall, cacheArgs...)
+			}
 		}
 	}
 	stats := BatchStats{
@@ -772,6 +859,48 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 	}
 	c.m.observeBatch(stats)
 	c.foldMemoryStats()
+
+	// The batch-level breakdown columns every rider shares: exact simulated
+	// cycles split by the backend's Stages invariant, measured wall time for
+	// the host-side stages. Coalesce absorbs the flush overhead the cache and
+	// backend stages don't account for.
+	bCyc, cCyc, tCyc := backendStages(res)
+	hostWall := time.Since(buildStart)
+	coalesceWall := hostWall - cacheWall - beWall
+	if coalesceWall < 0 {
+		coalesceWall = 0
+	}
+	base := Breakdown{
+		Coalesce:    StageLatency{WallUS: usOf(coalesceWall)},
+		Cache:       StageLatency{WallUS: usOf(cacheWall)},
+		Backend:     StageLatency{Cycles: bCyc, WallUS: usOf(beWall)},
+		Combine:     StageLatency{Cycles: cCyc, WallUS: simUS(cCyc)},
+		Transfer:    StageLatency{Cycles: tCyc, WallUS: simUS(tCyc)},
+		TotalCycles: res.TotalCycles,
+	}
+
+	// Request spans: one per rider, rooted (parent 0) and spanning enqueue to
+	// delivery, with the flush they rode recorded as an arg. They are emitted
+	// before the echo renders so a ?debug=trace response carries the full
+	// serve → flush → backend chain.
+	if c.tracer != nil || batchTrace != nil {
+		now := time.Now()
+		for _, r := range live {
+			reqArgs := []telemetry.Arg{
+				{Key: telemetry.ArgSpan, Int: int64(r.id)},
+				{Key: telemetry.ArgParent, Int: 0},
+				{Key: "flush", Int: int64(flushID)},
+				{Key: "lane", Str: r.pri.String()},
+				{Key: "queries", Int: int64(len(r.queries))},
+			}
+			if c.tracer != nil {
+				c.emit("request", telemetry.TIDServeRequests, telemetry.PhaseSpan, r.enq, now.Sub(r.enq), reqArgs...)
+			}
+			if batchTrace != nil {
+				c.emitTo(batchTrace, "request", telemetry.TIDServeRequests, telemetry.PhaseSpan, r.enq, now.Sub(r.enq), reqArgs...)
+			}
+		}
+	}
 	var traceJSON []byte
 	if batchTrace != nil {
 		traceJSON = batchTrace.ChromeJSON()
@@ -781,13 +910,21 @@ func (c *Coalescer) flush(op tensor.ReduceOp, reqs []*request) {
 		out := outputs[off : off+len(r.queries)]
 		rr := result{outputs: out, stats: stats}
 		rr.stats.QueryOffset = off
+		rr.stats.RequestID = r.id
 		off += len(r.queries)
+		bd := base
+		bd.RequestID = r.id
+		bd.Queue = StageLatency{WallUS: usOf(buildStart.Sub(r.enq))}
+		bd.TotalWallUS = usOf(time.Since(r.enq))
+		rr.stats.Breakdown = &bd
+		c.m.observeStages(&bd)
 		if r.debug {
 			rr.trace = traceJSON
 		}
 		r.deliver(rr)
 		if c.tracer != nil {
 			c.emit("respond", telemetry.TIDServeRequests, telemetry.PhaseInstant, time.Now(), 0,
+				telemetry.Arg{Key: "req", Int: int64(r.id)},
 				telemetry.Arg{Key: "queries", Int: int64(len(r.queries))})
 		}
 	}
@@ -833,7 +970,15 @@ func (c *Coalescer) isolate(op tensor.ReduceOp, reqs []*request, batchErr error)
 			r.deliver(result{err: err})
 			continue
 		}
+		// Each isolation retry is its own flush for span purposes, parented
+		// directly under the lone request it serves.
+		if c.spanner != nil {
+			c.flushSeq++
+			c.spanner.SetSpanContext(telemetry.SpanID(r.id, "flush", c.flushSeq))
+		}
+		beStart := time.Now()
 		res, err := c.be.Lookup(embedding.Batch{Queries: r.queries, Op: op})
+		beWall := time.Since(beStart)
 		if err != nil {
 			r.deliver(result{err: err})
 			continue
@@ -848,10 +993,22 @@ func (c *Coalescer) isolate(op tensor.ReduceOp, reqs []*request, batchErr error)
 			Reduces:      res.PETotals.Reduces,
 			Compares:     res.PETotals.Compares,
 			Isolated:     true,
+			RequestID:    r.id,
 		}
 		if !res.Degraded.Empty() {
 			stats.Degraded = res.Degraded
 		}
+		bCyc, cCyc, tCyc := backendStages(res)
+		stats.Breakdown = &Breakdown{
+			RequestID:   r.id,
+			Queue:       StageLatency{WallUS: usOf(beStart.Sub(r.enq))},
+			Backend:     StageLatency{Cycles: bCyc, WallUS: usOf(beWall)},
+			Combine:     StageLatency{Cycles: cCyc, WallUS: simUS(cCyc)},
+			Transfer:    StageLatency{Cycles: tCyc, WallUS: simUS(tCyc)},
+			TotalCycles: res.TotalCycles,
+			TotalWallUS: usOf(time.Since(r.enq)),
+		}
+		c.m.observeStages(stats.Breakdown)
 		c.m.observeBatch(stats)
 		c.foldMemoryStats()
 		r.deliver(result{outputs: res.Outputs, stats: stats})

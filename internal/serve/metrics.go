@@ -117,7 +117,25 @@ type Metrics struct {
 	// Shed counts submissions rejected by QoS admission control, by lane;
 	// index with Shed.At(int(priority)).
 	Shed *telemetry.CounterVec
+	// StageSeconds attributes per-request latency to pipeline stages (the
+	// Breakdown stages): measured wall seconds for the host-side queue/
+	// coalesce/cache/backend stages, derived seconds (simulated cycles at
+	// 200 MHz) for combine and transfer. Index with StageSeconds.At(stage*).
+	StageSeconds *telemetry.HistogramVec
 }
+
+// The latency-attribution stages, in StageSeconds label order.
+const (
+	stageQueue = iota
+	stageCoalesce
+	stageCache
+	stageBackend
+	stageCombine
+	stageTransfer
+	numStages
+)
+
+var stageNames = [numStages]string{"queue", "coalesce", "cache", "backend", "combine", "transfer"}
 
 // requestBuckets are the wall-clock latency bounds in seconds. The three
 // sub-millisecond buckets exist because a coalesced in-memory lookup
@@ -168,7 +186,19 @@ func NewMetrics() *Metrics {
 		lanes[p] = p.String()
 	}
 	m.Shed = reg.CounterVec("fafnir_serve_shed_total", "Submissions rejected by QoS admission control, by lane.", "lane", lanes...)
+	m.StageSeconds = reg.HistogramVec("fafnir_serve_stage_seconds", "Per-request latency attribution by pipeline stage.", "stage", requestBuckets, stageNames[:]...)
 	return m
+}
+
+// observeStages folds one delivered request's latency attribution into the
+// per-stage histograms.
+func (m *Metrics) observeStages(bd *Breakdown) {
+	m.StageSeconds.At(stageQueue).Observe(bd.Queue.WallUS / 1e6)
+	m.StageSeconds.At(stageCoalesce).Observe(bd.Coalesce.WallUS / 1e6)
+	m.StageSeconds.At(stageCache).Observe(bd.Cache.WallUS / 1e6)
+	m.StageSeconds.At(stageBackend).Observe(bd.Backend.WallUS / 1e6)
+	m.StageSeconds.At(stageCombine).Observe(bd.Combine.WallUS / 1e6)
+	m.StageSeconds.At(stageTransfer).Observe(bd.Transfer.WallUS / 1e6)
 }
 
 // Registry returns the registry backing the metrics set; embedders may

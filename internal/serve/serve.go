@@ -186,6 +186,21 @@ type Config struct {
 	// is scheduled ahead of healthier higher-priority work, bounding
 	// starvation. Default 1ms.
 	DeadlineSlack time.Duration
+	// SLOWindow is the flight recorder's rolling accounting window for
+	// good/bad request counts and burn rates. Default 60s.
+	SLOWindow time.Duration
+	// SLOObjectives maps each QoS lane to its wall-clock latency objective;
+	// a request is good when it succeeds undegraded within its lane's
+	// objective. Lanes absent from the map get the defaults: high 50ms,
+	// normal 250ms, low 1s.
+	SLOObjectives map[Priority]time.Duration
+	// SLOBudget is the error-budget fraction the burn-rate gauge normalizes
+	// by: burn rate 1.0 means bad requests arrive at exactly the budgeted
+	// fraction. Default 0.01 (99% of requests good).
+	SLOBudget float64
+	// SLOK bounds the flight recorder's slowest/degraded request rings.
+	// Default 16.
+	SLOK int
 }
 
 func (c *Config) fillDefaults() {
@@ -213,6 +228,29 @@ func (c *Config) fillDefaults() {
 	if c.DeadlineSlack == 0 {
 		c.DeadlineSlack = time.Millisecond
 	}
+	if c.SLOWindow == 0 {
+		c.SLOWindow = time.Minute
+	}
+	if c.SLOBudget == 0 {
+		c.SLOBudget = 0.01
+	}
+	if c.SLOK == 0 {
+		c.SLOK = 16
+	}
+	defaults := map[Priority]time.Duration{
+		PriorityHigh:   50 * time.Millisecond,
+		PriorityNormal: 250 * time.Millisecond,
+		PriorityLow:    time.Second,
+	}
+	if c.SLOObjectives == nil {
+		c.SLOObjectives = defaults
+	} else {
+		for p, d := range defaults {
+			if c.SLOObjectives[p] == 0 {
+				c.SLOObjectives[p] = d
+			}
+		}
+	}
 }
 
 // Validate reports a descriptive error naming the offending field and value
@@ -235,6 +273,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: Config.ShedLowWater = %v: must be in [0, 1] (or 0 for the default of 0.5)", c.ShedLowWater)
 	case c.DeadlineSlack < 0:
 		return fmt.Errorf("serve: Config.DeadlineSlack = %v: must be non-negative", c.DeadlineSlack)
+	case c.SLOWindow < 0:
+		return fmt.Errorf("serve: Config.SLOWindow = %v: must be non-negative (0 selects the 60s default)", c.SLOWindow)
+	case c.SLOBudget < 0 || c.SLOBudget > 1:
+		return fmt.Errorf("serve: Config.SLOBudget = %v: must be in [0, 1] (0 selects the 0.01 default)", c.SLOBudget)
+	case c.SLOK < 0:
+		return fmt.Errorf("serve: Config.SLOK = %d: must be non-negative (0 selects the default of 16)", c.SLOK)
 	}
 	return nil
 }

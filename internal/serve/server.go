@@ -14,6 +14,7 @@ import (
 	"fafnir/internal/fault"
 	"fafnir/internal/header"
 	"fafnir/internal/sim"
+	"fafnir/internal/telemetry"
 	"fafnir/internal/tensor"
 )
 
@@ -72,6 +73,11 @@ type LookupResponse struct {
 	// backend supports tracing. Load it at ui.perfetto.dev. The trace
 	// covers the whole flushed batch, co-travelling requests included.
 	Trace json.RawMessage `json:"trace,omitempty"`
+	// Breakdown is the request's per-stage latency attribution — where its
+	// time went from enqueue to delivery, in exact simulated cycles and
+	// measured wall microseconds. Echoed when the caller asked with
+	// ?debug=trace.
+	Breakdown *Breakdown `json:"breakdown,omitempty"`
 }
 
 // DegradedInfo is the wire rendering of a degraded batch, scoped to one
@@ -159,6 +165,7 @@ type Server struct {
 	sys       System
 	co        *Coalescer
 	m         *Metrics
+	slo       *telemetry.SLO
 	mux       *http.ServeMux
 	draining  atomic.Bool
 	totalRows uint64
@@ -187,10 +194,29 @@ func New(sys System, cfg Config) (*Server, error) {
 	if reg, ok := sys.(MetricsRegistrar); ok {
 		reg.RegisterMetrics(m.Registry())
 	}
+	// The SLO flight recorder: rolling good/bad accounting per lane, a
+	// burn-rate gauge family on the shared registry, and the /debug/slo
+	// rings of slowest and degraded requests.
+	lanes := make([]string, numLanes)
+	objectives := make(map[string]time.Duration, numLanes)
+	for p := Priority(0); p < numLanes; p++ {
+		lanes[p] = p.String()
+		objectives[p.String()] = cfg.SLOObjectives[p]
+	}
+	s.slo = telemetry.NewSLO(telemetry.SLOConfig{
+		Window:         cfg.SLOWindow,
+		Objectives:     objectives,
+		BudgetFraction: cfg.SLOBudget,
+		K:              cfg.SLOK,
+	})
+	m.Registry().GaugeFuncVec("fafnir_slo_burn_rate",
+		"SLO error-budget burn rate by lane over the rolling window (1.0 = bad requests arriving at exactly the budgeted fraction).",
+		"lane", s.slo.BurnRate, lanes...)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/lookup", s.handleLookup)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	return s, nil
 }
 
@@ -219,6 +245,14 @@ func (s *Server) Coalescer() *Coalescer { return s.co }
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	return s.co.Close(ctx)
+}
+
+// SLO returns the server's flight recorder (tests and embedders inspect it
+// directly).
+func (s *Server) SLO() *telemetry.SLO { return s.slo }
+
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Snapshot())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -338,7 +372,8 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	var outputs []tensor.Vector
 	var stats BatchStats
 	var trace []byte
-	if r.URL.Query().Get("debug") == "trace" {
+	debug := r.URL.Query().Get("debug") == "trace"
+	if debug {
 		outputs, stats, trace, err = s.co.SubmitTracedPriority(ctx, op, queries, pri)
 	} else {
 		outputs, stats, err = s.co.SubmitPriority(ctx, op, queries, pri)
@@ -346,6 +381,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		outcome, status, kind := classify(err)
 		finish(outcome)
+		s.slo.Observe(pri.String(), stats.RequestID, time.Since(start), true, kind)
 		if status == http.StatusServiceUnavailable {
 			// Overload backs off with seeded jitter so synchronized clients
 			// spread their retries; a drain never comes back, so the fixed
@@ -362,7 +398,8 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	} else {
 		finish(OutcomeOK)
 	}
-	writeJSON(w, http.StatusOK, LookupResponse{
+	s.slo.Observe(pri.String(), stats.RequestID, time.Since(start), degraded != nil, stats.Breakdown)
+	resp := LookupResponse{
 		Outputs: outputs,
 		Batch: BatchInfo{
 			Queries:           stats.BatchQueries,
@@ -374,7 +411,11 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		},
 		Degraded: degraded,
 		Trace:    trace,
-	})
+	}
+	if debug {
+		resp.Breakdown = stats.Breakdown
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // splitmix64 is the jitter hash (Vigna's SplitMix64 finalizer), shared with

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger is the small shared leveled logger used by the CLIs. Text mode
+// writes exactly what fmt.Printf used to — the literal format expansion plus
+// a trailing newline — so scripts that parse startup handshakes (check.sh's
+// "listening on host:port" grep) keep working byte-for-byte. JSON mode wraps
+// each line in a {"ts","level","msg"} object for fleet log pipelines.
+type Logger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	json bool
+	now  func() time.Time // injectable for tests
+}
+
+// NewLogger builds a logger writing to w in the given format ("text" or
+// "json").
+func NewLogger(w io.Writer, format string) (*Logger, error) {
+	switch format {
+	case "", "text":
+		return &Logger{w: w, now: time.Now}, nil
+	case "json":
+		return &Logger{w: w, json: true, now: time.Now}, nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+}
+
+// logLine is the JSON-mode record.
+type logLine struct {
+	TS    string `json:"ts"`
+	Level string `json:"level"`
+	Msg   string `json:"msg"`
+}
+
+func (l *Logger) emit(level, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.json {
+		fmt.Fprintf(l.w, "%s\n", msg)
+		return
+	}
+	rec, err := json.Marshal(logLine{TS: l.now().UTC().Format(time.RFC3339Nano), Level: level, Msg: msg})
+	if err != nil {
+		return
+	}
+	rec = append(rec, '\n')
+	l.w.Write(rec)
+}
+
+// Infof logs one line at info level.
+func (l *Logger) Infof(format string, args ...any) { l.emit("info", format, args...) }
+
+// Errorf logs one line at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.emit("error", format, args...) }

@@ -145,6 +145,39 @@ func (v *GaugeVec) With(value string) *Gauge {
 // At returns the gauge at the registration index of its label value.
 func (v *GaugeVec) At(i int) *Gauge { return v.gauges[i] }
 
+// HistogramVec is a histogram family with one label dimension whose values
+// are fixed at registration — the histogram counterpart of CounterVec. The
+// serving layer publishes per-stage latency distributions through it.
+type HistogramVec struct {
+	name, help, label string
+	values            []string
+	hists             []*Histogram
+}
+
+// With returns the histogram for the given label value; unknown values
+// return a detached histogram (never rendered) rather than panicking.
+func (v *HistogramVec) With(value string) *Histogram {
+	for i, val := range v.values {
+		if val == value {
+			return v.hists[i]
+		}
+	}
+	return NewHistogram(nil)
+}
+
+// At returns the histogram at the registration index of its label value.
+func (v *HistogramVec) At(i int) *Histogram { return v.hists[i] }
+
+// GaugeFuncVec is a computed gauge family with one label dimension: fn is
+// evaluated per label value at render time and must be safe to call
+// concurrently with the hot path. The SLO recorder publishes per-lane
+// burn rates through it.
+type GaugeFuncVec struct {
+	name, help, label string
+	values            []string
+	fn                func(value string) float64
+}
+
 // renderable is one registered family.
 type renderable interface {
 	famName() string
@@ -226,6 +259,24 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// HistogramVec registers a labelled histogram family: one histogram over the
+// given bounds per fixed label value, rendered in the given order.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64, values ...string) *HistogramVec {
+	v := &HistogramVec{name: name, help: help, label: label, values: values}
+	v.hists = make([]*Histogram, len(values))
+	for i := range values {
+		v.hists[i] = NewHistogram(bounds)
+	}
+	r.register(v)
+	return v
+}
+
+// GaugeFuncVec registers a labelled computed gauge family: fn is evaluated
+// once per label value at render time.
+func (r *Registry) GaugeFuncVec(name, help, label string, fn func(value string) float64, values ...string) {
+	r.register(&GaugeFuncVec{name: name, help: help, label: label, values: values, fn: fn})
+}
+
 // Render writes every family in Prometheus text exposition format, in
 // registration order.
 func (r *Registry) Render(w io.Writer) {
@@ -263,6 +314,31 @@ func (v *GaugeVec) render(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", v.name, v.help, v.name)
 	for i, val := range v.values {
 		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, v.gauges[i].Value())
+	}
+}
+
+func (v *HistogramVec) famName() string { return v.name }
+func (v *HistogramVec) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	for i, val := range v.values {
+		h := v.hists[i]
+		var cum uint64
+		for j, b := range h.bounds {
+			cum += h.counts[j].Load()
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", v.name, v.label, val, fmtFloat(b), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", v.name, v.label, val, cum)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", v.name, v.label, val, fmtFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", v.name, v.label, val, h.Count())
+	}
+}
+
+func (v *GaugeFuncVec) famName() string { return v.name }
+func (v *GaugeFuncVec) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", v.name, v.help, v.name)
+	for _, val := range v.values {
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", v.name, v.label, val, fmtFloat(v.fn(val)))
 	}
 }
 

@@ -85,6 +85,65 @@ func TestHistogramBoundaryInclusive(t *testing.T) {
 	}
 }
 
+// HistogramVec rendering at the +Inf boundary: a sample exactly on the last
+// finite bound stays out of +Inf's exclusive share, and the +Inf cumulative
+// count always equals _count — per label value.
+func TestHistogramVecRenderAtInfBoundary(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("stage_seconds", "Stage latency.", "stage", []float64{0.5, 1}, "queue", "backend")
+	v.With("queue").Observe(1)   // exactly the last finite bound: counted in le="1", not +Inf overflow
+	v.With("queue").Observe(1.5) // past every bound: +Inf only
+	// "backend" stays empty: it must still render all buckets at zero.
+
+	var sb strings.Builder
+	r.Render(&sb)
+	want := `# HELP stage_seconds Stage latency.
+# TYPE stage_seconds histogram
+stage_seconds_bucket{stage="queue",le="0.5"} 0
+stage_seconds_bucket{stage="queue",le="1"} 1
+stage_seconds_bucket{stage="queue",le="+Inf"} 2
+stage_seconds_sum{stage="queue"} 2.5
+stage_seconds_count{stage="queue"} 2
+stage_seconds_bucket{stage="backend",le="0.5"} 0
+stage_seconds_bucket{stage="backend",le="1"} 0
+stage_seconds_bucket{stage="backend",le="+Inf"} 0
+stage_seconds_sum{stage="backend"} 0
+stage_seconds_count{stage="backend"} 0
+`
+	if sb.String() != want {
+		t.Fatalf("render mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestHistogramVecUnknownLabelDetached(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("h_seconds", "h", "k", []float64{1}, "a")
+	v.With("nope").Observe(99)
+	if v.With("a").Count() != 0 || v.At(0).Count() != 0 {
+		t.Fatal("unknown label leaked into a registered histogram")
+	}
+}
+
+func TestGaugeFuncVecRender(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFuncVec("burn_rate", "Burn.", "lane", func(lane string) float64 {
+		if lane == "high" {
+			return 1.5
+		}
+		return 0
+	}, "high", "low")
+	var sb strings.Builder
+	r.Render(&sb)
+	want := `# HELP burn_rate Burn.
+# TYPE burn_rate gauge
+burn_rate{lane="high"} 1.5
+burn_rate{lane="low"} 0
+`
+	if sb.String() != want {
+		t.Fatalf("render mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
 func TestRegistryConcurrentHotPath(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("hot_total", "h")

@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLO is the flight recorder for service-level objectives: rolling-window
+// good/bad counters per lane, burn-rate gauges, and a bounded in-memory ring
+// of the slowest and most recent degraded requests (their IDs plus whatever
+// per-request detail the caller attaches — the serving layer attaches its
+// latency Breakdown).
+//
+// A request is "good" when it is not degraded and its latency meets the
+// lane's objective. The burn rate is the classic multi-window SRE quantity
+// restricted to one window: (bad fraction over the window) divided by the
+// error-budget fraction, so 1.0 means the budget is being consumed exactly
+// at the sustainable rate, and >1 means the lane is burning down.
+//
+// The recorder is observational only: Observe takes one short mutex hold and
+// never blocks the serving path on I/O.
+
+// SLOConfig configures the flight recorder.
+type SLOConfig struct {
+	// Window is the rolling evaluation window (default 60s). Counters are
+	// bucketed per second, so sub-second windows round up to one second.
+	Window time.Duration
+	// Objectives maps lane name to its latency objective. Lanes are fixed at
+	// construction; observations for unknown lanes are dropped.
+	Objectives map[string]time.Duration
+	// BudgetFraction is the error budget as a fraction of requests
+	// (default 0.01, i.e. 99% of requests should be good).
+	BudgetFraction float64
+	// K bounds the slowest-request and degraded-request rings (default 16).
+	K int
+	// Now overrides the clock, for tests. Defaults to time.Now.
+	Now func() time.Time
+}
+
+// SLORecord is one remembered request in the flight recorder.
+type SLORecord struct {
+	ID        uint64  `json:"id"`
+	Lane      string  `json:"lane"`
+	LatencyUS float64 `json:"latency_us"`
+	Degraded  bool    `json:"degraded,omitempty"`
+	Good      bool    `json:"good"`
+	// Detail carries caller-attached context; the serving layer attaches the
+	// request's stage-latency Breakdown here.
+	Detail any `json:"detail,omitempty"`
+}
+
+// LaneSLO is the per-lane view in a snapshot.
+type LaneSLO struct {
+	Lane        string  `json:"lane"`
+	ObjectiveUS float64 `json:"objective_us"`
+	Good        uint64  `json:"good"`
+	Bad         uint64  `json:"bad"`
+	BurnRate    float64 `json:"burn_rate"`
+}
+
+// SLOSnapshot is the JSON document served on /debug/slo.
+type SLOSnapshot struct {
+	WindowSeconds  float64     `json:"window_seconds"`
+	BudgetFraction float64     `json:"budget_fraction"`
+	Lanes          []LaneSLO   `json:"lanes"`
+	Slowest        []SLORecord `json:"slowest"`
+	Degraded       []SLORecord `json:"degraded"`
+}
+
+// sloBucket is one second of good/bad counts; sec stamps which epoch second
+// the counts belong to, so stale ring slots are recognized lazily.
+type sloBucket struct {
+	sec       int64
+	good, bad uint64
+}
+
+// sloLane is the rolling window of one lane.
+type sloLane struct {
+	name      string
+	objective time.Duration
+	buckets   []sloBucket
+}
+
+// SLO is the flight recorder; construct with NewSLO.
+type SLO struct {
+	mu       sync.Mutex
+	window   time.Duration
+	nbuckets int
+	budget   float64
+	k        int
+	now      func() time.Time
+	lanes    []*sloLane // sorted by name for deterministic snapshots
+	slowest  []SLORecord
+	degraded []SLORecord // ring, most recent last
+}
+
+// NewSLO builds a flight recorder over the configured lanes.
+func NewSLO(cfg SLOConfig) *SLO {
+	if cfg.Window <= 0 {
+		cfg.Window = 60 * time.Second
+	}
+	if cfg.BudgetFraction <= 0 {
+		cfg.BudgetFraction = 0.01
+	}
+	if cfg.K <= 0 {
+		cfg.K = 16
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	n := int((cfg.Window + time.Second - 1) / time.Second)
+	if n < 1 {
+		n = 1
+	}
+	s := &SLO{
+		window:   cfg.Window,
+		nbuckets: n,
+		budget:   cfg.BudgetFraction,
+		k:        cfg.K,
+		now:      cfg.Now,
+	}
+	names := make([]string, 0, len(cfg.Objectives))
+	for name := range cfg.Objectives {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.lanes = append(s.lanes, &sloLane{
+			name:      name,
+			objective: cfg.Objectives[name],
+			buckets:   make([]sloBucket, n),
+		})
+	}
+	return s
+}
+
+// Lanes returns the configured lane names in snapshot order.
+func (s *SLO) Lanes() []string {
+	out := make([]string, len(s.lanes))
+	for i, l := range s.lanes {
+		out[i] = l.name
+	}
+	return out
+}
+
+func (s *SLO) lane(name string) *sloLane {
+	for _, l := range s.lanes {
+		if l.name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// Observe records one finished request. Degraded requests and requests over
+// their lane's objective count against the error budget; detail (typically
+// the request's Breakdown) is kept only if the request enters one of the
+// flight-recorder rings.
+func (s *SLO) Observe(lane string, id uint64, latency time.Duration, degraded bool, detail any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lane(lane)
+	if l == nil {
+		return
+	}
+	good := !degraded && latency <= l.objective
+	sec := s.now().Unix()
+	b := &l.buckets[int(sec%int64(s.nbuckets))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+
+	rec := SLORecord{
+		ID:        id,
+		Lane:      lane,
+		LatencyUS: float64(latency) / float64(time.Microsecond),
+		Degraded:  degraded,
+		Good:      good,
+		Detail:    detail,
+	}
+	// Slowest-K ring: keep sorted descending by latency, admit if the ring
+	// has room or the new request is slower than the current floor.
+	i := sort.Search(len(s.slowest), func(i int) bool {
+		return s.slowest[i].LatencyUS < rec.LatencyUS
+	})
+	if i < s.k {
+		s.slowest = append(s.slowest, SLORecord{})
+		copy(s.slowest[i+1:], s.slowest[i:])
+		s.slowest[i] = rec
+		if len(s.slowest) > s.k {
+			s.slowest = s.slowest[:s.k]
+		}
+	}
+	if degraded {
+		s.degraded = append(s.degraded, rec)
+		if len(s.degraded) > s.k {
+			s.degraded = s.degraded[1:]
+		}
+	}
+}
+
+// windowCounts sums the lane's buckets that fall inside the window ending at
+// the current second. Caller holds s.mu.
+func (s *SLO) windowCounts(l *sloLane) (good, bad uint64) {
+	cutoff := s.now().Unix() - int64(s.nbuckets) + 1
+	for i := range l.buckets {
+		if l.buckets[i].sec >= cutoff {
+			good += l.buckets[i].good
+			bad += l.buckets[i].bad
+		}
+	}
+	return good, bad
+}
+
+// BurnRate reports the lane's current burn rate: the fraction of bad
+// requests in the window divided by the error-budget fraction. An idle lane
+// (no requests in the window) or an unknown lane reports 0.
+func (s *SLO) BurnRate(lane string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lane(lane)
+	if l == nil {
+		return 0
+	}
+	good, bad := s.windowCounts(l)
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return float64(bad) / float64(total) / s.budget
+}
+
+// Snapshot returns the full flight-recorder state for /debug/slo.
+func (s *SLO) Snapshot() SLOSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SLOSnapshot{
+		WindowSeconds:  s.window.Seconds(),
+		BudgetFraction: s.budget,
+		Lanes:          make([]LaneSLO, 0, len(s.lanes)),
+		Slowest:        append([]SLORecord(nil), s.slowest...),
+		Degraded:       append([]SLORecord(nil), s.degraded...),
+	}
+	for _, l := range s.lanes {
+		good, bad := s.windowCounts(l)
+		ls := LaneSLO{
+			Lane:        l.name,
+			ObjectiveUS: float64(l.objective) / float64(time.Microsecond),
+			Good:        good,
+			Bad:         bad,
+		}
+		if total := good + bad; total > 0 {
+			ls.BurnRate = float64(bad) / float64(total) / s.budget
+		}
+		snap.Lanes = append(snap.Lanes, ls)
+	}
+	return snap
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+// Deterministic span identifiers for cross-layer request tracing.
+//
+// Every accepted serving request gets a request ID from a per-coalescer
+// counter; each downstream hop (flush, hardware batch, shard lookup, switch
+// combine) derives its own span ID from its parent's ID and a static stage
+// name via SpanID. The derivation is a pure hash — no clocks, no randomness —
+// so a replayed run reproduces the exact same ID tree, and two children of
+// the same parent (distinguished by the ordinal k) never collide in practice.
+//
+// Span parentage is carried on the events themselves as two integer args,
+// ArgSpan ("span") and ArgParent ("parent"), so the chain survives the
+// Chrome-trace export and can be walked by fafnir-trace report.
+
+// Arg keys used for span parentage annotations.
+const (
+	// ArgSpan is the event's own span ID.
+	ArgSpan = "span"
+	// ArgParent is the span ID of the event's parent (0 = root).
+	ArgParent = "parent"
+)
+
+// fnv64 is the FNV-1a hash of a static stage name; inlined here so the hot
+// emission paths never import hash/fnv.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection on uint64,
+// the same mixer the serving layer and load generator use for jitter seeds.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SpanID derives the deterministic span ID of child number k of stage `name`
+// under `parent`. The result is never zero (zero is reserved for "no
+// parent"), so consumers can treat parent==0 as the root of a chain.
+func SpanID(parent uint64, name string, k uint64) uint64 {
+	id := mix64(parent ^ fnv64(name) ^ mix64(k))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}

@@ -1,0 +1,33 @@
+package telemetry
+
+import "testing"
+
+func TestSpanIDDeterministicAndDistinct(t *testing.T) {
+	if SpanID(7, "flush", 1) != SpanID(7, "flush", 1) {
+		t.Fatal("SpanID is not deterministic")
+	}
+	ids := []uint64{
+		SpanID(7, "flush", 1),
+		SpanID(7, "flush", 2),    // different ordinal
+		SpanID(8, "flush", 1),    // different parent
+		SpanID(7, "hw_batch", 1), // different stage
+	}
+	seen := map[uint64]bool{}
+	for _, id := range ids {
+		if id == 0 {
+			t.Fatal("SpanID returned the reserved root value 0")
+		}
+		if seen[id] {
+			t.Fatalf("SpanID collision among %v", ids)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanIDNeverZeroOverOrdinals(t *testing.T) {
+	for k := uint64(0); k < 10_000; k++ {
+		if SpanID(k, "stage", k) == 0 {
+			t.Fatalf("SpanID zero at k=%d", k)
+		}
+	}
+}

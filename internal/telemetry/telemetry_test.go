@@ -117,6 +117,8 @@ func TestValidateChromeRejects(t *testing.T) {
 		{"unnamed", `{"traceEvents":[{"ph":"X","pid":1,"tid":0,"ts":0,"dur":1}]}`, "no name"},
 		{"bad phase", `{"traceEvents":[{"name":"e","ph":"Z","pid":1,"tid":0,"ts":0}]}`, "unknown phase"},
 		{"missing pid", `{"traceEvents":[{"name":"e","ph":"i","ts":0}]}`, "lacks pid"},
+		{"missing tid", `{"traceEvents":[{"name":"e","ph":"i","pid":1,"ts":0}]}`, "lacks pid/tid"},
+		{"non-object event", `{"traceEvents":[17]}`, "undecodable"},
 		{"missing ts", `{"traceEvents":[{"name":"e","ph":"i","pid":1,"tid":0}]}`, "lacks ts"},
 		{"negative ts", `{"traceEvents":[{"name":"e","ph":"i","pid":1,"tid":0,"ts":-1}]}`, "negative ts"},
 		{"span without dur", `{"traceEvents":[{"name":"e","ph":"X","pid":1,"tid":0,"ts":0}]}`, "lacks dur"},

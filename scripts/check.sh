@@ -19,14 +19,18 @@
 #                      deterministic and fast)
 #   8. coverage      — every internal/ package must keep statement coverage
 #                      at or above the floor (80%)
-#   9. telemetry     — run fafnir-sim with -trace-out and validate the
-#                      emitted Chrome trace with fafnir-trace validate
-#                      (well-formed JSON, known phases, monotonic timestamps
-#                      per lane)
+#   9. telemetry     — run fafnir-sim with -trace-out, validate the emitted
+#                      Chrome trace with fafnir-trace validate (well-formed
+#                      JSON, known phases, monotonic timestamps per lane),
+#                      and require fafnir-trace report to attribute >= 95%
+#                      of the traced window to named pipeline stages
 #  10. server smoke  — build fafnir-serve and fafnir-loadgen, boot the
 #                      service on a free port, fire a concurrent burst,
 #                      scrape /metrics (including the registry's telemetry
-#                      families and sub-millisecond latency buckets), then
+#                      families, sub-millisecond latency buckets, the
+#                      per-stage latency histograms, and the SLO burn-rate
+#                      gauges), record the burst with -record and replay it
+#                      with -replay requiring identical request counts, then
 #                      SIGTERM and require a clean drain (exit 0 with
 #                      in-flight work finished)
 #  11. chaos gate    — boot a 4-shard fleet with shard 1 killed by
@@ -131,6 +135,16 @@ go build -o "$SMOKE/fafnir-trace" ./cmd/fafnir-trace
     || { cat "$SMOKE/sim.log"; echo "telemetry: traced sim run failed"; exit 1; }
 "$SMOKE/fafnir-trace" validate "$SMOKE/run-trace.json" \
     || { echo "telemetry: emitted trace failed validation"; exit 1; }
+"$SMOKE/fafnir-trace" report "$SMOKE/run-trace.json" > "$SMOKE/report.log" 2>&1 \
+    || { cat "$SMOKE/report.log"; echo "telemetry: trace report failed"; exit 1; }
+[ -s "$SMOKE/report.log" ] || { echo "telemetry: trace report produced no output"; exit 1; }
+# The report must attribute >= 95% of the simulated window to named stages:
+# unattributed time means a pipeline stage lost its spans.
+awk '/^attributed: /{ pct = $7; gsub(/[(%]/, "", pct)
+    printf "telemetry: report attributes %s%% of the traced window\n", pct
+    found = 1; ok = (pct + 0 >= 95) }
+END { exit !(found && ok) }' "$SMOKE/report.log" \
+    || { cat "$SMOKE/report.log"; echo "telemetry: report attributes < 95% of the smoke trace"; exit 1; }
 
 echo "==> server smoke: boot fafnir-serve, drive it, drain it"
 go build -o "$SMOKE/fafnir-serve" ./cmd/fafnir-serve
@@ -166,6 +180,33 @@ grep -q '^fafnir_serve_pe_reduces_total ' "$SMOKE/loadgen.log" \
     || { cat "$SMOKE/loadgen.log"; echo "smoke: /metrics missing PE action counters"; exit 1; }
 grep -q 'fafnir_serve_request_seconds_bucket{le="2.5e-05"}' "$SMOKE/loadgen.log" \
     || { cat "$SMOKE/loadgen.log"; echo "smoke: latency histogram lacks sub-millisecond buckets"; exit 1; }
+# The per-stage latency attribution histograms: every served request feeds
+# all six stages, so the backend stage's count must be live after a burst.
+grep -Eq 'fafnir_serve_stage_seconds_count\{stage="backend"\} [1-9]' "$SMOKE/loadgen.log" \
+    || { cat "$SMOKE/loadgen.log"; echo "smoke: stage-latency histograms missing or empty"; exit 1; }
+grep -q 'fafnir_serve_stage_seconds_bucket{stage="queue"' "$SMOKE/loadgen.log" \
+    || { cat "$SMOKE/loadgen.log"; echo "smoke: queue stage histogram missing"; exit 1; }
+# The SLO flight recorder's burn-rate gauges, one per lane.
+for lane in high normal low; do
+    grep -q "fafnir_slo_burn_rate{lane=\"$lane\"}" "$SMOKE/loadgen.log" \
+        || { cat "$SMOKE/loadgen.log"; echo "smoke: /metrics missing burn rate for lane $lane"; exit 1; }
+done
+
+# Record the burst shape, replay it verbatim, and require both runs to
+# report the same request count — the flight-recorder repro loop.
+"$SMOKE/fafnir-loadgen" -url "http://$ADDR" -clients 2 -requests 32 \
+    -duration 10s -rows 4096 -record "$SMOKE/record.jsonl" \
+    > "$SMOKE/record.log" 2>&1 \
+    || { cat "$SMOKE/record.log"; echo "smoke: recorded loadgen run failed"; exit 1; }
+"$SMOKE/fafnir-loadgen" -url "http://$ADDR" -replay "$SMOKE/record.jsonl" \
+    -duration 10s > "$SMOKE/replay.log" 2>&1 \
+    || { cat "$SMOKE/replay.log"; echo "smoke: replayed loadgen run failed"; exit 1; }
+REC_SENT=$(awk '/^sent /{print $2; exit}' "$SMOKE/record.log")
+REP_SENT=$(awk '/^sent /{print $2; exit}' "$SMOKE/replay.log")
+[ -n "$REC_SENT" ] && [ "$REC_SENT" = "$REP_SENT" ] \
+    || { cat "$SMOKE/record.log" "$SMOKE/replay.log"; \
+         echo "smoke: replay sent ${REP_SENT:-nothing}, recorded run sent ${REC_SENT:-nothing}"; exit 1; }
+echo "smoke: record/replay both sent $REC_SENT requests"
 
 kill -TERM "$SERVE_PID"
 SMOKE_RC=0
